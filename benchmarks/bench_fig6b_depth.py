@@ -1,0 +1,50 @@
+"""Figure 6(b) — ODNET accuracy and training time vs exploration depth K.
+
+Sweeps Algorithm 1's depth over {1, 2, 3, 4}.  The paper reports training
+times of 55/73/94/135 minutes for K=1..4 — strictly increasing — and an
+accuracy knee at K=2 (K>2 gives "no marked marginal returns").
+
+Shape assertions here: training time strictly increases with K, and the
+K=2 setting is within noise of the best accuracy (the knee).
+
+The benchmark times the whole sweep.
+"""
+
+from repro.analysis import ascii_line_chart, write_csv
+from repro.experiments import run_depth_sweep
+
+from conftest import BENCH_SCALE, emit
+
+
+def test_fig6b_depth_sweep(benchmark, capsys, results_dir):
+    result = benchmark.pedantic(
+        run_depth_sweep,
+        kwargs={"scale": BENCH_SCALE, "depths": (1, 2, 3, 4)},
+        rounds=1, iterations=1,
+    )
+    series = result.series()
+    chart = ascii_line_chart(
+        series["depth"],
+        {"HR@5": series["HR@5"], "MRR@5": series["MRR@5"]},
+        title="Figure 6(b): ODNET accuracy vs exploration depth K",
+    )
+    time_chart = ascii_line_chart(
+        series["depth"],
+        {"train_seconds": series["train_seconds"]},
+        title="Figure 6(b): training time vs K",
+        height=8,
+    )
+    write_csv(results_dir / "fig6b_depth_sweep", series)
+    emit(capsys, results_dir, "fig6b_depth_sweep",
+         result.format_table() + "\n\n" + chart + "\n\n" + time_chart)
+
+    by_depth = {p.value: p for p in result.points}
+    assert set(by_depth) == {1, 2, 3, 4}
+
+    # Training cost grows with K (paper: 55 -> 73 -> 94 -> 135 minutes).
+    times = [by_depth[k].train_seconds for k in (1, 2, 3, 4)]
+    assert times == sorted(times)
+
+    # K=2 sits at (or within noise of) the accuracy knee.
+    best_hr5 = max(p.hr5 for p in result.points)
+    assert by_depth[2].hr5 >= best_hr5 - 0.05

@@ -1,0 +1,54 @@
+"""Table I — statistics of the (synthetic) Fliggy dataset.
+
+Regenerates the paper's dataset-statistics table: sample counts by kind
+(1 positive : 4 partially-negative : 2 negative per decision point), user
+counts, and origin/destination city counts.  The benchmark times dataset
+generation itself (the behavioural simulator).
+"""
+
+from repro.data import generate_fliggy_dataset
+from repro.experiments import get_scale
+
+from conftest import BENCH_SCALE, emit
+
+
+def _format_table1(stats: dict) -> str:
+    rows = [
+        ("# of samples", "training_samples", "testing_samples"),
+        ("# of (O+, D+) samples", "training_pos", "testing_pos"),
+        ("# of partial negative samples", "training_partial_neg",
+         "testing_partial_neg"),
+        ("# of (O-, D-) samples", "training_neg", "testing_neg"),
+        ("# of users", "training_users", "testing_users"),
+    ]
+    header = f"{'Property':<32}{'Training':>12}{'Testing':>12}"
+    lines = [header, "-" * len(header)]
+    for label, train_key, test_key in rows:
+        lines.append(
+            f"{label:<32}{stats[train_key]:>12}{stats[test_key]:>12}"
+        )
+    lines.append(f"{'# of origin cities':<32}{stats['origin_cities']:>12}"
+                 f"{stats['origin_cities']:>12}")
+    lines.append(f"{'# of destination cities':<32}"
+                 f"{stats['destination_cities']:>12}"
+                 f"{stats['destination_cities']:>12}")
+    return "\n".join(lines)
+
+
+def test_table1_dataset_statistics(benchmark, capsys, results_dir):
+    scale = get_scale(BENCH_SCALE)
+    config = scale.fliggy_config()
+
+    dataset = benchmark.pedantic(
+        generate_fliggy_dataset, args=(config,), rounds=1, iterations=1
+    )
+    stats = dataset.statistics()
+    emit(capsys, results_dir, "table1_fliggy_statistics",
+         _format_table1(stats))
+
+    # Table I structure: 1 : 4 : 2 sample mix, both splits.
+    assert stats["training_partial_neg"] == 4 * stats["training_pos"]
+    assert stats["training_neg"] == 2 * stats["training_pos"]
+    assert stats["testing_partial_neg"] == 4 * stats["testing_pos"]
+    assert stats["testing_neg"] == 2 * stats["testing_pos"]
+    assert stats["origin_cities"] == stats["destination_cities"]

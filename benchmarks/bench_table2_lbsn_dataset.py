@@ -1,0 +1,47 @@
+"""Table II — statistics of the (synthetic) Foursquare and Gowalla datasets.
+
+The paper reports users / POIs / check-in records for the two LBSN
+datasets; Gowalla has more POIs and more check-ins than Foursquare, a
+relationship the presets preserve.  The benchmark times LBSN generation.
+"""
+
+from repro.data import generate_lbsn_dataset
+from repro.experiments import get_scale
+
+from conftest import BENCH_SCALE, emit
+
+
+def _checkin_count(dataset) -> int:
+    # Each stored booking is one check-in transition; +1 initial check-in
+    # per user recovers the raw check-in count.
+    transitions = sum(len(b) for b in dataset.bookings_by_user.values())
+    return transitions + len(dataset.bookings_by_user)
+
+
+def test_table2_lbsn_statistics(benchmark, capsys, results_dir):
+    scale = get_scale(BENCH_SCALE)
+
+    def build_both():
+        foursquare = generate_lbsn_dataset(scale.lbsn_config("foursquare"))
+        gowalla = generate_lbsn_dataset(scale.lbsn_config("gowalla"))
+        return foursquare, gowalla
+
+    foursquare, gowalla = benchmark.pedantic(build_both, rounds=1,
+                                             iterations=1)
+
+    header = f"{'Dataset':<12}{'# users':>10}{'# POIs':>10}{'# check-ins':>14}"
+    lines = [header, "-" * len(header)]
+    stats = {}
+    for name, dataset in (("Foursquare", foursquare), ("Gowalla", gowalla)):
+        stats[name] = (
+            dataset.num_users, dataset.num_cities, _checkin_count(dataset)
+        )
+        lines.append(
+            f"{name:<12}{stats[name][0]:>10}{stats[name][1]:>10}"
+            f"{stats[name][2]:>14}"
+        )
+    emit(capsys, results_dir, "table2_lbsn_statistics", "\n".join(lines))
+
+    # Paper's Table II relationships: Gowalla has more POIs & check-ins.
+    assert stats["Gowalla"][1] > stats["Foursquare"][1]
+    assert stats["Gowalla"][2] > stats["Foursquare"][2]

@@ -1,0 +1,69 @@
+"""Table V — training time and inference latency per method.
+
+Re-reports the efficiency columns of the shared Table III run.  The
+paper's shape claims encoded below:
+
+- RNN-family methods (LSTM, STGN, LSTPM, STOD-PPA) train slower than the
+  attention/graph-based ODNET family (sequential cells cannot batch over
+  time);
+- multi-task models infer faster than running the two single-task
+  networks of their STL siblings (one network evaluation instead of two);
+- GBDT trains fastest of the learned models.
+
+The benchmark times ODNET's per-event inference (the paper's Table V
+reports 16.3 ms for ODNET on production hardware).
+"""
+
+import numpy as np
+
+from conftest import emit
+
+
+def test_table5_efficiency(benchmark, capsys, results_dir, fliggy_suite):
+    result = fliggy_suite.result
+
+    header = f"{'Method':<12}{'Training (s)':>14}{'Inference (ms)':>16}"
+    lines = [header, "-" * len(header)]
+    for row in result.rows:
+        lines.append(
+            f"{row.name:<12}{row.train_seconds:>14.1f}"
+            f"{row.inference_ms:>16.2f}"
+        )
+    emit(capsys, results_dir, "table5_efficiency", "\n".join(lines))
+
+    def train_s(name):
+        return result.row(name).train_seconds
+
+    def infer_ms(name):
+        return result.row(name).inference_ms
+
+    # RNN methods are the slowest trainers (paper: 85-94 min vs 59-75).
+    rnn_mean = np.mean([train_s(m) for m in
+                        ("LSTM", "STGN", "LSTPM", "STOD-PPA")])
+    family_mean = np.mean([train_s(m) for m in
+                           ("STL-G", "STL+G", "ODNET-G", "ODNET")])
+    assert family_mean < rnn_mean
+
+    # MTL inference beats running both STL networks (paper: 14-16 ms vs
+    # 22-23 ms).
+    assert infer_ms("ODNET-G") < infer_ms("STL+G")
+    assert infer_ms("ODNET") < infer_ms("STL+G") * 1.25
+
+    # GBDT is the fastest learned model to train (paper: 30 min).
+    assert train_s("GBDT") < min(
+        train_s(m) for m in ("LSTM", "STGN", "LSTPM", "STOD-PPA",
+                             "STL-G", "STL+G", "ODNET-G", "ODNET")
+    )
+
+    # Benchmark: ODNET per-event inference latency on the shared model.
+    dataset = fliggy_suite.dataset
+    model = fliggy_suite.models["ODNET"]
+    tasks = dataset.ranking_tasks(num_candidates=30, max_tasks=10)
+    batches = [dataset.batch_for_candidates(t.point, t.candidates)
+               for t in tasks]
+
+    def infer_all():
+        for batch in batches:
+            model.score_pairs(batch)
+
+    benchmark.pedantic(infer_all, rounds=3, iterations=1)

@@ -1,0 +1,32 @@
+"""Simulated online A/B test (Figure 7).
+
+Trains four representative methods and serves a simulated week of traffic,
+reporting daily and mean CTR per method.
+
+Run:  python examples/ab_test.py
+"""
+
+from repro.experiments import run_abtest
+from repro.experiments.abtest import format_abtest
+from repro.serving import ABTestConfig
+
+
+def main():
+    print("Training methods and simulating one week of traffic ...")
+    result = run_abtest(
+        scale="small",
+        methods=("MostPop", "GBDT", "STP-UDGAT", "ODNET"),
+        abtest_config=ABTestConfig(days=7, users_per_day_per_method=30,
+                                   seed=0),
+    )
+    print()
+    print(format_abtest(result))
+    lift_sota = result.improvement("ODNET", "STP-UDGAT")
+    lift_pop = result.improvement("ODNET", "MostPop")
+    print(f"\nODNET CTR lift vs STP-UDGAT: {lift_sota:+.1%} "
+          f"(paper: +11.25% vs the SOTA average)")
+    print(f"ODNET CTR lift vs MostPop  : {lift_pop:+.1%} (paper: +17.3%)")
+
+
+if __name__ == "__main__":
+    main()

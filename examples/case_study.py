@@ -1,0 +1,118 @@
+"""Case study (Figure 8): the three behaviours ODNET is built to exhibit.
+
+The paper's Section V-F shows screenshots of two real users' recommended
+lists.  We reproduce the *behaviours* on simulated users:
+
+1. **Return tickets (unity of O&D)** — a user who is away from home gets
+   the reverse of their outbound flight recommended;
+2. **Destination exploration** — an unvisited city that shares a semantic
+   pattern with past destinations appears in the list;
+3. **Origin exploration** — flights departing from a nearby airport other
+   than the user's current city appear in the list.
+
+Run:  python examples/case_study.py
+"""
+
+import numpy as np
+
+from repro import (
+    FliggyConfig,
+    FlightRecommender,
+    ODDataset,
+    ODNETConfig,
+    TrainConfig,
+    build_odnet,
+    generate_fliggy_dataset,
+)
+from repro.data.world import WorldConfig
+
+
+def describe(dataset, city_id):
+    city = dataset.source.world.cities[city_id]
+    patterns = ",".join(sorted(city.patterns)) or "-"
+    return f"{city.name}({patterns})"
+
+
+def main():
+    print("Training ODNET ...")
+    dataset = ODDataset(generate_fliggy_dataset(
+        FliggyConfig(num_users=400, world=WorldConfig(num_cities=50), seed=13)
+    ))
+    model = build_odnet(dataset, ODNETConfig(dim=32))
+    model.fit(dataset, TrainConfig(epochs=5))
+    recommender = FlightRecommender(model, dataset)
+
+    profiles = {p.user_id: p for p in dataset.source.profiles}
+    world = dataset.source.world
+
+    found = {"return": False, "destination": False, "origin": False}
+    for point in dataset.source.test_points:
+        if all(found.values()):
+            break
+        user = point.history.user_id
+        profile = profiles[user]
+        response = recommender.recommend(user_id=user, day=point.day, k=8)
+        if not response.flights:
+            continue
+        history = point.history
+        visited = set(history.destination_sequence)
+        visited_patterns = set()
+        for d in visited:
+            visited_patterns |= world.cities[d].patterns
+
+        last = history.bookings[-1] if history.bookings else None
+        for rank, flight in enumerate(response.flights, start=1):
+            pair = flight.pair
+            if (
+                not found["return"]
+                and last is not None
+                and history.current_city != profile.home_city
+                and (pair.origin, pair.destination)
+                == (last.destination, last.origin)
+            ):
+                found["return"] = True
+                print(f"\n[Case 1 — return ticket]  user {user} is away from "
+                      f"home at {describe(dataset, history.current_city)}")
+                print(f"  outbound was {describe(dataset, last.origin)} -> "
+                      f"{describe(dataset, last.destination)}")
+                print(f"  rank {rank}: {describe(dataset, pair.origin)} -> "
+                      f"{describe(dataset, pair.destination)}  "
+                      f"(the reverse pair, score={flight.score:.3f})")
+            if (
+                not found["destination"]
+                and pair.destination not in visited
+                and world.cities[pair.destination].patterns & visited_patterns
+            ):
+                found["destination"] = True
+                shared = sorted(
+                    world.cities[pair.destination].patterns & visited_patterns
+                )
+                print(f"\n[Case 2 — destination exploration]  user {user} "
+                      f"has never visited {describe(dataset, pair.destination)}")
+                print(f"  but their history covers the pattern(s) {shared}")
+                print(f"  rank {rank}: {describe(dataset, pair.origin)} -> "
+                      f"{describe(dataset, pair.destination)}  "
+                      f"score={flight.score:.3f}")
+            if (
+                not found["origin"]
+                and pair.origin != history.current_city
+                and pair.origin in profile.nearby_origins
+            ):
+                found["origin"] = True
+                d_km = world.distance_km[history.current_city, pair.origin]
+                print(f"\n[Case 3 — origin exploration]  user {user} is at "
+                      f"{describe(dataset, history.current_city)}")
+                print(f"  rank {rank}: departs from nearby "
+                      f"{describe(dataset, pair.origin)} ({d_km:.0f} km away) "
+                      f"-> {describe(dataset, pair.destination)}  "
+                      f"score={flight.score:.3f}")
+
+    print("\nBehaviours demonstrated:", {k: v for k, v in found.items()})
+    missing = [k for k, v in found.items() if not v]
+    if missing:
+        print(f"(none of the sampled users triggered: {missing} — "
+              "re-run with a different seed)")
+
+
+if __name__ == "__main__":
+    main()

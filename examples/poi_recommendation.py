@@ -1,0 +1,49 @@
+"""Next-POI recommendation on a synthetic LBSN dataset (Table IV setting).
+
+The paper argues ODNET's components "can be easily generalized to improve
+the next POI recommendation tasks in LBSN domain".  This example runs the
+single-task methods of Table IV — including STL+G, whose HSGC explores
+POI neighbourhoods — on a Foursquare-style check-in dataset.
+
+Run:  python examples/poi_recommendation.py
+"""
+
+import numpy as np
+
+from repro import ODDataset, ODNETConfig, foursquare_config, generate_lbsn_dataset
+from repro.experiments import build_method
+from repro.train import TrainConfig, evaluate_model
+
+
+def main():
+    print("Generating Foursquare-style check-in data ...")
+    dataset = ODDataset(
+        generate_lbsn_dataset(foursquare_config(num_users=250, num_pois=80)),
+        od_mode=False,
+    )
+    print(f"  users={dataset.num_users}, POIs={dataset.num_cities}, "
+          f"train samples={len(dataset.samples('train'))}")
+
+    tasks = dataset.ranking_tasks(
+        num_candidates=25, rng=np.random.default_rng(0), max_tasks=150
+    )
+    config = ODNETConfig(dim=32, num_heads=4)
+    train = TrainConfig(epochs=4)
+
+    print(f"\n{'Method':<12}{'AUC':>8}{'HR@1':>8}{'HR@5':>8}{'MRR@5':>8}")
+    print("-" * 44)
+    for name in ("MostPop", "GBDT", "LSTM", "STP-UDGAT", "STL+G"):
+        model = build_method(name, dataset, config)
+        model.fit(dataset, train)
+        metrics = evaluate_model(model, dataset, tasks)
+        print(
+            f"{name:<12}{metrics.get('AUC', float('nan')):>8.3f}"
+            f"{metrics['HR@1']:>8.3f}{metrics['HR@5']:>8.3f}"
+            f"{metrics['MRR@5']:>8.3f}"
+        )
+    print("\nNote: ODNET / ODNET-G are multi-task and need origin labels,"
+          "\nso (exactly as in the paper) they are absent from this table.")
+
+
+if __name__ == "__main__":
+    main()

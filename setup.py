@@ -1,0 +1,11 @@
+"""Thin setup shim.
+
+The execution environment ships setuptools without the ``wheel`` package,
+so PEP 517 editable installs fail offline; this file lets
+``pip install -e . --no-build-isolation`` fall back to the legacy
+``setup.py develop`` path.  All metadata lives in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,22 @@
+"""Result analysis: terminal charts and CSV export for the figure benches."""
+
+from .export import abtest_to_rows, comparison_to_rows, write_csv
+from .introspect import (
+    city_embedding_neighbors,
+    hsgc_user_neighbor_attention,
+    mmoe_gate_summary,
+    pec_history_attention,
+)
+from .plots import ascii_bar_chart, ascii_line_chart
+
+__all__ = [
+    "ascii_line_chart",
+    "ascii_bar_chart",
+    "write_csv",
+    "comparison_to_rows",
+    "abtest_to_rows",
+    "pec_history_attention",
+    "mmoe_gate_summary",
+    "city_embedding_neighbors",
+    "hsgc_user_neighbor_attention",
+]

@@ -1,0 +1,53 @@
+"""CSV export of experiment series (for external plotting tools)."""
+
+from __future__ import annotations
+
+import csv
+import pathlib
+from typing import Mapping, Sequence
+
+__all__ = ["write_csv", "comparison_to_rows", "abtest_to_rows"]
+
+
+def write_csv(
+    path: str | pathlib.Path,
+    columns: Mapping[str, Sequence],
+) -> pathlib.Path:
+    """Write named columns to CSV; all columns must share one length."""
+    path = pathlib.Path(path)
+    if path.suffix != ".csv":
+        path = path.with_suffix(".csv")
+    lengths = {len(values) for values in columns.values()}
+    if len(lengths) > 1:
+        raise ValueError(f"column length mismatch: {lengths}")
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with open(path, "w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(columns.keys())
+        for row in zip(*columns.values()):
+            writer.writerow(row)
+    return path
+
+
+def comparison_to_rows(result) -> dict[str, list]:
+    """Columns for a :class:`~repro.experiments.ComparisonResult`."""
+    columns: dict[str, list] = {"method": [r.name for r in result.rows]}
+    metric_names: list[str] = []
+    for row in result.rows:
+        for name in row.metrics:
+            if name not in metric_names:
+                metric_names.append(name)
+    for name in metric_names:
+        columns[name] = [r.metrics.get(name, float("nan"))
+                         for r in result.rows]
+    columns["train_seconds"] = [r.train_seconds for r in result.rows]
+    columns["inference_ms"] = [r.inference_ms for r in result.rows]
+    return columns
+
+
+def abtest_to_rows(result) -> dict[str, list]:
+    """Columns for an :class:`~repro.serving.ABTestResult` (per-day CTR)."""
+    columns: dict[str, list] = {"day": list(range(1, result.days + 1))}
+    for method in result.methods:
+        columns[method] = list(result.daily_ctr(method))
+    return columns

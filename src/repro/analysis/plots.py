@@ -1,0 +1,94 @@
+"""Terminal-friendly chart rendering for the figure reproductions.
+
+The paper's Figures 6 and 7 are line charts; this module renders their
+series as ASCII so benchmark output is self-contained in a terminal or a
+text log (no plotting dependency is available offline).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["ascii_line_chart", "ascii_bar_chart"]
+
+_MARKERS = "ox+*#@%&"
+
+
+def ascii_line_chart(
+    x_values: list[float],
+    series: dict[str, list[float]],
+    width: int = 60,
+    height: int = 14,
+    title: str = "",
+) -> str:
+    """Render one or more y-series against shared x-values.
+
+    Each series gets a marker; the legend maps markers to series names.
+    """
+    if not series:
+        raise ValueError("no series to plot")
+    lengths = {len(values) for values in series.values()}
+    if lengths != {len(x_values)}:
+        raise ValueError("all series must match the x-axis length")
+    if len(x_values) < 2:
+        raise ValueError("need at least two x points")
+
+    all_y = np.concatenate([np.asarray(v, dtype=float)
+                            for v in series.values()])
+    y_min, y_max = float(all_y.min()), float(all_y.max())
+    if y_max == y_min:
+        y_max = y_min + 1.0
+    x = np.asarray(x_values, dtype=float)
+    x_min, x_max = float(x.min()), float(x.max())
+
+    grid = [[" "] * width for _ in range(height)]
+    for index, (name, values) in enumerate(series.items()):
+        marker = _MARKERS[index % len(_MARKERS)]
+        for xi, yi in zip(x, values):
+            col = int(round((xi - x_min) / (x_max - x_min) * (width - 1)))
+            row = int(round((yi - y_min) / (y_max - y_min) * (height - 1)))
+            grid[height - 1 - row][col] = marker
+
+    lines = []
+    if title:
+        lines.append(title)
+    for i, row in enumerate(grid):
+        y_label = y_max - (y_max - y_min) * i / (height - 1)
+        lines.append(f"{y_label:8.3f} |" + "".join(row))
+    lines.append(" " * 9 + "+" + "-" * width)
+    tick_line = [" "] * (width + 10)
+    for xi in x:
+        col = 10 + int(round((xi - x_min) / (x_max - x_min) * (width - 1)))
+        label = f"{xi:g}"
+        for j, char in enumerate(label):
+            if col + j < len(tick_line):
+                tick_line[col + j] = char
+    lines.append("".join(tick_line))
+    legend = "   ".join(
+        f"{_MARKERS[i % len(_MARKERS)]}={name}"
+        for i, name in enumerate(series)
+    )
+    lines.append(f"{'':9s}{legend}")
+    return "\n".join(lines)
+
+
+def ascii_bar_chart(
+    labels: list[str],
+    values: list[float],
+    width: int = 50,
+    title: str = "",
+) -> str:
+    """Horizontal bar chart (used for mean-CTR summaries)."""
+    if len(labels) != len(values):
+        raise ValueError("labels and values must align")
+    if not values:
+        raise ValueError("nothing to plot")
+    peak = max(values)
+    if peak <= 0:
+        peak = 1.0
+    label_width = max(len(label) for label in labels)
+    lines = [title] if title else []
+    for label, value in zip(labels, values):
+        bar = "#" * max(1, int(round(value / peak * width)))
+        lines.append(f"{label:<{label_width}} |{bar} {value:.4f}")
+    return "\n".join(lines)

@@ -1,0 +1,24 @@
+"""Baselines of Section V-A.3, sharing ODNET's ranker interface."""
+
+from .gbdt import GBDTRanker, GradientBoostingClassifier, RegressionTree
+from .lstm import LSTMRanker
+from .lstpm import LSTPMRanker
+from .mostpop import MostPop
+from .sequential import SequentialRankerBase
+from .stgn import STGNRanker
+from .stod_ppa import STODPPARanker
+from .stp_udgat import GATLayer, STPUDGATRanker
+
+__all__ = [
+    "MostPop",
+    "GBDTRanker",
+    "GradientBoostingClassifier",
+    "RegressionTree",
+    "SequentialRankerBase",
+    "LSTMRanker",
+    "STGNRanker",
+    "LSTPMRanker",
+    "STODPPARanker",
+    "STPUDGATRanker",
+    "GATLayer",
+]

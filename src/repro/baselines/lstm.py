@@ -1,0 +1,44 @@
+"""LSTM baseline (Hochreiter & Schmidhuber, 1997) — Section V-A.3.
+
+The plainest sequential model of Table III: an LSTM over the long-term
+booking sequence plus a mean-pooled embedding of the short-term clicks.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..data.dataset import ODBatch, ODDataset
+from ..nn import LSTM
+from ..tensor import Tensor, concat, functional as F
+
+from .sequential import SequentialRankerBase
+
+__all__ = ["LSTMRanker"]
+
+
+class LSTMRanker(SequentialRankerBase):
+    """LSTM over L_u, mean pooling over S_u."""
+
+    name = "LSTM"
+    history_multiple = 2
+
+    def __init__(self, dataset: ODDataset, dim: int = 32,
+                 hidden_dim: int | None = None, seed: int = 0):
+        self._hidden_dim = hidden_dim or dim
+        super().__init__(dataset, dim=dim, seed=seed)
+
+    def _build_encoder(self, dataset: ODDataset, rng: np.random.Generator):
+        # Separate recurrent weights per side: O and D sequences live in
+        # different dynamics (nearby airports vs pattern-driven trips).
+        self.lstm_o = LSTM(self.dim, self.dim, rng)
+        self.lstm_d = LSTM(self.dim, self.dim, rng)
+
+    def encode_history(self, batch: ODBatch, side: str) -> Tensor:
+        long_ids, short_ids, _, __ = self._side_inputs(batch, side)
+        lstm = self.lstm_o if side == "o" else self.lstm_d
+        long_emb = self.city_embedding(long_ids)
+        _, last_hidden = lstm(long_emb, mask=batch.long_mask)
+        short_emb = self.city_embedding(short_ids)
+        short_repr = F.masked_mean_pool(short_emb, batch.short_mask, axis=1)
+        return concat([last_hidden, short_repr], axis=-1)

@@ -1,0 +1,76 @@
+"""LSTPM baseline (Sun et al., AAAI 2020) — Section V-A.3.
+
+LSTPM models *long-term* preference with a non-local network (attention
+between the current trajectory context and all historical hidden states)
+and *short-term* preference with a geo-dilated LSTM (recent visits
+re-weighted by geographic proximity to the current location).
+
+Reproduction simplifications (documented per DESIGN.md): the non-local
+block is realised as a learned dot-product attention from the short-term
+context over the LSTM-encoded long-term sequence, and geo-dilation as a
+distance-kernel re-weighting of the short-term hidden states relative to
+the user's current city — the same inductive biases at laptop scale.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..data.dataset import ODBatch, ODDataset
+from ..nn import LSTM, QueryAttention
+from ..tensor import Tensor, concat
+
+from .sequential import SequentialRankerBase
+
+__all__ = ["LSTPMRanker"]
+
+
+class LSTPMRanker(SequentialRankerBase):
+    """Non-local long-term attention + geo-dilated short-term LSTM."""
+
+    name = "LSTPM"
+    history_multiple = 2
+
+    def __init__(self, dataset: ODDataset, dim: int = 32, seed: int = 0,
+                 geo_scale_km: float = 500.0):
+        self.geo_scale_km = geo_scale_km
+        super().__init__(dataset, dim=dim, seed=seed)
+
+    def _build_encoder(self, dataset: ODDataset, rng: np.random.Generator):
+        self.long_lstm_o = LSTM(self.dim, self.dim, rng)
+        self.long_lstm_d = LSTM(self.dim, self.dim, rng)
+        self.short_lstm_o = LSTM(self.dim, self.dim, rng)
+        self.short_lstm_d = LSTM(self.dim, self.dim, rng)
+        self.nonlocal_o = QueryAttention(self.dim, rng)
+        self.nonlocal_d = QueryAttention(self.dim, rng)
+
+    def _geo_weights(self, batch: ODBatch, short_ids: np.ndarray) -> np.ndarray:
+        """Distance-kernel weights of short-term visits wrt the current city."""
+        distances = self._distance_km[batch.current_city[:, None], short_ids]
+        weights = np.exp(-distances / self.geo_scale_km)
+        weights = weights * batch.short_mask
+        norm = np.maximum(weights.sum(axis=1, keepdims=True), 1e-9)
+        return weights / norm
+
+    def encode_history(self, batch: ODBatch, side: str) -> Tensor:
+        long_ids, short_ids, _, __ = self._side_inputs(batch, side)
+        if side == "o":
+            long_lstm, short_lstm = self.long_lstm_o, self.short_lstm_o
+            nonlocal_attn = self.nonlocal_o
+        else:
+            long_lstm, short_lstm = self.long_lstm_d, self.short_lstm_d
+            nonlocal_attn = self.nonlocal_d
+
+        # Short-term: geo-dilated pooling over the short LSTM states.
+        short_states, _ = short_lstm(
+            self.city_embedding(short_ids), mask=batch.short_mask
+        )
+        geo = self._geo_weights(batch, short_ids)
+        short_repr = (short_states * Tensor(geo[..., None])).sum(axis=1)
+
+        # Long-term: non-local attention queried by the short-term context.
+        long_states, _ = long_lstm(
+            self.city_embedding(long_ids), mask=batch.long_mask
+        )
+        long_repr = nonlocal_attn(short_repr, long_states, mask=batch.long_mask)
+        return concat([long_repr, short_repr], axis=-1)

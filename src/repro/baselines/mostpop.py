@@ -1,0 +1,56 @@
+"""MostPop baseline (Section V-A.3).
+
+"It ranks cities by their popularities, computed by the number of visits of
+users.  A user's current city is paired up with most popular cities to get
+recommended flights."  Accordingly the origin score strongly favours the
+user's current city, falling back to global origin popularity, while the
+destination score is pure destination popularity.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from ..core.base import Ranker
+from ..data.dataset import ODBatch, ODDataset
+
+__all__ = ["MostPop"]
+
+
+class MostPop(Ranker):
+    """Popularity heuristic; no gradient training."""
+
+    name = "MostPop"
+    trainable = False
+
+    def __init__(self, current_city_weight: float = 0.7):
+        self.current_city_weight = current_city_weight
+        self._origin_pop: np.ndarray | None = None
+        self._dest_pop: np.ndarray | None = None
+
+    def fit(self, dataset: ODDataset, config=None) -> float:
+        """Count visit popularity over the training positives."""
+        start = time.perf_counter()
+        origin_counts = np.zeros(dataset.num_cities)
+        dest_counts = np.zeros(dataset.num_cities)
+        for sample in dataset.samples("train"):
+            if sample.label_o:
+                origin_counts[sample.origin] += 1
+            if sample.label_d:
+                dest_counts[sample.destination] += 1
+        self._origin_pop = origin_counts / max(origin_counts.max(), 1.0)
+        self._dest_pop = dest_counts / max(dest_counts.max(), 1.0)
+        return time.perf_counter() - start
+
+    def predict(self, batch: ODBatch) -> tuple[np.ndarray, np.ndarray]:
+        if self._origin_pop is None:
+            raise RuntimeError("MostPop.predict called before fit")
+        is_current = (batch.candidate_origin == batch.current_city).astype(
+            np.float64
+        )
+        w = self.current_city_weight
+        p_o = w * is_current + (1.0 - w) * self._origin_pop[batch.candidate_origin]
+        p_d = self._dest_pop[batch.candidate_destination]
+        return p_o, p_d

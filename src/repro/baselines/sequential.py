@@ -1,0 +1,128 @@
+"""Shared scaffolding for the sequential (RNN-family) baselines.
+
+LSTM, STGN, LSTPM and STOD-PPA all follow the same outer recipe — embed
+the user's historical city sequences, encode them with some recurrent
+machinery, and score a candidate city through a sigmoid tower — and differ
+only in the encoder.  :class:`SequentialRankerBase` factors the common
+parts; each baseline implements :meth:`encode_history`.
+
+All of these methods are *single-task* (Table III groups them under STL):
+in OD mode two towers are trained with independent losses; in LBSN mode
+only the destination side exists.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.base import NeuralRanker
+from ..data.dataset import ODBatch, ODDataset
+from ..nn import Embedding, Linear, MLP
+from ..tensor import Tensor, concat, functional as F
+
+__all__ = ["SequentialRankerBase"]
+
+
+class SequentialRankerBase(NeuralRanker):
+    """Common embed/encode/tower skeleton of the sequential baselines."""
+
+    #: dimensionality of the vector :meth:`encode_history` must return,
+    #: as a multiple of ``dim`` (overridden by richer encoders).
+    history_multiple = 2
+
+    def __init__(self, dataset: ODDataset, dim: int = 32,
+                 tower_hidden: int = 32, seed: int = 0):
+        super().__init__()
+        self.dim = dim
+        self._od_mode = dataset.od_mode
+        self._distance_km = dataset.distance_km
+        rng = np.random.default_rng(seed)
+        self.rng = rng
+        self.user_embedding = Embedding(dataset.num_users, dim, rng)
+        self.city_embedding = Embedding(dataset.num_cities, dim, rng)
+        self._build_encoder(dataset, rng)
+        # History summaries are projected to ``dim`` for the explicit
+        # history ⊙ candidate interaction feature (see DESIGN.md).
+        self.match_proj_d = Linear(self.history_multiple * dim, dim, rng)
+        self.match_proj_o = (
+            Linear(self.history_multiple * dim, dim, rng)
+            if self._od_mode else None
+        )
+        feature_dim = (self.history_multiple + 4) * dim + dataset.xst_dim
+        self.tower_d = MLP(feature_dim, [tower_hidden], 1, rng,
+                           final_activation=F.sigmoid)
+        self.tower_o = (
+            MLP(feature_dim, [tower_hidden], 1, rng,
+                final_activation=F.sigmoid)
+            if self._od_mode else None
+        )
+
+    # ------------------------------------------------------------------
+    def _build_encoder(self, dataset: ODDataset, rng: np.random.Generator):
+        """Create encoder sub-modules (overridden by each baseline)."""
+        raise NotImplementedError
+
+    def encode_history(self, batch: ODBatch, side: str) -> Tensor:
+        """Encode the user's history for one side; shape
+        ``(B, history_multiple * dim)``."""
+        raise NotImplementedError
+
+    # ------------------------------------------------------------------
+    def _side_inputs(self, batch: ODBatch, side: str):
+        if side == "o":
+            return (batch.long_origins, batch.short_origins,
+                    batch.candidate_origin, batch.xst_o)
+        return (batch.long_destinations, batch.short_destinations,
+                batch.candidate_destination, batch.xst_d)
+
+    def _long_deltas(self, batch: ODBatch, side: str):
+        """Per-step time (days) and distance (km) intervals for STGN-style
+        gates, right-aligned with the long sequence."""
+        seq = batch.long_origins if side == "o" else batch.long_destinations
+        days = batch.long_days
+        delta_t = np.zeros_like(days, dtype=np.float64)
+        delta_t[:, 1:] = np.diff(days, axis=1)
+        delta_t = np.clip(delta_t, 0, None) / 30.0  # months
+        delta_d = np.zeros(seq.shape, dtype=np.float64)
+        delta_d[:, 1:] = self._distance_km[seq[:, :-1], seq[:, 1:]] / 1000.0
+        valid = batch.long_mask
+        return delta_t * valid, delta_d * valid
+
+    def _probability(self, batch: ODBatch, side: str) -> Tensor:
+        _, __, candidate, xst = self._side_inputs(batch, side)
+        history = self.encode_history(batch, side)
+        candidate_emb = self.city_embedding(candidate)
+        match_proj = self.match_proj_o if side == "o" else self.match_proj_d
+        features = concat(
+            [
+                history,
+                self.user_embedding(batch.user_ids),
+                self.city_embedding(batch.current_city),
+                candidate_emb,
+                match_proj(history) * candidate_emb,
+                Tensor(xst),
+            ],
+            axis=-1,
+        )
+        tower = self.tower_o if side == "o" else self.tower_d
+        return tower(features).squeeze(-1)
+
+    def forward(self, batch: ODBatch) -> tuple[Tensor, Tensor]:
+        p_d = self._probability(batch, "d")
+        if self.tower_o is None:
+            return p_d, p_d
+        return self._probability(batch, "o"), p_d
+
+    def loss(self, batch: ODBatch) -> Tensor:
+        p_o, p_d = self.forward(batch)
+        loss_d = F.binary_cross_entropy(p_d, batch.label_d)
+        if self.tower_o is None:
+            return loss_d
+        loss_o = F.binary_cross_entropy(p_o, batch.label_o)
+        return 0.5 * loss_o + 0.5 * loss_d
+
+    def score_pairs(self, batch: ODBatch) -> np.ndarray:
+        p_o, p_d = self.predict(batch)
+        if not self._od_mode:
+            return p_d
+        return 0.5 * p_o + 0.5 * p_d

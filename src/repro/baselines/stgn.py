@@ -1,0 +1,42 @@
+"""STGN baseline (Zhao et al., AAAI 2019) — Section V-A.3.
+
+"An LSTM variant for predicting POIs, which learns long and short-term
+location visit preferences of users by taking both spatial and temporal
+factors into account."  The encoder is the spatio-temporal gated LSTM of
+:class:`repro.nn.STGN`: extra time and distance gates modulate how much
+each visit writes into the cell state.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..data.dataset import ODBatch, ODDataset
+from ..nn import STGN
+from ..tensor import Tensor, concat, functional as F
+
+from .sequential import SequentialRankerBase
+
+__all__ = ["STGNRanker"]
+
+
+class STGNRanker(SequentialRankerBase):
+    """Time/distance-gated LSTM over L_u, mean pooling over S_u."""
+
+    name = "STGN"
+    history_multiple = 2
+
+    def _build_encoder(self, dataset: ODDataset, rng: np.random.Generator):
+        self.stgn_o = STGN(self.dim, self.dim, rng)
+        self.stgn_d = STGN(self.dim, self.dim, rng)
+
+    def encode_history(self, batch: ODBatch, side: str) -> Tensor:
+        long_ids, short_ids, _, __ = self._side_inputs(batch, side)
+        encoder = self.stgn_o if side == "o" else self.stgn_d
+        delta_t, delta_d = self._long_deltas(batch, side)
+        long_emb = self.city_embedding(long_ids)
+        _, last_hidden = encoder(long_emb, delta_t, delta_d,
+                                 mask=batch.long_mask)
+        short_emb = self.city_embedding(short_ids)
+        short_repr = F.masked_mean_pool(short_emb, batch.short_mask, axis=1)
+        return concat([last_hidden, short_repr], axis=-1)

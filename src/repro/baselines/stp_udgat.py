@@ -1,0 +1,223 @@
+"""STP-UDGAT baseline (Lim et al., CIKM 2020) — Section V-A.3.
+
+The explore-exploit state of the art: graph attention networks over
+*Spatial*, *Temporal* and *Preference* POI-POI graphs let a user benefit
+from global (all-user) relationships, exploring new POIs beyond their own
+feedback.  Its documented limitation — the one ODNET fixes — is that the
+graphs are homogeneous (city-city only), so the heterogeneous user-city
+interactions carry no type information.
+
+Graph construction (from training events only):
+
+- **Spatial**: k-nearest neighbours under the city distance matrix;
+- **Temporal**: cities visited by the same user within a 30-day window;
+- **Preference**: cities co-occurring anywhere in the same user's history.
+
+Each view runs one GAT layer over a shared base city embedding; views are
+averaged into the fused city table used for sequence encoding and
+candidate scoring.  The user-dimensional GAT of the original (users
+attending over similar users) is folded into the learned user embedding —
+a documented simplification at this scale.
+"""
+
+from __future__ import annotations
+
+from collections import Counter, defaultdict
+
+import numpy as np
+
+from ..core.base import NeuralRanker
+from ..data.dataset import ODBatch, ODDataset
+from ..nn import Embedding, Linear, MLP, Module, Parameter, QueryAttention, init
+from ..tensor import Tensor, concat, functional as F
+
+__all__ = ["GATLayer", "STPUDGATRanker"]
+
+_LEAKY_SLOPE = 0.2
+
+
+def _leaky_relu(x: Tensor) -> Tensor:
+    return x.relu() - (_LEAKY_SLOPE * (-x).relu())
+
+
+class GATLayer(Module):
+    """Single-head graph attention (Velickovic et al., 2018) on a dense
+    capped neighbour table."""
+
+    def __init__(self, dim: int, rng: np.random.Generator):
+        super().__init__()
+        self.w = Parameter(init.gaussian((dim, dim), rng), name="gat.w")
+        self.attn_src = Parameter(init.gaussian((dim,), rng), name="gat.a_src")
+        self.attn_dst = Parameter(init.gaussian((dim,), rng), name="gat.a_dst")
+
+    def forward(
+        self, table: Tensor, neighbors: np.ndarray, mask: np.ndarray
+    ) -> Tensor:
+        projected = table @ self.w                      # (C, d)
+        nbr = projected[neighbors]                      # (C, M, d)
+        src_score = (projected * self.attn_src).sum(axis=-1)   # (C,)
+        dst_score = (nbr * self.attn_dst).sum(axis=-1)          # (C, M)
+        logits = _leaky_relu(src_score.expand_dims(1) + dst_score)
+        alpha = F.masked_softmax(logits, mask, axis=-1)
+        aggregated = (nbr * alpha.expand_dims(-1)).sum(axis=1)
+        # Residual keeps isolated nodes informative.
+        return F.relu(aggregated + projected)
+
+
+def _build_knn_table(
+    distance_km: np.ndarray, k: int
+) -> tuple[np.ndarray, np.ndarray]:
+    n = distance_km.shape[0]
+    k = min(k, n - 1)
+    masked = distance_km.copy()
+    np.fill_diagonal(masked, np.inf)
+    order = np.argsort(masked, axis=1)
+    neighbors = order[:, :k].astype(np.int64)
+    mask = np.ones((n, k), dtype=bool)
+    return neighbors, mask
+
+
+def _table_from_counts(
+    counts: dict[int, Counter], num_cities: int, cap: int
+) -> tuple[np.ndarray, np.ndarray]:
+    neighbors = np.zeros((num_cities, cap), dtype=np.int64)
+    mask = np.zeros((num_cities, cap), dtype=bool)
+    for city in range(num_cities):
+        ranked = sorted(
+            counts.get(city, Counter()).items(), key=lambda kv: (-kv[1], kv[0])
+        )[:cap]
+        for j, (nbr, _) in enumerate(ranked):
+            neighbors[city, j] = nbr
+            mask[city, j] = True
+    return neighbors, mask
+
+
+class STPUDGATRanker(NeuralRanker):
+    """Spatial-Temporal-Preference GAT ranker."""
+
+    name = "STP-UDGAT"
+
+    def __init__(self, dataset: ODDataset, dim: int = 32, tower_hidden: int = 32,
+                 max_neighbors: int = 8, temporal_window_days: int = 30,
+                 seed: int = 0):
+        super().__init__()
+        self.dim = dim
+        self._od_mode = dataset.od_mode
+        rng = np.random.default_rng(seed)
+        self.user_embedding = Embedding(dataset.num_users, dim, rng)
+        self.city_embedding = Embedding(dataset.num_cities, dim, rng)
+
+        # --- STP graphs (from training bookings only) ----------------------
+        self._spatial = _build_knn_table(dataset.distance_km, max_neighbors)
+        temporal_counts, preference_counts = self._interaction_graphs(
+            dataset, temporal_window_days
+        )
+        self._temporal = _table_from_counts(
+            temporal_counts, dataset.num_cities, max_neighbors
+        )
+        self._preference = _table_from_counts(
+            preference_counts, dataset.num_cities, max_neighbors
+        )
+        self.gat_spatial = GATLayer(dim, rng)
+        self.gat_temporal = GATLayer(dim, rng)
+        self.gat_preference = GATLayer(dim, rng)
+
+        self.history_attention_o = QueryAttention(dim, rng)
+        self.history_attention_d = QueryAttention(dim, rng)
+        # +2*dim for the long⊙candidate and short⊙candidate interactions.
+        feature_dim = 7 * dim + dataset.xst_dim
+        self.tower_d = MLP(feature_dim, [tower_hidden], 1, rng,
+                           final_activation=F.sigmoid)
+        self.tower_o = (
+            MLP(feature_dim, [tower_hidden], 1, rng,
+                final_activation=F.sigmoid)
+            if self._od_mode else None
+        )
+        self.fuse = Linear(dim, dim, rng)
+
+    @staticmethod
+    def _interaction_graphs(dataset: ODDataset, window_days: int):
+        """Temporal (co-visit within window) and preference (co-occurrence)
+        city-city count graphs from training bookings."""
+        temporal: dict[int, Counter] = defaultdict(Counter)
+        preference: dict[int, Counter] = defaultdict(Counter)
+        cutoff = {
+            point.history.user_id: point.day
+            for point in dataset.source.test_points
+        }
+        for user_id, bookings in dataset.source.bookings_by_user.items():
+            test_day = cutoff.get(user_id, float("inf"))
+            visible = [b for b in bookings if b.day < test_day]
+            cities = [b.destination for b in visible]
+            days = [b.day for b in visible]
+            for i, city_i in enumerate(cities):
+                for j in range(i + 1, len(cities)):
+                    city_j = cities[j]
+                    if city_i == city_j:
+                        continue
+                    preference[city_i][city_j] += 1
+                    preference[city_j][city_i] += 1
+                    if abs(days[j] - days[i]) <= window_days:
+                        temporal[city_i][city_j] += 1
+                        temporal[city_j][city_i] += 1
+        return temporal, preference
+
+    # ------------------------------------------------------------------
+    def _fused_city_table(self) -> Tensor:
+        base = self.city_embedding.weight
+        spatial = self.gat_spatial(base, *self._spatial)
+        temporal = self.gat_temporal(base, *self._temporal)
+        preference = self.gat_preference(base, *self._preference)
+        fused = (spatial + temporal + preference) * (1.0 / 3.0)
+        return F.relu(self.fuse(fused))
+
+    def _probability(self, batch: ODBatch, side: str, cities: Tensor) -> Tensor:
+        if side == "o":
+            long_ids, short_ids = batch.long_origins, batch.short_origins
+            candidate, xst = batch.candidate_origin, batch.xst_o
+            attention = self.history_attention_o
+            tower = self.tower_o
+        else:
+            long_ids, short_ids = batch.long_destinations, batch.short_destinations
+            candidate, xst = batch.candidate_destination, batch.xst_d
+            attention = self.history_attention_d
+            tower = self.tower_d
+        long_emb = cities[long_ids]
+        short_emb = cities[short_ids]
+        short_repr = F.masked_mean_pool(short_emb, batch.short_mask, axis=1)
+        long_repr = attention(short_repr, long_emb, mask=batch.long_mask)
+        candidate_emb = cities[candidate]
+        features = concat(
+            [
+                long_repr,
+                short_repr,
+                self.user_embedding(batch.user_ids),
+                cities[batch.current_city],
+                candidate_emb,
+                long_repr * candidate_emb,
+                short_repr * candidate_emb,
+                Tensor(xst),
+            ],
+            axis=-1,
+        )
+        return tower(features).squeeze(-1)
+
+    def forward(self, batch: ODBatch) -> tuple[Tensor, Tensor]:
+        cities = self._fused_city_table()
+        p_d = self._probability(batch, "d", cities)
+        if self.tower_o is None:
+            return p_d, p_d
+        return self._probability(batch, "o", cities), p_d
+
+    def loss(self, batch: ODBatch) -> Tensor:
+        p_o, p_d = self.forward(batch)
+        loss_d = F.binary_cross_entropy(p_d, batch.label_d)
+        if self.tower_o is None:
+            return loss_d
+        return 0.5 * F.binary_cross_entropy(p_o, batch.label_o) + 0.5 * loss_d
+
+    def score_pairs(self, batch: ODBatch) -> np.ndarray:
+        p_o, p_d = self.predict(batch)
+        if not self._od_mode:
+            return p_d
+        return 0.5 * p_o + 0.5 * p_d

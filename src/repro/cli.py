@@ -1,0 +1,121 @@
+"""Command-line interface: regenerate any table or figure of the paper.
+
+Usage::
+
+    python -m repro table3 --scale small
+    python -m repro fig6b --scale tiny
+    python -m repro fig7 --scale small --seed 1
+    python -m repro list
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from .experiments import (
+    format_abtest,
+    get_scale,
+    run_abtest,
+    run_depth_sweep,
+    run_fliggy_comparison,
+    run_heads_sweep,
+    run_lbsn_comparison,
+)
+
+__all__ = ["main", "build_parser"]
+
+_EXPERIMENTS = {
+    "table1": "Fliggy dataset statistics (Table I)",
+    "table2": "LBSN dataset statistics (Table II)",
+    "table3": "method comparison on Fliggy (Table III)",
+    "table4": "single-task comparison on LBSN data (Table IV)",
+    "table5": "training/inference efficiency (Table V)",
+    "fig6a": "attention-heads sweep (Figure 6a)",
+    "fig6b": "exploration-depth sweep (Figure 6b)",
+    "fig7": "simulated online A/B test (Figure 7)",
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="ODNET reproduction — regenerate the paper's tables "
+                    "and figures",
+    )
+    parser.add_argument(
+        "experiment",
+        choices=sorted(_EXPERIMENTS) + ["list"],
+        help="experiment id (or 'list' to describe them)",
+    )
+    parser.add_argument("--scale", default="small",
+                        choices=("tiny", "small", "medium"),
+                        help="experiment scale preset (default: small)")
+    parser.add_argument("--seed", type=int, default=0,
+                        help="training/evaluation seed (default: 0)")
+    parser.add_argument("--dataset", default="foursquare",
+                        choices=("foursquare", "gowalla"),
+                        help="LBSN dataset for table4 (default: foursquare)")
+    return parser
+
+
+def _table1(args) -> str:
+    from .data import generate_fliggy_dataset
+
+    scale = get_scale(args.scale)
+    stats = generate_fliggy_dataset(scale.fliggy_config()).statistics()
+    return "\n".join(f"{key:<24} {value}" for key, value in stats.items())
+
+
+def _table2(args) -> str:
+    from .data import generate_lbsn_dataset
+
+    scale = get_scale(args.scale)
+    lines = []
+    for name in ("foursquare", "gowalla"):
+        dataset = generate_lbsn_dataset(scale.lbsn_config(name))
+        checkins = sum(
+            len(b) for b in dataset.bookings_by_user.values()
+        ) + len(dataset.bookings_by_user)
+        lines.append(
+            f"{name:<12} users={dataset.num_users:<6} "
+            f"POIs={dataset.num_cities:<6} check-ins={checkins}"
+        )
+    return "\n".join(lines)
+
+
+def run_experiment(args) -> str:
+    """Dispatch one experiment and return its printable report."""
+    if args.experiment == "table1":
+        return _table1(args)
+    if args.experiment == "table2":
+        return _table2(args)
+    if args.experiment in ("table3", "table5"):
+        result = run_fliggy_comparison(scale=args.scale, seed=args.seed)
+        return result.format_table()
+    if args.experiment == "table4":
+        result = run_lbsn_comparison(
+            dataset_name=args.dataset, scale=args.scale, seed=args.seed
+        )
+        return result.format_table()
+    if args.experiment == "fig6a":
+        return run_heads_sweep(scale=args.scale, seed=args.seed).format_table()
+    if args.experiment == "fig6b":
+        return run_depth_sweep(scale=args.scale, seed=args.seed).format_table()
+    if args.experiment == "fig7":
+        return format_abtest(run_abtest(scale=args.scale, seed=args.seed))
+    raise ValueError(f"unknown experiment {args.experiment!r}")
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.experiment == "list":
+        for key in sorted(_EXPERIMENTS):
+            print(f"{key:<8} {_EXPERIMENTS[key]}")
+        return 0
+    print(run_experiment(args))
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,26 @@
+"""ODNET core: HSGC (Alg. 1), PEC (Eqs. 3-5), MMoE joint learning (Eqs. 6-7),
+the full model (Eqs. 8-11) and its ablation variants."""
+
+from .base import NeuralRanker, Ranker
+from .hsgc import HSGComponent
+from .intent import IntentAwareODNET
+from .mmoe import MMoEJointLearning
+from .odnet import ODNET, ODNETConfig, build_odnet
+from .pec import PreferenceExtraction
+from .variants import STLRanker, SingleTaskNetwork, VARIANTS, build_stl
+
+__all__ = [
+    "Ranker",
+    "NeuralRanker",
+    "HSGComponent",
+    "PreferenceExtraction",
+    "MMoEJointLearning",
+    "ODNET",
+    "ODNETConfig",
+    "IntentAwareODNET",
+    "build_odnet",
+    "SingleTaskNetwork",
+    "STLRanker",
+    "build_stl",
+    "VARIANTS",
+]

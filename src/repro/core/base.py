@@ -1,0 +1,75 @@
+"""Common ranker interface shared by ODNET, its variants, and all baselines.
+
+Every method in Tables III-V implements the same contract so the
+experiment harness, the serving stack, and the A/B simulator can treat
+them interchangeably:
+
+- ``fit(dataset, config)`` trains and returns wall-clock seconds;
+- ``predict(batch)`` returns per-candidate ``(p^O, p^D)`` probabilities;
+- ``score_pairs(batch)`` returns the scalar OD-pair score used for
+  ranking (Eq. 11 for ODNET, task-appropriate combinations for others).
+"""
+
+from __future__ import annotations
+
+import abc
+import time
+
+import numpy as np
+
+from ..data.dataset import ODBatch, ODDataset
+from ..nn import Module
+from ..tensor import no_grad
+
+__all__ = ["Ranker", "NeuralRanker"]
+
+
+class Ranker(abc.ABC):
+    """Abstract OD ranker."""
+
+    name: str = "ranker"
+    #: set False for heuristics like MostPop that need no gradient training
+    trainable: bool = True
+
+    @abc.abstractmethod
+    def fit(self, dataset: ODDataset, config) -> float:
+        """Train on ``dataset``; returns elapsed wall-clock seconds."""
+
+    @abc.abstractmethod
+    def predict(self, batch: ODBatch) -> tuple[np.ndarray, np.ndarray]:
+        """Per-candidate origin/destination probabilities ``(p^O, p^D)``."""
+
+    def score_pairs(self, batch: ODBatch) -> np.ndarray:
+        """Scalar score per candidate OD pair (default: equal blend)."""
+        p_o, p_d = self.predict(batch)
+        return 0.5 * p_o + 0.5 * p_d
+
+
+class NeuralRanker(Module, Ranker):
+    """Base for gradient-trained rankers on the autograd engine.
+
+    Subclasses implement ``loss(batch) -> Tensor`` and
+    ``forward(batch) -> (Tensor p_o, Tensor p_d)``; fitting is delegated to
+    :class:`repro.train.Trainer` (paper defaults: Adam, lr 0.01, batch 128,
+    5 epochs).
+    """
+
+    def fit(self, dataset: ODDataset, config) -> float:
+        from ..train.trainer import Trainer  # local import avoids cycle
+
+        start = time.perf_counter()
+        Trainer(config).fit(self, dataset)
+        return time.perf_counter() - start
+
+    @abc.abstractmethod
+    def loss(self, batch: ODBatch):
+        """Training loss tensor for one batch."""
+
+    def predict(self, batch: ODBatch) -> tuple[np.ndarray, np.ndarray]:
+        self.eval()
+        with no_grad():
+            p_o, p_d = self.forward(batch)
+        self.train()
+        return np.asarray(p_o.data, dtype=np.float64), np.asarray(
+            p_d.data, dtype=np.float64
+        )

@@ -1,0 +1,192 @@
+"""ODNET — the full Origin-Destination ranking network (Figure 3).
+
+Two aware sides, each an HSGC + PEC pipeline, feed the MMoE joint-learning
+head.  Training minimises the joint loss of Eq. 8 with a *learnable*
+trade-off ``theta`` (parameterised through a sigmoid so it stays in
+(0, 1)); serving scores candidate OD pairs with Eq. 11.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..data.dataset import ODBatch, ODDataset, PAIR_DIM
+from ..graph import Metapath, NeighborTable, build_neighbor_table
+from ..nn import Parameter
+from ..tensor import Tensor, concat, functional as F, no_grad
+from .base import NeuralRanker
+from .hsgc import HSGComponent
+from .mmoe import MMoEJointLearning
+from .pec import PreferenceExtraction
+
+__all__ = ["ODNETConfig", "ODNET", "build_odnet"]
+
+
+@dataclass(frozen=True)
+class ODNETConfig:
+    """Hyper-parameters of ODNET.
+
+    Paper settings: ``num_heads=4`` (Fig. 6(a) peak), ``depth=2`` (Fig. 6(b)
+    knee), neighbour cap 5 (§V-A.5).  ``use_graph=False`` yields the
+    ODNET-G variant of the ablation study.
+    """
+
+    dim: int = 32
+    num_heads: int = 4
+    depth: int = 2
+    max_neighbors: int = 5
+    expert_dim: int = 128
+    tower_hidden: int = 64
+    num_experts: int = 3
+    use_graph: bool = True
+    #: ablation switch: False removes the Eq. 2 inverse-distance weights
+    #: from the city-branch attention (Eq. 1 degrades to plain dot-product)
+    use_spatial_weights: bool = True
+    #: strength of the centering prior on the learnable theta of Eq. 8.
+    #: A plain learnable convex weight degenerates (it down-weights the
+    #: harder task to zero); the quadratic prior keeps theta near 0.5
+    #: unless the task losses genuinely diverge.
+    theta_prior: float = 1.0
+    seed: int = 0
+
+
+class ODNET(NeuralRanker):
+    """The full multi-task ODNET model."""
+
+    name = "ODNET"
+
+    def __init__(self, dataset: ODDataset, config: ODNETConfig | None = None):
+        super().__init__()
+        self.config = config or ODNETConfig()
+        cfg = self.config
+        rng = np.random.default_rng(cfg.seed)
+
+        origin_table: NeighborTable | None = None
+        dest_table: NeighborTable | None = None
+        spatial = None
+        depth = cfg.depth if cfg.use_graph else 0
+        if depth > 0:
+            hsg = dataset.hsg
+            origin_table = build_neighbor_table(
+                hsg, Metapath.origin_aware(), cfg.max_neighbors
+            )
+            dest_table = build_neighbor_table(
+                hsg, Metapath.destination_aware(), cfg.max_neighbors
+            )
+            spatial = hsg.spatial_weights if cfg.use_spatial_weights else None
+
+        self.origin_hsgc = HSGComponent(
+            dataset.num_users, dataset.num_cities, cfg.dim,
+            origin_table, spatial, depth, rng,
+        )
+        self.dest_hsgc = HSGComponent(
+            dataset.num_users, dataset.num_cities, cfg.dim,
+            dest_table, spatial, depth, rng,
+        )
+        self.origin_pec = PreferenceExtraction(cfg.dim, cfg.num_heads, rng)
+        self.dest_pec = PreferenceExtraction(cfg.dim, cfg.num_heads, rng)
+
+        query_dim = PreferenceExtraction.query_dim(cfg.dim, dataset.xst_dim)
+        # q⊕ additionally carries PAIR_DIM joint route/return statistics —
+        # evidence only a joint architecture can use (see repro.data.dataset).
+        self.joint = MMoEJointLearning(
+            input_dim=2 * query_dim + PAIR_DIM,
+            expert_dim=cfg.expert_dim,
+            tower_hidden=cfg.tower_hidden,
+            rng=rng,
+            num_experts=cfg.num_experts,
+        )
+        # Eq. 8's learnable theta, kept in (0, 1) via sigmoid; initialised
+        # at 0 so theta starts at 0.5 (tasks equally weighted).
+        self.theta_logit = Parameter(np.zeros(()), name="theta_logit")
+
+    # ------------------------------------------------------------------
+    @property
+    def theta(self) -> float:
+        """Current value of the loss/serving trade-off theta."""
+        return float(1.0 / (1.0 + np.exp(-self.theta_logit.data)))
+
+    def _branch(
+        self, batch: ODBatch, side: str
+    ) -> Tensor:
+        """Compute q^O (side='o') or q^D (side='d') for a batch."""
+        if side == "o":
+            hsgc, pec = self.origin_hsgc, self.origin_pec
+            long_ids, short_ids = batch.long_origins, batch.short_origins
+            candidate, xst = batch.candidate_origin, batch.xst_o
+        else:
+            hsgc, pec = self.dest_hsgc, self.dest_pec
+            long_ids, short_ids = batch.long_destinations, batch.short_destinations
+            candidate, xst = batch.candidate_destination, batch.xst_d
+
+        users, cities = hsgc.node_embeddings()
+        user_emb = users[batch.user_ids]
+        current_emb = cities[batch.current_city]
+        candidate_emb = cities[candidate]
+        long_seq = cities[long_ids]
+        short_seq = cities[short_ids]
+        v_l, v_s = pec(long_seq, batch.long_mask, short_seq, batch.short_mask)
+        return pec.build_query(v_l, v_s, user_emb, current_emb,
+                               candidate_emb, xst)
+
+    def _joint_query(self, batch: ODBatch) -> Tensor:
+        q_o = self._branch(batch, "o")
+        q_d = self._branch(batch, "d")
+        return concat([q_o, q_d, Tensor(batch.pair_features)], axis=-1)
+
+    def forward(self, batch: ODBatch) -> tuple[Tensor, Tensor]:
+        """Return (p^O, p^D) probability tensors for a batch."""
+        p_o, p_d = self.joint(self._joint_query(batch))
+        return p_o, p_d
+
+    # ------------------------------------------------------------------
+    def loss(self, batch: ODBatch) -> Tensor:
+        """Joint loss of Eq. 8: theta*L_O + (1-theta)*L_D (Eqs. 9-10)."""
+        p_o, p_d = self.forward(batch)
+        loss_o = F.binary_cross_entropy(p_o, batch.label_o)
+        loss_d = F.binary_cross_entropy(p_d, batch.label_d)
+        theta = self.theta_logit.sigmoid()
+        joint = theta * loss_o + (1.0 - theta) * loss_d
+        if self.config.theta_prior > 0:
+            joint = joint + self.config.theta_prior * (theta - 0.5) ** 2
+        return joint
+
+    def score_pairs(self, batch: ODBatch) -> np.ndarray:
+        """Serving score of Eq. 11: theta*p^O + (1-theta)*p^D."""
+        p_o, p_d = self.predict(batch)
+        theta = self.theta
+        return theta * p_o + (1.0 - theta) * p_d
+
+    # ------------------------------------------------------------------
+    def gate_mixtures(self, batch: ODBatch) -> np.ndarray:
+        """Inspection helper: MMoE gate mixtures for a batch (tasks, B, E)."""
+        self.eval()
+        with no_grad():
+            mixtures = self.joint.gate_mixtures(self._joint_query(batch))
+        self.train()
+        return mixtures
+
+
+def build_odnet(
+    dataset: ODDataset,
+    config: ODNETConfig | None = None,
+    variant: str = "ODNET",
+) -> ODNET:
+    """Factory for ODNET and its graph-less variant.
+
+    ``variant='ODNET'`` builds the full model; ``variant='ODNET-G'`` removes
+    the HSGC propagation (plain embedding tables), matching Section V-A.4.
+    """
+    config = config or ODNETConfig()
+    if variant == "ODNET":
+        model = ODNET(dataset, config)
+    elif variant == "ODNET-G":
+        from dataclasses import replace
+
+        model = ODNET(dataset, replace(config, use_graph=False))
+        model.name = "ODNET-G"
+    else:
+        raise ValueError(f"unknown variant {variant!r}")
+    return model

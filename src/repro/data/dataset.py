@@ -1,0 +1,491 @@
+"""Batching and ranking-task construction on top of the generated datasets.
+
+:class:`ODDataset` turns a :class:`~repro.data.synthetic.FliggyDataset`
+(or the LBSN equivalent) into padded numpy batches every model consumes,
+and into the ranked-candidate evaluation tasks behind HR@k / MRR@k.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..graph import HeterogeneousSpatialGraph
+from .schema import ODPair, Sample
+from .synthetic import DecisionPoint, FliggyDataset
+from .temporal import XST_DIM, TemporalFeatureExtractor
+
+__all__ = ["ODBatch", "ODDataset", "RankingTask", "AUX_DIM", "FULL_XST_DIM"]
+
+#: engineered candidate/history interaction statistics appended to x_st:
+#: candidate==current-city, log1p(long-history matches),
+#: log1p(short-click matches), candidate==most-recent history city,
+#: log1p(distance from the current city to the candidate).
+#: These are "statistics of cities" in the sense of Section IV-B, made
+#: explicit so that tower networks do not need to learn id-equality or
+#: geometry from embeddings (which is sample-inefficient at reproduction
+#: scale).
+AUX_DIM = 5
+FULL_XST_DIM = XST_DIM + AUX_DIM
+
+#: pair-level statistics of a candidate OD pair: log route distance,
+#: global route popularity, pair matches in the long history, *reversed*
+#: pair matches in the long history (the return-ticket signal of the
+#: paper's Case 2), pair matches in the short-term clicks, and whether the
+#: candidate is the exact reverse of the user's most recent booking (the
+#: sharpest return-ticket indicator).  Only joint
+#: models (ODNET / ODNET-G) can consume these — a factorised single-task
+#: architecture has no input that sees both sides of the pair at once,
+#: which is precisely the "unity of O&D" challenge.
+PAIR_DIM = 6
+
+
+@dataclass
+class ODBatch:
+    """A dense mini-batch of labelled (history, candidate OD) samples.
+
+    Sequence arrays are right-padded; masks are True at valid positions.
+    ``long_*`` are the booking behaviours L_u split into origin and
+    destination city id sequences, ``short_*`` the click behaviours S_u.
+    """
+
+    user_ids: np.ndarray            # (B,)
+    current_city: np.ndarray        # (B,)
+    long_origins: np.ndarray        # (B, L)
+    long_destinations: np.ndarray   # (B, L)
+    long_mask: np.ndarray           # (B, L)
+    long_days: np.ndarray           # (B, L)
+    short_origins: np.ndarray       # (B, S)
+    short_destinations: np.ndarray  # (B, S)
+    short_mask: np.ndarray          # (B, S)
+    candidate_origin: np.ndarray    # (B,)
+    candidate_destination: np.ndarray  # (B,)
+    label_o: np.ndarray             # (B,)
+    label_d: np.ndarray             # (B,)
+    day: np.ndarray                 # (B,)
+    xst_o: np.ndarray               # (B, FULL_XST_DIM)
+    xst_d: np.ndarray               # (B, FULL_XST_DIM)
+    pair_features: np.ndarray       # (B, PAIR_DIM)
+
+    def __len__(self) -> int:
+        return len(self.user_ids)
+
+
+@dataclass
+class RankingTask:
+    """One evaluation event: rank ``candidates`` so the true pair tops."""
+
+    point: DecisionPoint
+    candidates: list[ODPair]
+    true_index: int
+
+
+@dataclass
+class _EncodedPoint:
+    long_origins: np.ndarray
+    long_destinations: np.ndarray
+    long_mask: np.ndarray
+    long_days: np.ndarray
+    short_origins: np.ndarray
+    short_destinations: np.ndarray
+    short_mask: np.ndarray
+    current_city: int
+
+
+class ODDataset:
+    """Model-facing view of a generated dataset.
+
+    Parameters
+    ----------
+    source:
+        The generated :class:`FliggyDataset` (the LBSN generator emits the
+        same shape).
+    max_long / max_short:
+        Truncation lengths for the long-term and short-term sequences
+        (most recent events are kept).
+    od_mode:
+        True for the Fliggy task (rank OD pairs, both labels informative);
+        False for LBSN next-POI mode where only the destination is ranked.
+    """
+
+    def __init__(
+        self,
+        source: FliggyDataset,
+        max_long: int = 15,
+        max_short: int = 8,
+        od_mode: bool = True,
+    ):
+        self.source = source
+        self.max_long = max_long
+        self.max_short = max_short
+        self.od_mode = od_mode
+        self.num_users = source.num_users
+        self.num_cities = source.num_cities
+        self.coordinates = source.world.coordinates
+        self.distance_km = source.world.distance_km
+        self.popularity = source.world.popularity
+        self.temporal = TemporalFeatureExtractor(source.bookings_by_user)
+        self._hsg: HeterogeneousSpatialGraph | None = None
+        self._encoded: dict[tuple[int, int], _EncodedPoint] = {}
+        for point in source.train_points + source.test_points:
+            self._encoded[point.key] = self._encode_point(point)
+        self._xst_cache: dict[tuple[int, int, int, str], np.ndarray] = {}
+        self._hard_negatives = False
+        self._route_popularity = self._build_route_popularity()
+
+    def _build_route_popularity(self) -> np.ndarray:
+        """Normalised OD-route booking counts from training events only."""
+        counts = np.zeros((self.num_cities, self.num_cities))
+        for _, origin, destination in self.source.training_od_events():
+            counts[origin, destination] += 1
+        total = counts.max()
+        return counts / total if total > 0 else counts
+
+    # ------------------------------------------------------------------
+    @property
+    def hsg(self) -> HeterogeneousSpatialGraph:
+        """The HSG built from training bookings (lazy, cached)."""
+        if self._hsg is None:
+            self._hsg = self.source.build_hsg()
+        return self._hsg
+
+    @property
+    def xst_dim(self) -> int:
+        return FULL_XST_DIM
+
+    @property
+    def route_popularity(self) -> np.ndarray:
+        """Normalised OD-route booking counts (training events only)."""
+        return self._route_popularity
+
+    def samples(self, split: str) -> list[Sample]:
+        if split == "train":
+            return self.source.train_samples
+        if split == "test":
+            return self.source.test_samples
+        raise ValueError(f"unknown split {split!r}")
+
+    # ------------------------------------------------------------------
+    def _encode_point(self, point: DecisionPoint) -> _EncodedPoint:
+        history = point.history
+        bookings = history.bookings[-self.max_long:]
+        clicks = history.clicks[-self.max_short:]
+
+        long_origins = np.zeros(self.max_long, dtype=np.int64)
+        long_destinations = np.zeros(self.max_long, dtype=np.int64)
+        long_mask = np.zeros(self.max_long, dtype=bool)
+        long_days = np.zeros(self.max_long, dtype=np.int64)
+        for i, booking in enumerate(bookings):
+            long_origins[i] = booking.origin
+            long_destinations[i] = booking.destination
+            long_days[i] = booking.day
+            long_mask[i] = True
+
+        short_origins = np.zeros(self.max_short, dtype=np.int64)
+        short_destinations = np.zeros(self.max_short, dtype=np.int64)
+        short_mask = np.zeros(self.max_short, dtype=bool)
+        for i, click in enumerate(clicks):
+            short_origins[i] = click.origin
+            short_destinations[i] = click.destination
+            short_mask[i] = True
+
+        return _EncodedPoint(
+            long_origins=long_origins,
+            long_destinations=long_destinations,
+            long_mask=long_mask,
+            long_days=long_days,
+            short_origins=short_origins,
+            short_destinations=short_destinations,
+            short_mask=short_mask,
+            current_city=history.current_city,
+        )
+
+    def _xst(self, user: int, city: int, day: int, role: str) -> np.ndarray:
+        key = (user, city, day, role)
+        cached = self._xst_cache.get(key)
+        if cached is None:
+            cached = self.temporal.features(user, city, day, role)
+            self._xst_cache[key] = cached
+        return cached
+
+    def _batch_from_rows(
+        self,
+        rows: list[tuple[Sample | None, tuple[int, int], int, int, int, int]],
+    ) -> ODBatch:
+        """Rows: (sample, point_key, cand_o, cand_d, label_o, label_d)."""
+        size = len(rows)
+        batch = ODBatch(
+            user_ids=np.zeros(size, dtype=np.int64),
+            current_city=np.zeros(size, dtype=np.int64),
+            long_origins=np.zeros((size, self.max_long), dtype=np.int64),
+            long_destinations=np.zeros((size, self.max_long), dtype=np.int64),
+            long_mask=np.zeros((size, self.max_long), dtype=bool),
+            long_days=np.zeros((size, self.max_long), dtype=np.int64),
+            short_origins=np.zeros((size, self.max_short), dtype=np.int64),
+            short_destinations=np.zeros((size, self.max_short), dtype=np.int64),
+            short_mask=np.zeros((size, self.max_short), dtype=bool),
+            candidate_origin=np.zeros(size, dtype=np.int64),
+            candidate_destination=np.zeros(size, dtype=np.int64),
+            label_o=np.zeros(size, dtype=np.float64),
+            label_d=np.zeros(size, dtype=np.float64),
+            day=np.zeros(size, dtype=np.int64),
+            xst_o=np.zeros((size, FULL_XST_DIM), dtype=np.float64),
+            xst_d=np.zeros((size, FULL_XST_DIM), dtype=np.float64),
+            pair_features=np.zeros((size, PAIR_DIM), dtype=np.float64),
+        )
+        for i, (_, key, cand_o, cand_d, label_o, label_d) in enumerate(rows):
+            user, day = key
+            encoded = self._encoded[key]
+            batch.user_ids[i] = user
+            batch.current_city[i] = encoded.current_city
+            batch.long_origins[i] = encoded.long_origins
+            batch.long_destinations[i] = encoded.long_destinations
+            batch.long_mask[i] = encoded.long_mask
+            batch.long_days[i] = encoded.long_days
+            batch.short_origins[i] = encoded.short_origins
+            batch.short_destinations[i] = encoded.short_destinations
+            batch.short_mask[i] = encoded.short_mask
+            batch.candidate_origin[i] = cand_o
+            batch.candidate_destination[i] = cand_d
+            batch.label_o[i] = label_o
+            batch.label_d[i] = label_d
+            batch.day[i] = day
+            batch.xst_o[i, :XST_DIM] = self._xst(user, cand_o, day, "o")
+            batch.xst_d[i, :XST_DIM] = self._xst(user, cand_d, day, "d")
+            batch.xst_o[i, XST_DIM:] = self._aux_features(encoded, cand_o, "o")
+            batch.xst_d[i, XST_DIM:] = self._aux_features(encoded, cand_d, "d")
+            batch.pair_features[i] = self._pair_features(encoded, cand_o, cand_d)
+        return batch
+
+    def _pair_features(
+        self, encoded: _EncodedPoint, origin: int, destination: int
+    ) -> np.ndarray:
+        """PAIR_DIM joint statistics of a candidate OD pair."""
+        long_valid = encoded.long_mask
+        pair_long = int(
+            ((encoded.long_origins == origin)
+             & (encoded.long_destinations == destination) & long_valid).sum()
+        )
+        reverse_long = int(
+            ((encoded.long_origins == destination)
+             & (encoded.long_destinations == origin) & long_valid).sum()
+        )
+        pair_short = int(
+            ((encoded.short_origins == origin)
+             & (encoded.short_destinations == destination)
+             & encoded.short_mask).sum()
+        )
+        valid = int(long_valid.sum())
+        reverse_of_last = float(
+            valid > 0
+            and encoded.long_origins[valid - 1] == destination
+            and encoded.long_destinations[valid - 1] == origin
+        )
+        return np.array(
+            [
+                np.log1p(self.distance_km[origin, destination]),
+                self._route_popularity[origin, destination],
+                np.log1p(pair_long),
+                np.log1p(reverse_long),
+                np.log1p(pair_short),
+                reverse_of_last,
+            ],
+            dtype=np.float64,
+        )
+
+    def _aux_features(
+        self, encoded: _EncodedPoint, candidate: int, role: str
+    ) -> np.ndarray:
+        """The AUX_DIM engineered interaction statistics for one candidate."""
+        if role == "o":
+            long_seq, short_seq = encoded.long_origins, encoded.short_origins
+        else:
+            long_seq, short_seq = (
+                encoded.long_destinations, encoded.short_destinations
+            )
+        long_matches = int(((long_seq == candidate) & encoded.long_mask).sum())
+        short_matches = int(((short_seq == candidate) & encoded.short_mask).sum())
+        valid = int(encoded.long_mask.sum())
+        is_last = float(valid > 0 and long_seq[valid - 1] == candidate)
+        return np.array(
+            [
+                float(candidate == encoded.current_city),
+                np.log1p(long_matches),
+                np.log1p(short_matches),
+                is_last,
+                np.log1p(self.distance_km[encoded.current_city, candidate]),
+            ],
+            dtype=np.float64,
+        )
+
+    # ------------------------------------------------------------------
+    def iter_batches(
+        self,
+        split: str,
+        batch_size: int = 128,
+        rng: np.random.Generator | None = None,
+        shuffle: bool = True,
+    ):
+        """Yield :class:`ODBatch` objects over the requested split."""
+        samples = self.samples(split)
+        order = np.arange(len(samples))
+        if shuffle:
+            if rng is None:
+                rng = np.random.default_rng(0)
+            rng.shuffle(order)
+        for start in range(0, len(order), batch_size):
+            chunk = order[start:start + batch_size]
+            rows = []
+            for idx in chunk:
+                sample = samples[idx]
+                rows.append(
+                    (
+                        sample,
+                        (sample.user_id, sample.day),
+                        sample.origin,
+                        sample.destination,
+                        sample.label_o,
+                        sample.label_d,
+                    )
+                )
+            yield self._batch_from_rows(rows)
+
+    def register_point(self, point: DecisionPoint) -> None:
+        """Encode and index an ad-hoc decision point (serving-time queries).
+
+        Lets the online serving stack score histories that were not part of
+        the offline dataset, e.g. freshly assembled by the feature service.
+        """
+        self._encoded[point.key] = self._encode_point(point)
+
+    def batch_for_candidates(
+        self, point: DecisionPoint, candidates: list[ODPair]
+    ) -> ODBatch:
+        """Encode one decision point against a list of candidate OD pairs."""
+        if point.key not in self._encoded:
+            self.register_point(point)
+        rows = []
+        for pair in candidates:
+            label_o = int(pair.origin == point.target.origin)
+            label_d = int(pair.destination == point.target.destination)
+            rows.append((None, point.key, pair.origin, pair.destination,
+                         label_o, label_d))
+        return self._batch_from_rows(rows)
+
+    # ------------------------------------------------------------------
+    def ranking_tasks(
+        self,
+        num_candidates: int = 30,
+        rng: np.random.Generator | None = None,
+        max_tasks: int | None = None,
+        hard_negatives: bool = True,
+    ) -> list[RankingTask]:
+        """Evaluation tasks: the true OD pair among sampled distractors.
+
+        In OD mode distractors mix the three negative forms of Table I; in
+        LBSN mode only the destination varies (next-POI ranking).
+
+        With ``hard_negatives`` (the default, and the realistic setting:
+        a production recall stage surfaces *plausible* candidates, §VI-B),
+        half of the distractor origins come from the geographic
+        neighbourhood of the true origin and half of the distractor
+        destinations share a semantic pattern with the true destination.
+        This is what makes the ranking require exploration rather than
+        history matching.
+        """
+        if rng is None:
+            rng = np.random.default_rng(0)
+        self._hard_negatives = hard_negatives and self.od_mode
+        points = self.source.test_points
+        if max_tasks is not None and len(points) > max_tasks:
+            chosen = rng.choice(len(points), size=max_tasks, replace=False)
+            points = [points[int(i)] for i in sorted(chosen)]
+
+        tasks = []
+        for point in points:
+            true = point.target
+            seen = {true}
+            candidates = [true]
+            while len(candidates) < num_candidates:
+                pair = self._sample_distractor(true, rng)
+                if pair not in seen:
+                    seen.add(pair)
+                    candidates.append(pair)
+            order = rng.permutation(len(candidates))
+            shuffled = [candidates[int(i)] for i in order]
+            tasks.append(
+                RankingTask(
+                    point=point,
+                    candidates=shuffled,
+                    true_index=shuffled.index(true),
+                )
+            )
+        return tasks
+
+    def _random_city(self, exclude: int, rng: np.random.Generator) -> int:
+        while True:
+            city = int(rng.choice(self.num_cities, p=self.popularity))
+            if city != exclude:
+                return city
+
+    def _hard_origin(self, true_origin: int, rng: np.random.Generator) -> int:
+        """A geographically-plausible wrong origin (nearby airport).
+
+        Popularity-weighted so that the distractor is not separable from
+        the true origin by popularity alone.
+        """
+        nearby = self.source.world.nearby_cities(true_origin, radius_km=600.0)
+        if nearby.size == 0:
+            return self._random_city(true_origin, rng)
+        weights = self.popularity[nearby]
+        weights = weights / weights.sum()
+        return int(rng.choice(nearby, p=weights))
+
+    def _hard_destination(self, true_dest: int, rng: np.random.Generator) -> int:
+        """A semantically-plausible wrong destination (same pattern).
+
+        Popularity-weighted within the pattern for the same reason as
+        :meth:`_hard_origin`.
+        """
+        patterns = list(self.source.world.cities[true_dest].patterns)
+        if not patterns:
+            return self._random_city(true_dest, rng)
+        members = self.source.world.cities_with_pattern(
+            patterns[int(rng.integers(len(patterns)))]
+        )
+        members = members[members != true_dest]
+        if members.size == 0:
+            return self._random_city(true_dest, rng)
+        weights = self.popularity[members]
+        weights = weights / weights.sum()
+        return int(rng.choice(members, p=weights))
+
+    #: fraction of distractors drawn from the plausible (hard) pools when
+    #: hard negatives are enabled; the rest are popularity-random.
+    hard_fraction = 0.75
+
+    def _negative_origin(self, true_origin: int, rng: np.random.Generator) -> int:
+        if self._hard_negatives and rng.random() < self.hard_fraction:
+            return self._hard_origin(true_origin, rng)
+        return self._random_city(true_origin, rng)
+
+    def _negative_destination(self, true_dest: int, rng: np.random.Generator) -> int:
+        if self._hard_negatives and rng.random() < self.hard_fraction:
+            return self._hard_destination(true_dest, rng)
+        return self._random_city(true_dest, rng)
+
+    def _sample_distractor(
+        self, true: ODPair, rng: np.random.Generator
+    ) -> ODPair:
+        if not self.od_mode:
+            return ODPair(true.origin, self._random_city(true.destination, rng))
+        r = rng.random()
+        if r < 1.0 / 3.0:
+            return ODPair(true.origin,
+                          self._negative_destination(true.destination, rng))
+        if r < 2.0 / 3.0:
+            return ODPair(self._negative_origin(true.origin, rng),
+                          true.destination)
+        return ODPair(self._negative_origin(true.origin, rng),
+                      self._negative_destination(true.destination, rng))

@@ -1,0 +1,251 @@
+"""Dataset persistence: save/load generated datasets as ``.npz`` archives.
+
+Generation is cheap but not free (the behavioural simulator runs a full
+event model); persisting a generated :class:`FliggyDataset` makes
+experiment suites reproducible byte-for-byte across processes and lets a
+serving process load exactly the dataset a model was trained against.
+
+The archive stores flat numpy arrays (events, samples, world geometry)
+plus a JSON header for configuration and city semantics.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+from dataclasses import asdict
+
+import numpy as np
+
+from .schema import (
+    BookingEvent,
+    City,
+    ClickEvent,
+    ODPair,
+    Sample,
+    UserHistory,
+    UserProfile,
+)
+from .synthetic import DecisionPoint, FliggyConfig, FliggyDataset
+from .world import CityWorld, WorldConfig
+
+__all__ = ["save_dataset", "load_dataset"]
+
+_FORMAT_VERSION = 1
+
+
+def _samples_to_array(samples: list[Sample]) -> np.ndarray:
+    return np.array(
+        [(s.user_id, s.origin, s.destination, s.label_o, s.label_d, s.day)
+         for s in samples],
+        dtype=np.int64,
+    ).reshape(-1, 6)
+
+
+def _samples_from_array(array: np.ndarray) -> list[Sample]:
+    return [Sample(*map(int, row)) for row in array]
+
+
+def _bookings_to_array(bookings_by_user: dict[int, list[BookingEvent]]):
+    rows = []
+    prices = []
+    for user, bookings in sorted(bookings_by_user.items()):
+        for b in bookings:
+            rows.append((user, b.origin, b.destination, b.day))
+            prices.append(b.price)
+    return (
+        np.array(rows, dtype=np.int64).reshape(-1, 4),
+        np.array(prices, dtype=np.float64),
+    )
+
+
+def _bookings_from_array(rows: np.ndarray, prices: np.ndarray):
+    bookings_by_user: dict[int, list[BookingEvent]] = {}
+    for (user, origin, destination, day), price in zip(rows, prices):
+        bookings_by_user.setdefault(int(user), []).append(
+            BookingEvent(int(user), int(origin), int(destination),
+                         int(day), float(price))
+        )
+    return bookings_by_user
+
+
+def _points_to_arrays(points: list[DecisionPoint]):
+    """Decision points are rebuildable from (user, day, target, current,
+    history length, clicks); histories reference the user's bookings."""
+    heads = []
+    clicks = []
+    click_offsets = [0]
+    for point in points:
+        heads.append(
+            (
+                point.history.user_id,
+                point.day,
+                point.target.origin,
+                point.target.destination,
+                point.history.current_city,
+                len(point.history.bookings),
+            )
+        )
+        for click in point.history.clicks:
+            clicks.append((click.user_id, click.origin, click.destination,
+                           click.day))
+        click_offsets.append(len(clicks))
+    return (
+        np.array(heads, dtype=np.int64).reshape(-1, 6),
+        np.array(clicks, dtype=np.int64).reshape(-1, 4),
+        np.array(click_offsets, dtype=np.int64),
+    )
+
+
+def _points_from_arrays(heads, clicks, offsets, bookings_by_user):
+    points = []
+    for i, (user, day, t_o, t_d, current, hist_len) in enumerate(heads):
+        user = int(user)
+        history_clicks = [
+            ClickEvent(int(u), int(o), int(d), int(cd))
+            for u, o, d, cd in clicks[offsets[i]:offsets[i + 1]]
+        ]
+        points.append(
+            DecisionPoint(
+                history=UserHistory(
+                    user_id=user,
+                    current_city=int(current),
+                    bookings=list(bookings_by_user[user][: int(hist_len)]),
+                    clicks=history_clicks,
+                ),
+                target=ODPair(int(t_o), int(t_d)),
+                day=int(day),
+            )
+        )
+    return points
+
+
+def save_dataset(dataset: FliggyDataset, path: str | pathlib.Path) -> pathlib.Path:
+    """Persist a generated dataset; returns the written path."""
+    path = pathlib.Path(path)
+    if path.suffix != ".npz":
+        path = path.with_suffix(".npz")
+    world = dataset.world
+    header = {
+        "version": _FORMAT_VERSION,
+        "config": asdict(dataset.config),
+        "cities": [
+            {
+                "name": c.name,
+                "patterns": sorted(c.patterns),
+                "popularity": c.popularity,
+                "region": c.region,
+            }
+            for c in world.cities
+        ],
+        "profiles": [asdict(p) for p in dataset.profiles],
+    }
+    booking_rows, booking_prices = _bookings_to_array(dataset.bookings_by_user)
+    train_heads, train_clicks, train_offsets = _points_to_arrays(
+        dataset.train_points
+    )
+    test_heads, test_clicks, test_offsets = _points_to_arrays(
+        dataset.test_points
+    )
+    path.parent.mkdir(parents=True, exist_ok=True)
+    np.savez_compressed(
+        path,
+        header=np.frombuffer(json.dumps(header).encode("utf-8"),
+                             dtype=np.uint8),
+        coordinates=world.coordinates,
+        distance_km=world.distance_km,
+        prices=world.prices,
+        popularity=world.popularity,
+        booking_rows=booking_rows,
+        booking_prices=booking_prices,
+        train_samples=_samples_to_array(dataset.train_samples),
+        test_samples=_samples_to_array(dataset.test_samples),
+        train_heads=train_heads,
+        train_clicks=train_clicks,
+        train_offsets=train_offsets,
+        test_heads=test_heads,
+        test_clicks=test_clicks,
+        test_offsets=test_offsets,
+    )
+    return path
+
+
+def load_dataset(path: str | pathlib.Path) -> FliggyDataset:
+    """Load a dataset written by :func:`save_dataset`."""
+    path = pathlib.Path(path)
+    if path.suffix != ".npz":
+        path = path.with_suffix(".npz")
+    with np.load(path) as archive:
+        data = {key: archive[key] for key in archive.files}
+    header = json.loads(bytes(data["header"].tobytes()).decode("utf-8"))
+    if header["version"] != _FORMAT_VERSION:
+        raise ValueError(
+            f"unsupported dataset format version {header['version']}"
+        )
+
+    config_dict = dict(header["config"])
+    world_dict = dict(config_dict["world"])
+    # JSON stores tuples as lists; restore the dataclass's tuple fields.
+    for key in ("lon_range", "lat_range"):
+        world_dict[key] = tuple(world_dict[key])
+    config_dict["world"] = WorldConfig(**world_dict)
+    config = FliggyConfig(**config_dict)
+
+    cities = [
+        City(
+            city_id=i,
+            name=info["name"],
+            lon=float(data["coordinates"][i, 0]),
+            lat=float(data["coordinates"][i, 1]),
+            patterns=frozenset(info["patterns"]),
+            popularity=float(info["popularity"]),
+            region=int(info["region"]),
+        )
+        for i, info in enumerate(header["cities"])
+    ]
+    pattern_members: dict[str, list[int]] = {}
+    for city in cities:
+        for pattern in city.patterns:
+            pattern_members.setdefault(pattern, []).append(city.city_id)
+    world = CityWorld(
+        cities=cities,
+        coordinates=data["coordinates"],
+        distance_km=data["distance_km"],
+        prices=data["prices"],
+        popularity=data["popularity"],
+        pattern_members={
+            k: np.asarray(v, dtype=np.int64)
+            for k, v in pattern_members.items()
+        },
+    )
+    profiles = [
+        UserProfile(**{
+            **p,
+            "nearby_origins": tuple(p["nearby_origins"]),
+            "pattern_weights": tuple(p["pattern_weights"]),
+        })
+        for p in header["profiles"]
+    ]
+    bookings_by_user = _bookings_from_array(
+        data["booking_rows"], data["booking_prices"]
+    )
+    # Users with no bookings still need an entry.
+    for profile in profiles:
+        bookings_by_user.setdefault(profile.user_id, [])
+
+    return FliggyDataset(
+        config=config,
+        world=world,
+        profiles=profiles,
+        train_points=_points_from_arrays(
+            data["train_heads"], data["train_clicks"], data["train_offsets"],
+            bookings_by_user,
+        ),
+        test_points=_points_from_arrays(
+            data["test_heads"], data["test_clicks"], data["test_offsets"],
+            bookings_by_user,
+        ),
+        train_samples=_samples_from_array(data["train_samples"]),
+        test_samples=_samples_from_array(data["test_samples"]),
+        bookings_by_user=bookings_by_user,
+    )

@@ -1,0 +1,172 @@
+"""Synthetic city world: geography, semantics and route prices.
+
+The proprietary Fliggy logs are unavailable, so this module builds the
+*world model* the behavioural simulator acts in.  It is constructed to
+contain exactly the economic structure ODNET's two challenges rely on:
+
+- **Origin exploration**: cities cluster into metropolitan regions, so most
+  users have several nearby airports, and route prices vary across those
+  airports (hub routes are cheaper per kilometre), making a nearby origin
+  often strictly cheaper — the Ningbo/Shanghai example of Figure 1.
+- **Destination patterns**: cities carry semantic patterns (seaside,
+  mountain, business, tourist) assigned by geography, so unvisited cities
+  that share a pattern with a user's past destinations are natural
+  substitutes — the Sanya/Qingdao example.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..graph.distance import haversine_matrix
+from .schema import City, CityPattern
+
+__all__ = ["CityWorld", "generate_city_world", "WorldConfig"]
+
+
+@dataclass(frozen=True)
+class WorldConfig:
+    """Knobs of the synthetic geography.
+
+    The default bounding box roughly matches eastern China (the paper's
+    market); ``coast_lon`` splits seaside from inland cities.
+    """
+
+    num_cities: int = 60
+    num_regions: int = 8
+    lon_range: tuple[float, float] = (100.0, 125.0)
+    lat_range: tuple[float, float] = (20.0, 45.0)
+    region_spread: float = 1.5
+    coast_lon: float = 118.0
+    base_price: float = 300.0
+    price_per_km: float = 0.55
+    hub_discount: float = 0.45
+    price_noise: float = 0.08
+    popularity_alpha: float = 1.2
+
+
+@dataclass
+class CityWorld:
+    """Immutable world state shared by the simulator and the experiments."""
+
+    cities: list[City]
+    coordinates: np.ndarray          # (n, 2) lon/lat
+    distance_km: np.ndarray          # (n, n) haversine distances
+    prices: np.ndarray               # (n, n) one-way ticket prices, inf on diag
+    popularity: np.ndarray           # (n,) normalised visit propensity
+    pattern_members: dict[str, np.ndarray]  # pattern -> city id array
+
+    @property
+    def num_cities(self) -> int:
+        return len(self.cities)
+
+    def cities_with_pattern(self, pattern: str) -> np.ndarray:
+        return self.pattern_members.get(pattern, np.empty(0, dtype=np.int64))
+
+    def nearby_cities(self, city_id: int, radius_km: float) -> np.ndarray:
+        """Other cities within ``radius_km`` — a user's candidate airports."""
+        distances = self.distance_km[city_id]
+        nearby = np.where((distances > 0) & (distances <= radius_km))[0]
+        return nearby[np.argsort(distances[nearby])]
+
+    def price(self, origin: int, destination: int) -> float:
+        return float(self.prices[origin, destination])
+
+
+def generate_city_world(
+    config: WorldConfig, rng: np.random.Generator
+) -> CityWorld:
+    """Sample a city world from the configuration."""
+    n = config.num_cities
+    if n < 4:
+        raise ValueError("need at least 4 cities for a meaningful world")
+
+    # --- Geography: regional clusters -------------------------------------
+    centers_lon = rng.uniform(*config.lon_range, size=config.num_regions)
+    centers_lat = rng.uniform(*config.lat_range, size=config.num_regions)
+    regions = rng.integers(0, config.num_regions, size=n)
+    lon = np.clip(
+        centers_lon[regions] + rng.normal(0, config.region_spread, n),
+        *config.lon_range,
+    )
+    lat = np.clip(
+        centers_lat[regions] + rng.normal(0, config.region_spread, n),
+        *config.lat_range,
+    )
+    coordinates = np.column_stack([lon, lat])
+    distance_km = haversine_matrix(coordinates)
+
+    # --- Popularity: Zipf-like with heavy head (hub cities) ---------------
+    ranks = rng.permutation(n) + 1
+    popularity = 1.0 / ranks ** config.popularity_alpha
+    popularity /= popularity.sum()
+
+    # --- Semantics ---------------------------------------------------------
+    seaside = lon >= config.coast_lon
+    # The most popular cities are business hubs.
+    business = popularity >= np.quantile(popularity, 0.75)
+    # Tourist cities: biased towards seaside/southern cities, plus noise.
+    tourist_score = 0.4 * seaside + 0.3 * (lat < np.median(lat)) + rng.random(n)
+    tourist = tourist_score >= np.quantile(tourist_score, 0.6)
+    # Mountain cities: inland and away from hubs.
+    mountain_score = 0.5 * (~seaside) + rng.random(n)
+    mountain = mountain_score >= np.quantile(mountain_score, 0.7)
+
+    pattern_flags = {
+        CityPattern.SEASIDE: seaside,
+        CityPattern.BUSINESS: business,
+        CityPattern.TOURIST: tourist,
+        CityPattern.MOUNTAIN: mountain,
+    }
+    # Every city carries at least one pattern so persona sampling never
+    # dead-ends: default the pattern-less to 'tourist'.
+    none_mask = ~(seaside | business | tourist | mountain)
+    pattern_flags[CityPattern.TOURIST] = tourist | none_mask
+
+    pattern_members = {
+        pattern: np.where(flags)[0].astype(np.int64)
+        for pattern, flags in pattern_flags.items()
+    }
+
+    cities = []
+    for i in range(n):
+        patterns = frozenset(
+            pattern for pattern, flags in pattern_flags.items() if flags[i]
+        )
+        cities.append(
+            City(
+                city_id=i,
+                name=f"city_{i:03d}",
+                lon=float(lon[i]),
+                lat=float(lat[i]),
+                patterns=patterns,
+                popularity=float(popularity[i]),
+                region=int(regions[i]),
+            )
+        )
+
+    # --- Prices ------------------------------------------------------------
+    # price = base + per-km rate * distance * (1 - hub discount * routeness)
+    # routeness in [0, 1] grows with endpoint popularity: busy routes fly
+    # bigger, cheaper-per-seat aircraft.  Multiplicative lognormal noise
+    # keeps neighbouring airports' fares distinct, which is what makes
+    # origin exploration worthwhile.
+    pop_norm = popularity / popularity.max()
+    routeness = np.sqrt(np.outer(pop_norm, pop_norm))
+    noise = rng.lognormal(mean=0.0, sigma=config.price_noise, size=(n, n))
+    prices = (
+        config.base_price
+        + config.price_per_km * distance_km * (1.0 - config.hub_discount * routeness)
+    ) * noise
+    np.fill_diagonal(prices, np.inf)
+
+    return CityWorld(
+        cities=cities,
+        coordinates=coordinates,
+        distance_km=distance_km,
+        prices=prices,
+        popularity=popularity,
+        pattern_members=pattern_members,
+    )

@@ -1,0 +1,278 @@
+"""Simulated parameter-server training (Section V-A.5's PAI setup).
+
+The production system trains ODNET with TensorFlow's parameter-server
+architecture: parameter servers hold shards of the model, workers pull
+weights, compute gradients on their data shard, and push gradients back.
+We simulate that architecture faithfully on one process:
+
+- :class:`ParameterServer` — holds a shard of parameters and applies
+  pushed gradients with a per-shard Adam state;
+- :class:`Worker` — holds a data shard; pulls the current weights into a
+  local model replica, computes a mini-batch gradient, pushes it;
+- :class:`ParameterServerTrainer` — drives synchronous rounds (all
+  workers compute on the same weights, gradients are averaged) or
+  asynchronous steps (workers apply their gradients one at a time,
+  so later workers see fresher weights — and, with ``staleness`` > 0,
+  deliberately delayed ones).
+
+Logical workers execute sequentially (one python process), so wall-clock
+does not improve — what the simulation reproduces is the *semantics*:
+gradient averaging, parameter sharding, and the staleness/throughput
+trade-off the paper's "more workers" claim rests on.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..data.dataset import ODDataset
+from ..nn.module import Module
+from .sharding import shard_parameters, shard_samples
+
+__all__ = ["ParameterServer", "Worker", "ParameterServerTrainer", "PSConfig"]
+
+
+@dataclass(frozen=True)
+class PSConfig:
+    """Distributed-training configuration (paper defaults: 5 PS, 50 workers)."""
+
+    num_servers: int = 5
+    num_workers: int = 4
+    epochs: int = 5
+    batch_size: int = 128
+    learning_rate: float = 0.01
+    grad_clip: float = 5.0
+    mode: str = "sync"          # "sync" or "async"
+    staleness: int = 0          # async only: steps of gradient delay
+    seed: int = 0
+
+
+class ParameterServer:
+    """Holds one shard of named parameters and its Adam optimizer state."""
+
+    def __init__(self, server_id: int, learning_rate: float,
+                 grad_clip: float | None = 5.0):
+        self.server_id = server_id
+        self.learning_rate = learning_rate
+        self.grad_clip = grad_clip
+        self._store: dict[str, np.ndarray] = {}
+        self._m: dict[str, np.ndarray] = {}
+        self._v: dict[str, np.ndarray] = {}
+        self._steps: dict[str, int] = {}
+        self.pushes = 0
+        self.pulls = 0
+
+    def register(self, name: str, value: np.ndarray) -> None:
+        self._store[name] = value.copy()
+        self._m[name] = np.zeros_like(value)
+        self._v[name] = np.zeros_like(value)
+        self._steps[name] = 0
+
+    @property
+    def parameter_names(self) -> list[str]:
+        return sorted(self._store)
+
+    @property
+    def num_elements(self) -> int:
+        return sum(v.size for v in self._store.values())
+
+    def pull(self, names: list[str] | None = None) -> dict[str, np.ndarray]:
+        """Fetch current weights for ``names`` (default: all)."""
+        self.pulls += 1
+        if names is None:
+            names = self.parameter_names
+        return {name: self._store[name].copy() for name in names}
+
+    def push(self, gradients: dict[str, np.ndarray]) -> None:
+        """Apply Adam updates for the pushed gradient shard."""
+        self.pushes += 1
+        beta1, beta2, eps = 0.9, 0.999, 1e-8
+        for name, grad in gradients.items():
+            if name not in self._store:
+                raise KeyError(f"server {self.server_id} does not own {name}")
+            if self.grad_clip is not None:
+                norm = np.linalg.norm(grad)
+                if norm > self.grad_clip:
+                    grad = grad * (self.grad_clip / (norm + 1e-12))
+            self._steps[name] += 1
+            t = self._steps[name]
+            self._m[name] = beta1 * self._m[name] + (1 - beta1) * grad
+            self._v[name] = beta2 * self._v[name] + (1 - beta2) * grad ** 2
+            m_hat = self._m[name] / (1 - beta1 ** t)
+            v_hat = self._v[name] / (1 - beta2 ** t)
+            self._store[name] -= (
+                self.learning_rate * m_hat / (np.sqrt(v_hat) + eps)
+            )
+
+
+class Worker:
+    """One logical worker: a data shard plus a local model replica."""
+
+    def __init__(self, worker_id: int, model: Module,
+                 shard: np.ndarray, batch_size: int, rng: np.random.Generator):
+        self.worker_id = worker_id
+        self.model = model
+        self.shard = shard
+        self.batch_size = batch_size
+        self._rng = rng
+        self._cursor = 0
+        self._order = rng.permutation(len(shard))
+        self.steps = 0
+
+    def next_batch_indices(self) -> np.ndarray:
+        """The next mini-batch of global sample indices from this shard."""
+        if self._cursor >= len(self._order):
+            self._cursor = 0
+            self._order = self._rng.permutation(len(self.shard))
+        chunk = self._order[self._cursor:self._cursor + self.batch_size]
+        self._cursor += self.batch_size
+        return self.shard[chunk]
+
+    def load_weights(self, weights: dict[str, np.ndarray]) -> None:
+        params = dict(self.model.named_parameters())
+        for name, value in weights.items():
+            params[name].data = value
+
+    def compute_gradients(self, batch) -> tuple[dict[str, np.ndarray], float]:
+        """One forward/backward pass; returns (gradients, loss)."""
+        self.model.zero_grad()
+        loss = self.model.loss(batch)
+        loss.backward()
+        self.steps += 1
+        gradients = {
+            name: (param.grad.copy() if param.grad is not None
+                   else np.zeros_like(param.data))
+            for name, param in self.model.named_parameters()
+        }
+        return gradients, loss.item()
+
+
+@dataclass
+class _TrainStats:
+    epoch_losses: list[float] = field(default_factory=list)
+    total_steps: int = 0
+    pushes: int = 0
+    pulls: int = 0
+
+
+class ParameterServerTrainer:
+    """Drives the simulated cluster over an :class:`ODDataset`."""
+
+    def __init__(self, model: Module, dataset: ODDataset,
+                 config: PSConfig | None = None):
+        self.config = config or PSConfig()
+        if self.config.mode not in ("sync", "async"):
+            raise ValueError(f"unknown mode {self.config.mode!r}")
+        self.model = model
+        self.dataset = dataset
+        rng = np.random.default_rng(self.config.seed)
+
+        named = dict(model.named_parameters())
+        assignment = shard_parameters(
+            [(name, param.size) for name, param in named.items()],
+            self.config.num_servers,
+        )
+        self.servers = [
+            ParameterServer(i, self.config.learning_rate,
+                            self.config.grad_clip)
+            for i in range(self.config.num_servers)
+        ]
+        self._owner: dict[str, ParameterServer] = {}
+        for name, server_id in assignment.items():
+            self.servers[server_id].register(name, named[name].data)
+            self._owner[name] = self.servers[server_id]
+
+        samples = dataset.samples("train")
+        shards = shard_samples(len(samples), self.config.num_workers)
+        # All logical workers share the single in-process model replica —
+        # weights are re-loaded from the servers before each computation,
+        # which is exactly the pull-compute-push contract.
+        self.workers = [
+            Worker(i, model, shard, self.config.batch_size,
+                   np.random.default_rng(self.config.seed + i))
+            for i, shard in enumerate(shards)
+        ]
+        self._samples = samples
+
+    # ------------------------------------------------------------------
+    def _pull_all(self) -> dict[str, np.ndarray]:
+        weights: dict[str, np.ndarray] = {}
+        for server in self.servers:
+            weights.update(server.pull())
+        return weights
+
+    def _push_sharded(self, gradients: dict[str, np.ndarray]) -> None:
+        per_server: dict[int, dict[str, np.ndarray]] = {}
+        for name, grad in gradients.items():
+            server = self._owner[name]
+            per_server.setdefault(server.server_id, {})[name] = grad
+        for server_id, shard in per_server.items():
+            self.servers[server_id].push(shard)
+
+    def _batch_for(self, indices: np.ndarray):
+        rows = []
+        for index in indices:
+            sample = self._samples[int(index)]
+            rows.append(
+                (sample, (sample.user_id, sample.day), sample.origin,
+                 sample.destination, sample.label_o, sample.label_d)
+            )
+        return self.dataset._batch_from_rows(rows)
+
+    # ------------------------------------------------------------------
+    def fit(self) -> _TrainStats:
+        """Run the configured number of epochs; returns training stats."""
+        config = self.config
+        stats = _TrainStats()
+        steps_per_epoch = max(
+            1, len(self._samples) // (config.batch_size * config.num_workers)
+        )
+        stale_queue: deque[dict[str, np.ndarray]] = deque()
+        for _ in range(config.epochs):
+            losses = []
+            for _ in range(steps_per_epoch):
+                if config.mode == "sync":
+                    # All workers compute on identical weights; the
+                    # averaged gradient is pushed once.
+                    weights = self._pull_all()
+                    accumulated: dict[str, np.ndarray] | None = None
+                    for worker in self.workers:
+                        worker.load_weights(weights)
+                        batch = self._batch_for(worker.next_batch_indices())
+                        gradients, loss = worker.compute_gradients(batch)
+                        losses.append(loss)
+                        if accumulated is None:
+                            accumulated = gradients
+                        else:
+                            for name in accumulated:
+                                accumulated[name] += gradients[name]
+                    for name in accumulated:
+                        accumulated[name] /= len(self.workers)
+                    self._push_sharded(accumulated)
+                    stats.total_steps += 1
+                else:
+                    # Async: each worker pulls fresh weights, computes, and
+                    # pushes immediately (optionally via a staleness queue).
+                    for worker in self.workers:
+                        worker.load_weights(self._pull_all())
+                        batch = self._batch_for(worker.next_batch_indices())
+                        gradients, loss = worker.compute_gradients(batch)
+                        losses.append(loss)
+                        stale_queue.append(gradients)
+                        if len(stale_queue) > config.staleness:
+                            self._push_sharded(stale_queue.popleft())
+                        stats.total_steps += 1
+            stats.epoch_losses.append(float(np.mean(losses)))
+        # Flush delayed gradients and load final weights into the model.
+        while stale_queue:
+            self._push_sharded(stale_queue.popleft())
+        final = self._pull_all()
+        params = dict(self.model.named_parameters())
+        for name, value in final.items():
+            params[name].data = value
+        stats.pushes = sum(server.pushes for server in self.servers)
+        stats.pulls = sum(server.pulls for server in self.servers)
+        return stats

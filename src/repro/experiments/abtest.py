@@ -1,0 +1,44 @@
+"""Figure 7 runner: the simulated one-week online A/B test."""
+
+from __future__ import annotations
+
+from ..core import ODNETConfig
+from ..data import ODDataset, generate_fliggy_dataset
+from ..serving import ABTestConfig, ABTestResult, ABTestSimulator
+from .registry import ABTEST_METHODS, build_method
+from .scales import ExperimentScale, get_scale
+
+__all__ = ["run_abtest"]
+
+
+def run_abtest(
+    scale: str | ExperimentScale = "small",
+    methods: tuple[str, ...] = ABTEST_METHODS,
+    model_config: ODNETConfig | None = None,
+    abtest_config: ABTestConfig | None = None,
+    seed: int = 0,
+) -> ABTestResult:
+    """Train the Figure 7 methods and simulate the A/B week."""
+    if isinstance(scale, str):
+        scale = get_scale(scale)
+    dataset = ODDataset(generate_fliggy_dataset(scale.fliggy_config()))
+    models = {}
+    for name in methods:
+        model = build_method(name, dataset, model_config, seed=seed)
+        model.fit(dataset, scale.train_config(seed=seed))
+        models[name] = model
+    simulator = ABTestSimulator(dataset, abtest_config)
+    return simulator.run(models)
+
+
+def format_abtest(result: ABTestResult) -> str:
+    """Render the Figure 7 series as an aligned text table."""
+    header = f"{'Method':<12}" + "".join(
+        f"{'day ' + str(d + 1):>9}" for d in range(result.days)
+    ) + f"{'mean':>9}"
+    lines = [header, "-" * len(header)]
+    for method in result.methods:
+        daily = result.daily_ctr(method)
+        cells = "".join(f"{v:>9.4f}" for v in daily)
+        lines.append(f"{method:<12}{cells}{result.mean_ctr(method):>9.4f}")
+    return "\n".join(lines)

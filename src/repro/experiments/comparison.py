@@ -1,0 +1,199 @@
+"""Comparison runners behind Tables III, IV and V.
+
+``run_fliggy_comparison`` trains every requested method on one shared
+synthetic Fliggy dataset and reports the Table III metrics plus the
+Table V efficiency numbers (training seconds, per-event inference ms).
+``run_lbsn_comparison`` does the same for the LBSN datasets of Table IV.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..core import ODNETConfig
+from ..data import ODDataset, generate_fliggy_dataset, generate_lbsn_dataset
+from ..train import evaluate_model, measure_inference_ms
+from .registry import ALL_METHODS, LBSN_METHODS, build_method
+from .scales import ExperimentScale, get_scale
+
+__all__ = [
+    "MethodResult",
+    "ComparisonResult",
+    "run_fliggy_comparison",
+    "run_lbsn_comparison",
+    "average_results",
+]
+
+
+@dataclass
+class MethodResult:
+    """One table row: quality metrics plus efficiency measurements."""
+
+    name: str
+    metrics: dict[str, float]
+    train_seconds: float
+    inference_ms: float
+
+
+@dataclass
+class ComparisonResult:
+    """All rows of a comparison experiment, in registry order."""
+
+    dataset_name: str
+    scale: str
+    rows: list[MethodResult] = field(default_factory=list)
+
+    def row(self, name: str) -> MethodResult:
+        for row in self.rows:
+            if row.name == name:
+                return row
+        raise KeyError(name)
+
+    def metric(self, name: str, metric: str) -> float:
+        return self.row(name).metrics[metric]
+
+    def best_method(self, metric: str) -> str:
+        return max(self.rows, key=lambda r: r.metrics.get(metric, -1)).name
+
+    def format_table(self, metrics: tuple[str, ...] | None = None) -> str:
+        """Render the rows as an aligned text table."""
+        if metrics is None:
+            keys: list[str] = []
+            for row in self.rows:
+                for key in row.metrics:
+                    if key not in keys:
+                        keys.append(key)
+            metrics = tuple(keys)
+        header = (
+            f"{'Method':<12}"
+            + "".join(f"{m:>10}" for m in metrics)
+            + f"{'train(s)':>10}{'infer(ms)':>11}"
+        )
+        lines = [header, "-" * len(header)]
+        for row in self.rows:
+            cells = "".join(
+                f"{row.metrics.get(m, float('nan')):>10.4f}" for m in metrics
+            )
+            lines.append(
+                f"{row.name:<12}{cells}"
+                f"{row.train_seconds:>10.1f}{row.inference_ms:>11.2f}"
+            )
+        return "\n".join(lines)
+
+
+def average_results(results: list[ComparisonResult]) -> ComparisonResult:
+    """Average metric/efficiency rows over repeated (multi-seed) runs.
+
+    All runs must cover the same methods; rows are matched by name and
+    metrics averaged element-wise (for the low-variance numbers quoted in
+    EXPERIMENTS.md).
+    """
+    if not results:
+        raise ValueError("no results to average")
+    names = [row.name for row in results[0].rows]
+    for result in results[1:]:
+        if [row.name for row in result.rows] != names:
+            raise ValueError("results cover different methods")
+    averaged = ComparisonResult(
+        dataset_name=results[0].dataset_name,
+        scale=f"{results[0].scale} (x{len(results)} seeds)",
+    )
+    for name in names:
+        rows = [result.row(name) for result in results]
+        metric_keys = rows[0].metrics.keys()
+        averaged.rows.append(
+            MethodResult(
+                name=name,
+                metrics={
+                    key: float(np.mean([row.metrics[key] for row in rows]))
+                    for key in metric_keys
+                },
+                train_seconds=float(
+                    np.mean([row.train_seconds for row in rows])
+                ),
+                inference_ms=float(
+                    np.mean([row.inference_ms for row in rows])
+                ),
+            )
+        )
+    return averaged
+
+
+def _run_comparison(
+    dataset: ODDataset,
+    dataset_name: str,
+    scale: ExperimentScale,
+    methods: tuple[str, ...],
+    model_config: ODNETConfig | None,
+    seed: int,
+    measure_efficiency: bool,
+) -> ComparisonResult:
+    rng = np.random.default_rng(seed)
+    tasks = dataset.ranking_tasks(
+        num_candidates=scale.num_candidates,
+        rng=rng,
+        max_tasks=scale.max_tasks,
+    )
+    efficiency_tasks = tasks[: min(len(tasks), 40)]
+    result = ComparisonResult(dataset_name=dataset_name, scale=scale.name)
+    for name in methods:
+        model = build_method(name, dataset, model_config, seed=seed)
+        train_seconds = model.fit(dataset, scale.train_config(seed=seed))
+        metrics = evaluate_model(model, dataset, tasks)
+        inference_ms = (
+            measure_inference_ms(model, dataset, efficiency_tasks)
+            if measure_efficiency else float("nan")
+        )
+        result.rows.append(
+            MethodResult(
+                name=name,
+                metrics=metrics,
+                train_seconds=train_seconds,
+                inference_ms=inference_ms,
+            )
+        )
+    return result
+
+
+def run_fliggy_comparison(
+    scale: str | ExperimentScale = "small",
+    methods: tuple[str, ...] = ALL_METHODS,
+    model_config: ODNETConfig | None = None,
+    seed: int = 0,
+    measure_efficiency: bool = True,
+) -> ComparisonResult:
+    """Tables III & V: all methods on the synthetic Fliggy dataset."""
+    if isinstance(scale, str):
+        scale = get_scale(scale)
+    dataset = ODDataset(generate_fliggy_dataset(scale.fliggy_config()))
+    return _run_comparison(
+        dataset, "fliggy", scale, methods, model_config, seed,
+        measure_efficiency,
+    )
+
+
+def run_lbsn_comparison(
+    dataset_name: str = "foursquare",
+    scale: str | ExperimentScale = "small",
+    methods: tuple[str, ...] = LBSN_METHODS,
+    model_config: ODNETConfig | None = None,
+    seed: int = 0,
+) -> ComparisonResult:
+    """Table IV: single-task methods on an LBSN dataset."""
+    if isinstance(scale, str):
+        scale = get_scale(scale)
+    invalid = set(methods) - set(LBSN_METHODS)
+    if invalid:
+        raise ValueError(
+            f"multi-task methods cannot run on LBSN data: {sorted(invalid)}"
+        )
+    dataset = ODDataset(
+        generate_lbsn_dataset(scale.lbsn_config(dataset_name)),
+        od_mode=False,
+    )
+    return _run_comparison(
+        dataset, dataset_name, scale, methods, model_config, seed,
+        measure_efficiency=False,
+    )

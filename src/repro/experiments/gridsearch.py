@@ -1,0 +1,109 @@
+"""Hyper-parameter grid search over ODNET configurations.
+
+Generalises the Figure 6 sweeps: any subset of :class:`ODNETConfig`
+fields can be swept jointly, each combination trained and evaluated on a
+shared dataset and task set.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field, fields, replace
+
+import numpy as np
+
+from ..core import ODNETConfig, build_odnet
+from ..data import ODDataset
+from ..train import TrainConfig, evaluate_ranking
+
+__all__ = ["GridPoint", "GridSearchResult", "run_grid_search"]
+
+
+@dataclass
+class GridPoint:
+    """One evaluated configuration."""
+
+    params: dict[str, object]
+    metrics: dict[str, float]
+    train_seconds: float
+
+
+@dataclass
+class GridSearchResult:
+    """All evaluated points plus selection helpers."""
+
+    metric: str
+    points: list[GridPoint] = field(default_factory=list)
+
+    def best(self) -> GridPoint:
+        return max(self.points, key=lambda p: p.metrics[self.metric])
+
+    def format_table(self) -> str:
+        if not self.points:
+            return "(empty grid)"
+        param_names = list(self.points[0].params)
+        metric_names = list(self.points[0].metrics)
+        header = (
+            "".join(f"{name:>14}" for name in param_names)
+            + "".join(f"{name:>10}" for name in metric_names)
+            + f"{'train(s)':>10}"
+        )
+        lines = [header, "-" * len(header)]
+        for point in self.points:
+            cells = "".join(
+                f"{point.params[name]!s:>14}" for name in param_names
+            )
+            cells += "".join(
+                f"{point.metrics[name]:>10.4f}" for name in metric_names
+            )
+            lines.append(f"{cells}{point.train_seconds:>10.1f}")
+        return "\n".join(lines)
+
+
+def run_grid_search(
+    dataset: ODDataset,
+    grid: dict[str, list],
+    base_config: ODNETConfig | None = None,
+    train_config: TrainConfig | None = None,
+    metric: str = "MRR@5",
+    num_candidates: int = 30,
+    max_tasks: int = 200,
+    seed: int = 0,
+) -> GridSearchResult:
+    """Train/evaluate every combination in ``grid``.
+
+    ``grid`` maps :class:`ODNETConfig` field names to candidate values.
+    """
+    base_config = base_config or ODNETConfig()
+    train_config = train_config or TrainConfig()
+    valid_fields = {f.name for f in fields(ODNETConfig)}
+    unknown = set(grid) - valid_fields
+    if unknown:
+        raise ValueError(f"unknown ODNETConfig fields: {sorted(unknown)}")
+    if not grid:
+        raise ValueError("empty grid")
+
+    tasks = dataset.ranking_tasks(
+        num_candidates=num_candidates,
+        rng=np.random.default_rng(seed),
+        max_tasks=max_tasks,
+    )
+    ks = tuple(sorted({int(metric.split("@")[1]) if "@" in metric else 5,
+                       5}))
+    result = GridSearchResult(metric=metric)
+    names = list(grid)
+    for combination in itertools.product(*(grid[name] for name in names)):
+        params = dict(zip(names, combination))
+        config = replace(base_config, **params)
+        model = build_odnet(dataset, config)
+        train_seconds = model.fit(dataset, train_config)
+        metrics = evaluate_ranking(model, dataset, tasks, ks=ks)
+        if metric not in metrics:
+            raise ValueError(
+                f"metric {metric!r} not produced; have {sorted(metrics)}"
+            )
+        result.points.append(
+            GridPoint(params=params, metrics=metrics,
+                      train_seconds=train_seconds)
+        )
+    return result

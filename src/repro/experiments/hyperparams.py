@@ -1,0 +1,113 @@
+"""Hyper-parameter sweeps behind Figure 6.
+
+Figure 6(a): HR@5 / MRR@5 of ODNET as the number of attention heads varies
+(the paper peaks at 4 heads).  Figure 6(b): the same metrics plus training
+time as the exploration depth K varies (the paper's accuracy/cost knee is
+K=2: "55, 73, 94, and 135 minutes" for K=1..4).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+import numpy as np
+
+from ..core import ODNETConfig, build_odnet
+from ..data import ODDataset, generate_fliggy_dataset
+from ..train import evaluate_ranking
+from .scales import ExperimentScale, get_scale
+
+__all__ = ["SweepPoint", "SweepResult", "run_heads_sweep", "run_depth_sweep"]
+
+
+@dataclass
+class SweepPoint:
+    """One x-axis point of a Figure 6 curve."""
+
+    value: int
+    hr5: float
+    mrr5: float
+    train_seconds: float
+
+
+@dataclass
+class SweepResult:
+    """A full sweep: the series the figure plots."""
+
+    parameter: str
+    points: list[SweepPoint] = field(default_factory=list)
+
+    def best(self, metric: str = "hr5") -> SweepPoint:
+        return max(self.points, key=lambda p: getattr(p, metric))
+
+    def series(self) -> dict[str, list[float]]:
+        return {
+            self.parameter: [p.value for p in self.points],
+            "HR@5": [p.hr5 for p in self.points],
+            "MRR@5": [p.mrr5 for p in self.points],
+            "train_seconds": [p.train_seconds for p in self.points],
+        }
+
+    def format_table(self) -> str:
+        header = (
+            f"{self.parameter:>10}{'HR@5':>10}{'MRR@5':>10}{'train(s)':>10}"
+        )
+        lines = [header, "-" * len(header)]
+        for p in self.points:
+            lines.append(
+                f"{p.value:>10d}{p.hr5:>10.4f}{p.mrr5:>10.4f}"
+                f"{p.train_seconds:>10.1f}"
+            )
+        return "\n".join(lines)
+
+
+def _sweep(
+    scale: ExperimentScale,
+    base_config: ODNETConfig,
+    parameter: str,
+    values: tuple[int, ...],
+    seed: int,
+) -> SweepResult:
+    dataset = ODDataset(generate_fliggy_dataset(scale.fliggy_config()))
+    tasks = dataset.ranking_tasks(
+        num_candidates=scale.num_candidates,
+        rng=np.random.default_rng(seed),
+        max_tasks=scale.max_tasks,
+    )
+    result = SweepResult(parameter=parameter)
+    for value in values:
+        config = replace(base_config, **{parameter: value})
+        model = build_odnet(dataset, config)
+        train_seconds = model.fit(dataset, scale.train_config(seed=seed))
+        metrics = evaluate_ranking(model, dataset, tasks, ks=(5,))
+        result.points.append(
+            SweepPoint(
+                value=value,
+                hr5=metrics["HR@5"],
+                mrr5=metrics["MRR@5"],
+                train_seconds=train_seconds,
+            )
+        )
+    return result
+
+
+def run_heads_sweep(
+    scale: str | ExperimentScale = "small",
+    heads: tuple[int, ...] = (1, 2, 4, 8),
+    seed: int = 0,
+) -> SweepResult:
+    """Figure 6(a): vary the number of attention heads."""
+    if isinstance(scale, str):
+        scale = get_scale(scale)
+    return _sweep(scale, ODNETConfig(), "num_heads", heads, seed)
+
+
+def run_depth_sweep(
+    scale: str | ExperimentScale = "small",
+    depths: tuple[int, ...] = (1, 2, 3, 4),
+    seed: int = 0,
+) -> SweepResult:
+    """Figure 6(b): vary the exploration depth K (accuracy and train time)."""
+    if isinstance(scale, str):
+        scale = get_scale(scale)
+    return _sweep(scale, ODNETConfig(), "depth", depths, seed)

@@ -1,0 +1,78 @@
+"""Method registry: one factory per row of Tables III-V."""
+
+from __future__ import annotations
+
+from ..baselines import (
+    GBDTRanker,
+    LSTMRanker,
+    LSTPMRanker,
+    MostPop,
+    STGNRanker,
+    STODPPARanker,
+    STPUDGATRanker,
+)
+from ..core import ODNETConfig, build_odnet, build_stl
+from ..data.dataset import ODDataset
+
+__all__ = [
+    "ALL_METHODS",
+    "LBSN_METHODS",
+    "ABTEST_METHODS",
+    "build_method",
+]
+
+#: Table III rows, in the paper's order.
+ALL_METHODS = (
+    "MostPop",
+    "GBDT",
+    "LSTM",
+    "STGN",
+    "LSTPM",
+    "STOD-PPA",
+    "STP-UDGAT",
+    "STL-G",
+    "STL+G",
+    "ODNET-G",
+    "ODNET",
+)
+
+#: Table IV rows: ODNET/ODNET-G are multi-task and "cannot be evaluated by
+#: the Foursquare and Gowalla datasets" (Section V-C).
+LBSN_METHODS = tuple(m for m in ALL_METHODS if m not in ("ODNET", "ODNET-G"))
+
+#: Figure 7 deploys ODNET and seven competitive methods.
+ABTEST_METHODS = (
+    "MostPop", "GBDT", "LSTM", "LSTPM", "STOD-PPA", "STP-UDGAT",
+    "STL+G", "ODNET",
+)
+
+
+def build_method(
+    name: str,
+    dataset: ODDataset,
+    model_config: ODNETConfig | None = None,
+    gbdt_trees: int = 40,
+    seed: int = 0,
+):
+    """Instantiate a fresh (untrained) ranker for a method name."""
+    config = model_config or ODNETConfig(seed=seed)
+    dim = config.dim
+    if name == "MostPop":
+        return MostPop()
+    if name == "GBDT":
+        return GBDTRanker(n_trees=gbdt_trees, seed=seed)
+    if name == "LSTM":
+        return LSTMRanker(dataset, dim=dim, seed=seed)
+    if name == "STGN":
+        return STGNRanker(dataset, dim=dim, seed=seed)
+    if name == "LSTPM":
+        return LSTPMRanker(dataset, dim=dim, seed=seed)
+    if name == "STOD-PPA":
+        return STODPPARanker(dataset, dim=dim, seed=seed)
+    if name == "STP-UDGAT":
+        return STPUDGATRanker(dataset, dim=dim, seed=seed)
+    if name in ("STL-G", "STL+G"):
+        return build_stl(dataset, config, name)
+    if name in ("ODNET-G", "ODNET"):
+        return build_odnet(dataset, config, name)
+    raise ValueError(f"unknown method {name!r}; choose from {ALL_METHODS}")

@@ -1,0 +1,82 @@
+"""Experiment scale presets.
+
+The paper ran at Fliggy scale (2.6 M users, 200x200 cities, 22 M samples);
+this reproduction runs on a laptop CPU, so each experiment accepts a scale
+preset.  ``TINY`` keeps the test suite fast, ``SMALL`` is the benchmark
+default, ``MEDIUM`` is what EXPERIMENTS.md records.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..data import FliggyConfig, LbsnConfig, foursquare_config, gowalla_config
+from ..data.world import WorldConfig
+from ..train import TrainConfig
+
+__all__ = ["ExperimentScale", "TINY", "SMALL", "MEDIUM", "get_scale"]
+
+
+@dataclass(frozen=True)
+class ExperimentScale:
+    """Bundle of dataset / training / evaluation sizes."""
+
+    name: str
+    num_users: int
+    num_cities: int
+    train_points_per_user: int
+    epochs: int
+    num_candidates: int
+    max_tasks: int
+    lbsn_users: int
+    lbsn_pois: int
+    seed: int = 3
+
+    def fliggy_config(self, seed: int | None = None) -> FliggyConfig:
+        return FliggyConfig(
+            num_users=self.num_users,
+            world=WorldConfig(num_cities=self.num_cities),
+            train_points_per_user=self.train_points_per_user,
+            seed=self.seed if seed is None else seed,
+        )
+
+    def lbsn_config(self, name: str, seed: int | None = None) -> LbsnConfig:
+        if name == "foursquare":
+            factory, pois = foursquare_config, self.lbsn_pois
+        else:
+            # Preserve Table II's relationship: Gowalla has more POIs.
+            factory, pois = gowalla_config, int(self.lbsn_pois * 1.5)
+        overrides = {"num_users": self.lbsn_users, "num_pois": pois}
+        if seed is not None:
+            overrides["seed"] = seed
+        return factory(**overrides)
+
+    def train_config(self, seed: int = 0) -> TrainConfig:
+        return TrainConfig(epochs=self.epochs, seed=seed)
+
+
+TINY = ExperimentScale(
+    name="tiny", num_users=150, num_cities=30, train_points_per_user=1,
+    epochs=2, num_candidates=15, max_tasks=60, lbsn_users=80, lbsn_pois=50,
+)
+
+SMALL = ExperimentScale(
+    name="small", num_users=400, num_cities=50, train_points_per_user=2,
+    epochs=5, num_candidates=30, max_tasks=200, lbsn_users=250, lbsn_pois=80,
+)
+
+MEDIUM = ExperimentScale(
+    name="medium", num_users=900, num_cities=60, train_points_per_user=3,
+    epochs=5, num_candidates=50, max_tasks=400, lbsn_users=500, lbsn_pois=120,
+)
+
+_SCALES = {scale.name: scale for scale in (TINY, SMALL, MEDIUM)}
+
+
+def get_scale(name: str) -> ExperimentScale:
+    try:
+        return _SCALES[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown scale {name!r}; choose from {sorted(_SCALES)}"
+        ) from None

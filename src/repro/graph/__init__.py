@@ -1,0 +1,29 @@
+"""Heterogeneous Spatial Graph (HSG) substrate — Definitions 1-3 of the paper."""
+
+from .distance import (
+    EARTH_RADIUS_KM,
+    haversine_matrix,
+    l2_distance_matrix,
+    spatial_weights,
+)
+from .hsg import EdgeType, HeterogeneousSpatialGraph, NodeType
+from .metapath import (
+    DEFAULT_MAX_NEIGHBORS,
+    Metapath,
+    NeighborTable,
+    build_neighbor_table,
+)
+
+__all__ = [
+    "HeterogeneousSpatialGraph",
+    "NodeType",
+    "EdgeType",
+    "Metapath",
+    "NeighborTable",
+    "build_neighbor_table",
+    "DEFAULT_MAX_NEIGHBORS",
+    "l2_distance_matrix",
+    "haversine_matrix",
+    "spatial_weights",
+    "EARTH_RADIUS_KM",
+]

@@ -1,0 +1,74 @@
+"""Distance matrices and spatial weights for the Heterogeneous Spatial Graph.
+
+Definition 1 of the paper attaches a distance matrix ``D`` to the HSG where
+``d_ij`` is the L2 norm distance between cities ``i`` and ``j`` computed from
+longitude/latitude; Eq. 2 turns it into row-normalised inverse-distance
+spatial weights used by the city branch of the HSGC attention (Eq. 1).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "l2_distance_matrix",
+    "haversine_matrix",
+    "spatial_weights",
+    "EARTH_RADIUS_KM",
+]
+
+EARTH_RADIUS_KM = 6371.0
+
+
+def l2_distance_matrix(coordinates: np.ndarray) -> np.ndarray:
+    """Pairwise L2 distances between city coordinates.
+
+    ``coordinates`` is ``(n, 2)`` — (longitude, latitude) per the paper's
+    Definition 1, though any planar embedding works.  Returns an ``(n, n)``
+    symmetric matrix with a zero diagonal.
+    """
+    coords = np.asarray(coordinates, dtype=np.float64)
+    if coords.ndim != 2 or coords.shape[1] != 2:
+        raise ValueError(f"expected (n, 2) coordinates, got {coords.shape}")
+    diff = coords[:, None, :] - coords[None, :, :]
+    distances = np.sqrt((diff ** 2).sum(axis=-1))
+    np.fill_diagonal(distances, 0.0)
+    return distances
+
+
+def haversine_matrix(coordinates: np.ndarray) -> np.ndarray:
+    """Great-circle distances in kilometres (more realistic alternative).
+
+    Provided because real flight prices correlate with great-circle, not
+    planar, distance; the synthetic Fliggy generator uses it for pricing
+    while the HSG keeps the paper's L2 definition by default.
+    """
+    coords = np.radians(np.asarray(coordinates, dtype=np.float64))
+    lon = coords[:, 0][:, None]
+    lat = coords[:, 1][:, None]
+    dlon = lon - lon.T
+    dlat = lat - lat.T
+    a = np.sin(dlat / 2) ** 2 + np.cos(lat) * np.cos(lat.T) * np.sin(dlon / 2) ** 2
+    distances = 2 * EARTH_RADIUS_KM * np.arcsin(np.sqrt(np.clip(a, 0.0, 1.0)))
+    np.fill_diagonal(distances, 0.0)
+    return distances
+
+
+def spatial_weights(distance_matrix: np.ndarray, eps: float = 1e-9) -> np.ndarray:
+    """Row-normalised inverse-distance weights ``w_ij`` (Eq. 2).
+
+    ``w_ii = 0`` and each row sums to one (rows of a single city degenerate
+    to zero).  ``eps`` guards against coincident cities.
+    """
+    distances = np.asarray(distance_matrix, dtype=np.float64)
+    if distances.ndim != 2 or distances.shape[0] != distances.shape[1]:
+        raise ValueError(f"expected square distance matrix, got {distances.shape}")
+    n = distances.shape[0]
+    inverse = np.zeros_like(distances)
+    off_diag = ~np.eye(n, dtype=bool)
+    inverse[off_diag] = 1.0 / np.maximum(distances[off_diag], eps)
+    row_sums = inverse.sum(axis=1, keepdims=True)
+    weights = np.divide(
+        inverse, row_sums, out=np.zeros_like(inverse), where=row_sums > 0
+    )
+    return weights

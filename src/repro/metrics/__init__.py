@@ -1,0 +1,13 @@
+"""Metrics of Section V-A.2: AUC, HR@k, MRR@k, and the online CTR."""
+
+from .ctr import ctr
+from .ranking import auc, evaluate_rankings, hit_rate_at_k, mrr_at_k, rank_of_true
+
+__all__ = [
+    "auc",
+    "hit_rate_at_k",
+    "mrr_at_k",
+    "rank_of_true",
+    "evaluate_rankings",
+    "ctr",
+]

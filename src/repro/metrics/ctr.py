@@ -1,0 +1,19 @@
+"""Click-through rate (Eq. 14) for the online A/B test reproduction."""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["ctr"]
+
+
+def ctr(clicks: int | np.ndarray, impressions: int | np.ndarray) -> float | np.ndarray:
+    """CTR = clicks / impressions (Eq. 14); zero-impression days give 0."""
+    clicks = np.asarray(clicks, dtype=np.float64)
+    impressions = np.asarray(impressions, dtype=np.float64)
+    result = np.divide(
+        clicks, impressions, out=np.zeros_like(clicks), where=impressions > 0
+    )
+    if result.ndim == 0:
+        return float(result)
+    return result

@@ -1,0 +1,81 @@
+"""Evaluation metrics of Section V-A.2: AUC, HR@k (Eq. 12), MRR@k (Eq. 13)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["auc", "hit_rate_at_k", "mrr_at_k", "rank_of_true", "evaluate_rankings"]
+
+
+def auc(scores: np.ndarray, labels: np.ndarray) -> float:
+    """Area under the ROC curve via the Mann-Whitney U statistic.
+
+    Ties receive half credit.  Raises if only one class is present, since
+    AUC is undefined there.
+    """
+    scores = np.asarray(scores, dtype=np.float64)
+    labels = np.asarray(labels).astype(bool)
+    if scores.shape != labels.shape:
+        raise ValueError(f"shape mismatch: {scores.shape} vs {labels.shape}")
+    n_pos = int(labels.sum())
+    n_neg = labels.size - n_pos
+    if n_pos == 0 or n_neg == 0:
+        raise ValueError("AUC undefined: need both positive and negative labels")
+    order = np.argsort(scores, kind="mergesort")
+    ranks = np.empty(scores.size, dtype=np.float64)
+    ranks[order] = np.arange(1, scores.size + 1)
+    # Average ranks over ties.
+    sorted_scores = scores[order]
+    i = 0
+    while i < scores.size:
+        j = i
+        while j + 1 < scores.size and sorted_scores[j + 1] == sorted_scores[i]:
+            j += 1
+        if j > i:
+            ranks[order[i:j + 1]] = (i + j + 2) / 2.0
+        i = j + 1
+    rank_sum = ranks[labels].sum()
+    return float((rank_sum - n_pos * (n_pos + 1) / 2.0) / (n_pos * n_neg))
+
+
+def rank_of_true(scores: np.ndarray, true_index: int) -> int:
+    """1-based rank of the true candidate under descending scores.
+
+    Ties are broken pessimistically (the true item ranks after equal-scored
+    distractors), so metric improvements cannot come from degenerate
+    constant scores.
+    """
+    scores = np.asarray(scores, dtype=np.float64)
+    true_score = scores[true_index]
+    better = int((scores > true_score).sum())
+    equal = int((scores == true_score).sum())  # includes the true item
+    return better + equal
+
+
+def hit_rate_at_k(ranks: np.ndarray, k: int) -> float:
+    """HR@k (Eq. 12): fraction of events whose true pair is in the top-k."""
+    ranks = np.asarray(ranks)
+    if ranks.size == 0:
+        raise ValueError("no ranks provided")
+    return float((ranks <= k).mean())
+
+
+def mrr_at_k(ranks: np.ndarray, k: int) -> float:
+    """MRR@k (Eq. 13): mean reciprocal rank, zero outside the top-k."""
+    ranks = np.asarray(ranks, dtype=np.float64)
+    if ranks.size == 0:
+        raise ValueError("no ranks provided")
+    reciprocal = np.where(ranks <= k, 1.0 / ranks, 0.0)
+    return float(reciprocal.mean())
+
+
+def evaluate_rankings(
+    ranks: np.ndarray, ks: tuple[int, ...] = (1, 5, 10)
+) -> dict[str, float]:
+    """HR@k / MRR@k table rows for the given cutoffs."""
+    metrics: dict[str, float] = {}
+    for k in ks:
+        metrics[f"HR@{k}"] = hit_rate_at_k(ranks, k)
+        if k > 1:
+            metrics[f"MRR@{k}"] = mrr_at_k(ranks, k)
+    return metrics

@@ -1,0 +1,49 @@
+"""Weight initialisers.
+
+Section V-A.5 of the paper: "A Gaussian distribution (mu = 0 and
+sigma = 0.05) is used to initialize the parameters used by methods built on
+deep neural networks."  :func:`gaussian` is therefore the default used by
+every layer in this reproduction; Xavier/He variants are provided for the
+ablation benchmarks.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["gaussian", "xavier_uniform", "he_normal", "zeros"]
+
+PAPER_SIGMA = 0.05
+
+
+def gaussian(
+    shape: tuple[int, ...],
+    rng: np.random.Generator,
+    mu: float = 0.0,
+    sigma: float = PAPER_SIGMA,
+) -> np.ndarray:
+    """The paper's N(0, 0.05) initialiser."""
+    return rng.normal(mu, sigma, size=shape)
+
+
+def xavier_uniform(shape: tuple[int, ...], rng: np.random.Generator) -> np.ndarray:
+    fan_in, fan_out = _fans(shape)
+    bound = np.sqrt(6.0 / (fan_in + fan_out))
+    return rng.uniform(-bound, bound, size=shape)
+
+
+def he_normal(shape: tuple[int, ...], rng: np.random.Generator) -> np.ndarray:
+    fan_in, _ = _fans(shape)
+    return rng.normal(0.0, np.sqrt(2.0 / fan_in), size=shape)
+
+
+def zeros(shape: tuple[int, ...]) -> np.ndarray:
+    return np.zeros(shape)
+
+
+def _fans(shape: tuple[int, ...]) -> tuple[int, int]:
+    if len(shape) == 1:
+        return shape[0], shape[0]
+    fan_in = int(np.prod(shape[1:]))
+    fan_out = shape[0]
+    return fan_in, fan_out

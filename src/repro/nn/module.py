@@ -1,0 +1,118 @@
+"""Module/Parameter abstractions for building networks on the autograd engine."""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+import numpy as np
+
+from ..tensor import Tensor
+
+__all__ = ["Parameter", "Module"]
+
+
+class Parameter(Tensor):
+    """A trainable tensor: always requires grad and is tracked by modules."""
+
+    def __init__(self, data, name: str | None = None):
+        super().__init__(data, requires_grad=True, name=name)
+
+
+class Module:
+    """Base class for layers and models.
+
+    Sub-modules and parameters assigned as attributes are registered
+    automatically, mirroring the familiar torch-style API:
+
+    - :meth:`parameters` iterates every trainable tensor (recursively);
+    - :meth:`zero_grad` clears gradients before a backward pass;
+    - :meth:`train` / :meth:`eval` toggle the ``training`` flag used by
+      dropout and similar layers;
+    - :meth:`state_dict` / :meth:`load_state_dict` snapshot weights.
+    """
+
+    def __init__(self) -> None:
+        object.__setattr__(self, "_parameters", {})
+        object.__setattr__(self, "_modules", {})
+        object.__setattr__(self, "training", True)
+
+    def __setattr__(self, name: str, value) -> None:
+        if isinstance(value, Parameter):
+            self._parameters[name] = value
+        elif isinstance(value, Module):
+            self._modules[name] = value
+        elif isinstance(value, (list, tuple)) and value and all(
+            isinstance(v, Module) for v in value
+        ):
+            for i, module in enumerate(value):
+                self._modules[f"{name}.{i}"] = module
+        object.__setattr__(self, name, value)
+
+    # ------------------------------------------------------------------
+    def parameters(self) -> Iterator[Parameter]:
+        """Yield all trainable parameters, depth first, without duplicates."""
+        seen: set[int] = set()
+        yield from self._parameters_impl(seen)
+
+    def _parameters_impl(self, seen: set[int]) -> Iterator[Parameter]:
+        for param in self._parameters.values():
+            if id(param) not in seen:
+                seen.add(id(param))
+                yield param
+        for module in self._modules.values():
+            yield from module._parameters_impl(seen)
+
+    def named_parameters(self, prefix: str = "") -> Iterator[tuple[str, Parameter]]:
+        for name, param in self._parameters.items():
+            yield f"{prefix}{name}", param
+        for mod_name, module in self._modules.items():
+            yield from module.named_parameters(prefix=f"{prefix}{mod_name}.")
+
+    def num_parameters(self) -> int:
+        """Total scalar parameter count (useful for capacity reporting)."""
+        return sum(p.size for p in self.parameters())
+
+    def zero_grad(self) -> None:
+        for param in self.parameters():
+            param.grad = None
+
+    # ------------------------------------------------------------------
+    def train(self) -> "Module":
+        return self._set_training(True)
+
+    def eval(self) -> "Module":
+        return self._set_training(False)
+
+    def _set_training(self, mode: bool) -> "Module":
+        object.__setattr__(self, "training", mode)
+        for module in self._modules.values():
+            module._set_training(mode)
+        return self
+
+    # ------------------------------------------------------------------
+    def state_dict(self) -> dict[str, np.ndarray]:
+        return {name: param.data.copy() for name, param in self.named_parameters()}
+
+    def load_state_dict(self, state: dict[str, np.ndarray]) -> None:
+        own = dict(self.named_parameters())
+        missing = set(own) - set(state)
+        unexpected = set(state) - set(own)
+        if missing or unexpected:
+            raise KeyError(
+                f"state dict mismatch: missing={sorted(missing)}, "
+                f"unexpected={sorted(unexpected)}"
+            )
+        for name, param in own.items():
+            if param.data.shape != state[name].shape:
+                raise ValueError(
+                    f"shape mismatch for {name}: "
+                    f"{param.data.shape} vs {state[name].shape}"
+                )
+            param.data = state[name].astype(np.float64).copy()
+
+    # ------------------------------------------------------------------
+    def __call__(self, *args, **kwargs):
+        return self.forward(*args, **kwargs)
+
+    def forward(self, *args, **kwargs):  # pragma: no cover - abstract
+        raise NotImplementedError

@@ -1,0 +1,158 @@
+"""Recurrent layers used by the sequential baselines (LSTM, STGN, LSTPM).
+
+The baselines of Table III/IV are RNN models; sequences in this domain are
+short (tens of bookings), so an explicit python loop over time steps on
+vectorised batch-wise cell updates is both simple and fast enough.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..tensor import Tensor, stack
+from . import init
+from .module import Module, Parameter
+
+__all__ = ["LSTMCell", "LSTM", "STGNCell", "STGN"]
+
+
+class LSTMCell(Module):
+    """Standard LSTM cell (Hochreiter & Schmidhuber, 1997)."""
+
+    def __init__(self, input_dim: int, hidden_dim: int, rng: np.random.Generator):
+        super().__init__()
+        self.input_dim = input_dim
+        self.hidden_dim = hidden_dim
+        # Fused gate weights: [input, forget, cell, output] stacked.
+        self.w_x = Parameter(
+            init.gaussian((input_dim, 4 * hidden_dim), rng), name="lstm.w_x"
+        )
+        self.w_h = Parameter(
+            init.gaussian((hidden_dim, 4 * hidden_dim), rng), name="lstm.w_h"
+        )
+        self.bias = Parameter(np.zeros(4 * hidden_dim), name="lstm.bias")
+
+    def forward(
+        self, x: Tensor, h: Tensor, c: Tensor
+    ) -> tuple[Tensor, Tensor]:
+        gates = x @ self.w_x + h @ self.w_h + self.bias
+        d = self.hidden_dim
+        i = gates[:, 0 * d:1 * d].sigmoid()
+        f = gates[:, 1 * d:2 * d].sigmoid()
+        g = gates[:, 2 * d:3 * d].tanh()
+        o = gates[:, 3 * d:4 * d].sigmoid()
+        c_next = f * c + i * g
+        h_next = o * c_next.tanh()
+        return h_next, c_next
+
+
+class LSTM(Module):
+    """Batched unidirectional LSTM over ``(B, L, D)`` sequences."""
+
+    def __init__(self, input_dim: int, hidden_dim: int, rng: np.random.Generator):
+        super().__init__()
+        self.cell = LSTMCell(input_dim, hidden_dim, rng)
+        self.hidden_dim = hidden_dim
+
+    def forward(
+        self, x: Tensor, mask: np.ndarray | None = None
+    ) -> tuple[Tensor, Tensor]:
+        """Run the LSTM; returns ``(outputs (B,L,H), last_hidden (B,H))``.
+
+        ``mask`` is ``(B, L)`` with True at valid steps; padded steps carry
+        the previous state forward so ``last_hidden`` reflects the final
+        *valid* step of each sequence.
+        """
+        batch, length, _ = x.shape
+        h = Tensor(np.zeros((batch, self.hidden_dim)))
+        c = Tensor(np.zeros((batch, self.hidden_dim)))
+        outputs = []
+        for t in range(length):
+            h_next, c_next = self.cell(x[:, t, :], h, c)
+            if mask is not None:
+                step = np.asarray(mask[:, t], dtype=np.float64)[:, None]
+                h = h_next * step + h * (1.0 - step)
+                c = c_next * step + c * (1.0 - step)
+            else:
+                h, c = h_next, c_next
+            outputs.append(h)
+        return stack(outputs, axis=1), h
+
+
+class STGNCell(Module):
+    """Spatio-temporal gated LSTM cell (Zhao et al., AAAI 2019).
+
+    Extends the LSTM with two extra gates driven by the time interval
+    ``Δt`` and spatial distance ``Δd`` between consecutive visits, which is
+    the mechanism the STGN baseline of the paper uses to weigh short- and
+    long-term preference.
+    """
+
+    def __init__(self, input_dim: int, hidden_dim: int, rng: np.random.Generator):
+        super().__init__()
+        self.base = LSTMCell(input_dim, hidden_dim, rng)
+        self.hidden_dim = hidden_dim
+        # Time gate T and distance gate S parameters.
+        self.w_t = Parameter(init.gaussian((input_dim, hidden_dim), rng), name="stgn.w_t")
+        self.w_s = Parameter(init.gaussian((input_dim, hidden_dim), rng), name="stgn.w_s")
+        self.u_t = Parameter(init.gaussian((1, hidden_dim), rng), name="stgn.u_t")
+        self.u_s = Parameter(init.gaussian((1, hidden_dim), rng), name="stgn.u_s")
+        self.b_t = Parameter(np.zeros(hidden_dim), name="stgn.b_t")
+        self.b_s = Parameter(np.zeros(hidden_dim), name="stgn.b_s")
+
+    def forward(
+        self,
+        x: Tensor,
+        h: Tensor,
+        c: Tensor,
+        delta_t: np.ndarray,
+        delta_d: np.ndarray,
+    ) -> tuple[Tensor, Tensor]:
+        gates = x @ self.base.w_x + h @ self.base.w_h + self.base.bias
+        d = self.hidden_dim
+        i = gates[:, 0 * d:1 * d].sigmoid()
+        f = gates[:, 1 * d:2 * d].sigmoid()
+        g = gates[:, 2 * d:3 * d].tanh()
+        o = gates[:, 3 * d:4 * d].sigmoid()
+
+        dt = Tensor(np.asarray(delta_t, dtype=np.float64)[:, None])
+        dd = Tensor(np.asarray(delta_d, dtype=np.float64)[:, None])
+        time_gate = (x @ self.w_t + dt @ self.u_t + self.b_t).sigmoid()
+        dist_gate = (x @ self.w_s + dd @ self.u_s + self.b_s).sigmoid()
+
+        c_next = f * c + i * time_gate * dist_gate * g
+        h_next = o * c_next.tanh()
+        return h_next, c_next
+
+
+class STGN(Module):
+    """Batched STGN over sequences with per-step time/distance intervals."""
+
+    def __init__(self, input_dim: int, hidden_dim: int, rng: np.random.Generator):
+        super().__init__()
+        self.cell = STGNCell(input_dim, hidden_dim, rng)
+        self.hidden_dim = hidden_dim
+
+    def forward(
+        self,
+        x: Tensor,
+        delta_t: np.ndarray,
+        delta_d: np.ndarray,
+        mask: np.ndarray | None = None,
+    ) -> tuple[Tensor, Tensor]:
+        batch, length, _ = x.shape
+        h = Tensor(np.zeros((batch, self.hidden_dim)))
+        c = Tensor(np.zeros((batch, self.hidden_dim)))
+        outputs = []
+        for t in range(length):
+            h_next, c_next = self.cell(
+                x[:, t, :], h, c, delta_t[:, t], delta_d[:, t]
+            )
+            if mask is not None:
+                step = np.asarray(mask[:, t], dtype=np.float64)[:, None]
+                h = h_next * step + h * (1.0 - step)
+                c = c_next * step + c * (1.0 - step)
+            else:
+                h, c = h_next, c_next
+            outputs.append(h)
+        return stack(outputs, axis=1), h

@@ -1,0 +1,6 @@
+"""Optimizers for training on the numpy autograd engine."""
+
+from .adam import Adam
+from .sgd import SGD
+
+__all__ = ["Adam", "SGD"]

@@ -1,0 +1,67 @@
+"""Adam optimizer (Kingma & Ba, 2015).
+
+The paper trains every deep model with Adam, batch size 128, learning rate
+0.01, 5 epochs (Section V-A.5); those are the defaults used throughout the
+experiment harness.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+import numpy as np
+
+from ..nn.module import Parameter
+
+__all__ = ["Adam"]
+
+
+class Adam:
+    """Adam with optional gradient clipping and weight decay."""
+
+    def __init__(
+        self,
+        parameters: Iterable[Parameter],
+        lr: float = 0.01,
+        betas: tuple[float, float] = (0.9, 0.999),
+        eps: float = 1e-8,
+        weight_decay: float = 0.0,
+        grad_clip: float | None = 5.0,
+    ):
+        self.parameters = list(parameters)
+        if not self.parameters:
+            raise ValueError("optimizer received no parameters")
+        self.lr = lr
+        self.beta1, self.beta2 = betas
+        self.eps = eps
+        self.weight_decay = weight_decay
+        self.grad_clip = grad_clip
+        self._step = 0
+        self._m = [np.zeros_like(p.data) for p in self.parameters]
+        self._v = [np.zeros_like(p.data) for p in self.parameters]
+
+    def zero_grad(self) -> None:
+        for param in self.parameters:
+            param.grad = None
+
+    def step(self) -> None:
+        """Apply one Adam update using the gradients stored on parameters."""
+        self._step += 1
+        t = self._step
+        bias1 = 1.0 - self.beta1 ** t
+        bias2 = 1.0 - self.beta2 ** t
+        for i, param in enumerate(self.parameters):
+            grad = param.grad
+            if grad is None:
+                continue
+            if self.weight_decay:
+                grad = grad + self.weight_decay * param.data
+            if self.grad_clip is not None:
+                norm = np.linalg.norm(grad)
+                if norm > self.grad_clip:
+                    grad = grad * (self.grad_clip / (norm + 1e-12))
+            self._m[i] = self.beta1 * self._m[i] + (1.0 - self.beta1) * grad
+            self._v[i] = self.beta2 * self._v[i] + (1.0 - self.beta2) * grad ** 2
+            m_hat = self._m[i] / bias1
+            v_hat = self._v[i] / bias2
+            param.data = param.data - self.lr * m_hat / (np.sqrt(v_hat) + self.eps)

@@ -1,0 +1,128 @@
+"""Recommendation explanations.
+
+Maps each recommended OD pair back to the behavioural mechanism that makes
+it plausible — the vocabulary of the paper's case study (Section V-F):
+
+- ``return_ticket``   : the pair reverses the user's most recent booking;
+- ``clicked``         : the user clicked this exact pair recently;
+- ``repeat_route``    : the user booked this exact pair before;
+- ``origin_explored`` : departs from a nearby airport instead of the
+  user's current city (challenge 1);
+- ``pattern_match``   : an unvisited destination sharing a semantic
+  pattern with past destinations (challenge 2);
+- ``popular_route``   : a globally popular air line;
+- ``personalized``    : none of the above — pure model scoring.
+
+Useful both for UX ("because you searched for ...") and for debugging
+what a trained model has actually learned.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..data.schema import ODPair, UserHistory
+from ..data.world import CityWorld
+
+__all__ = ["Explanation", "RecommendationExplainer"]
+
+
+@dataclass(frozen=True)
+class Explanation:
+    """Why one OD pair is being recommended."""
+
+    pair: ODPair
+    reasons: tuple[str, ...]
+    detail: str
+
+    @property
+    def primary(self) -> str:
+        return self.reasons[0] if self.reasons else "personalized"
+
+
+class RecommendationExplainer:
+    """Derives rule-based explanations for recommended pairs."""
+
+    def __init__(
+        self,
+        world: CityWorld,
+        route_popularity: np.ndarray,
+        nearby_radius_km: float = 400.0,
+        popular_route_quantile: float = 0.95,
+    ):
+        self.world = world
+        self.route_popularity = np.asarray(route_popularity)
+        self.nearby_radius_km = nearby_radius_km
+        positive = self.route_popularity[self.route_popularity > 0]
+        self._popular_threshold = (
+            float(np.quantile(positive, popular_route_quantile))
+            if positive.size else float("inf")
+        )
+
+    def explain(self, history: UserHistory, pair: ODPair) -> Explanation:
+        """Explain one recommended pair against the user's history."""
+        reasons: list[str] = []
+        details: list[str] = []
+        origin, destination = pair
+
+        if history.bookings:
+            last = history.bookings[-1]
+            if (origin, destination) == (last.destination, last.origin):
+                reasons.append("return_ticket")
+                details.append(
+                    f"reverses the most recent booking "
+                    f"{last.origin}->{last.destination}"
+                )
+
+        if any((c.origin, c.destination) == (origin, destination)
+               for c in history.clicks):
+            reasons.append("clicked")
+            details.append("user clicked this exact flight recently")
+
+        if any((b.origin, b.destination) == (origin, destination)
+               for b in history.bookings):
+            reasons.append("repeat_route")
+            details.append("user booked this route before")
+
+        if origin != history.current_city:
+            distance = self.world.distance_km[history.current_city, origin]
+            if distance <= self.nearby_radius_km:
+                reasons.append("origin_explored")
+                details.append(
+                    f"departs from a nearby airport ({distance:.0f} km from "
+                    f"the current city)"
+                )
+
+        visited = set(b.destination for b in history.bookings)
+        if destination not in visited:
+            visited_patterns = set()
+            for city in visited:
+                visited_patterns |= self.world.cities[city].patterns
+            shared = self.world.cities[destination].patterns & visited_patterns
+            if shared:
+                reasons.append("pattern_match")
+                details.append(
+                    f"unvisited city sharing the {sorted(shared)} pattern(s) "
+                    "with past destinations"
+                )
+
+        if self.route_popularity[origin, destination] >= self._popular_threshold:
+            reasons.append("popular_route")
+            details.append("globally popular air line")
+
+        if not reasons:
+            reasons.append("personalized")
+            details.append("ranked highly by the personalised model")
+
+        return Explanation(
+            pair=pair,
+            reasons=tuple(reasons),
+            detail="; ".join(details),
+        )
+
+    def explain_all(
+        self, history: UserHistory, pairs: list[ODPair]
+    ) -> list[Explanation]:
+        return [self.explain(history, pair) for pair in pairs]

@@ -1,0 +1,87 @@
+"""Real-Time Features Service (RTFS) — Section VI-B.
+
+In production, TPP queries RTFS with a user id to fetch "basic information,
+historical purchase behaviors, and real-time clicking behaviors".  This
+module simulates that service: it indexes user histories from the dataset
+and accepts streaming click/booking events so the recommendation flow can
+be exercised end to end.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+
+from ..data.schema import BookingEvent, ClickEvent, UserHistory
+
+__all__ = ["RealTimeFeatureService"]
+
+
+class RealTimeFeatureService:
+    """Per-user behavioural store with point-in-time queries."""
+
+    def __init__(self, bookings_by_user: dict[int, list[BookingEvent]]):
+        self._bookings: dict[int, list[BookingEvent]] = {
+            user: sorted(events, key=lambda e: e.day)
+            for user, events in bookings_by_user.items()
+        }
+        self._clicks: dict[int, list[ClickEvent]] = {
+            user: [] for user in bookings_by_user
+        }
+
+    # ------------------------------------------------------------------
+    # Streaming ingestion
+    # ------------------------------------------------------------------
+    def record_booking(self, event: BookingEvent) -> None:
+        self._bookings.setdefault(event.user_id, []).append(event)
+        self._bookings[event.user_id].sort(key=lambda e: e.day)
+
+    def record_click(self, event: ClickEvent) -> None:
+        self._clicks.setdefault(event.user_id, []).append(event)
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def known_users(self) -> list[int]:
+        return sorted(self._bookings)
+
+    def bookings_before(self, user_id: int, day: int) -> list[BookingEvent]:
+        return [b for b in self._bookings.get(user_id, []) if b.day < day]
+
+    def clicks_before(
+        self, user_id: int, day: int, window_days: int = 7
+    ) -> list[ClickEvent]:
+        return [
+            c for c in self._clicks.get(user_id, [])
+            if day - window_days <= c.day < day
+        ]
+
+    def resident_city(self, user_id: int) -> int | None:
+        """The user's most frequent historical origin (their home base)."""
+        origins = Counter(
+            b.origin for b in self._bookings.get(user_id, [])
+        )
+        if not origins:
+            return None
+        return origins.most_common(1)[0][0]
+
+    def current_city(self, user_id: int, day: int) -> int | None:
+        """Where the user most plausibly is: last destination before ``day``,
+        falling back to the resident city."""
+        past = self.bookings_before(user_id, day)
+        if past:
+            return past[-1].destination
+        return self.resident_city(user_id)
+
+    def user_history(
+        self, user_id: int, day: int, click_window_days: int = 7
+    ) -> UserHistory:
+        """Assemble the model-facing history snapshot at ``day``."""
+        current = self.current_city(user_id, day)
+        if current is None:
+            raise KeyError(f"no behavioural data for user {user_id}")
+        return UserHistory(
+            user_id=user_id,
+            current_city=current,
+            bookings=self.bookings_before(user_id, day),
+            clicks=self.clicks_before(user_id, day, click_window_days),
+        )

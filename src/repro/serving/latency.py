@@ -1,0 +1,63 @@
+"""Serving latency measurement (the SLA view of Table V).
+
+The paper reports a single mean inference time per method; production
+serving cares about tail latency.  :func:`measure_serving_latency` drives
+the full Figure 9 request path (features -> recall -> rank) repeatedly
+and reports percentile statistics.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["LatencyReport", "measure_serving_latency"]
+
+
+@dataclass(frozen=True)
+class LatencyReport:
+    """Request-latency percentiles in milliseconds."""
+
+    count: int
+    mean_ms: float
+    p50_ms: float
+    p95_ms: float
+    p99_ms: float
+    max_ms: float
+
+    def format(self) -> str:
+        return (
+            f"requests={self.count}  mean={self.mean_ms:.2f}ms  "
+            f"p50={self.p50_ms:.2f}ms  p95={self.p95_ms:.2f}ms  "
+            f"p99={self.p99_ms:.2f}ms  max={self.max_ms:.2f}ms"
+        )
+
+
+def measure_serving_latency(
+    recommender,
+    user_ids: list[int],
+    day: int,
+    k: int = 10,
+    warmup: int = 2,
+) -> LatencyReport:
+    """Time end-to-end ``recommend`` calls for each user id."""
+    if not user_ids:
+        raise ValueError("need at least one user id")
+    for user_id in user_ids[:warmup]:
+        recommender.recommend(user_id=user_id, day=day, k=k)
+    samples = []
+    for user_id in user_ids:
+        start = time.perf_counter()
+        recommender.recommend(user_id=user_id, day=day, k=k)
+        samples.append((time.perf_counter() - start) * 1000.0)
+    array = np.asarray(samples)
+    return LatencyReport(
+        count=len(samples),
+        mean_ms=float(array.mean()),
+        p50_ms=float(np.percentile(array, 50)),
+        p95_ms=float(np.percentile(array, 95)),
+        p99_ms=float(np.percentile(array, 99)),
+        max_ms=float(array.max()),
+    )

@@ -1,0 +1,66 @@
+"""The Personalization Platform (TPP) facade — Figure 9's online flow.
+
+``FlightRecommender`` wires the full request path: a query with a user id
+hits the Real-Time Features Service for behaviours, the recall strategies
+assemble candidate OD pairs, and the Ranking Service scores them with the
+trained ODNET; the top-k pairs come back as the recommendation list.
+
+This is the main end-to-end public API of the reproduction:
+
+>>> recommender = FlightRecommender(model, dataset)           # doctest: +SKIP
+>>> response = recommender.recommend(user_id=7, day=720, k=5) # doctest: +SKIP
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..data.dataset import ODDataset
+from ..data.schema import ODPair
+from .features import RealTimeFeatureService
+from .ranking_service import RankingService, ScoredPair
+from .recall import CandidateRecall, RecallConfig
+
+__all__ = ["RecommendationResponse", "FlightRecommender"]
+
+
+@dataclass
+class RecommendationResponse:
+    """The ranked flight list returned to the mobile app."""
+
+    user_id: int
+    day: int
+    flights: list[ScoredPair] = field(default_factory=list)
+
+    @property
+    def pairs(self) -> list[ODPair]:
+        return [flight.pair for flight in self.flights]
+
+    def __len__(self) -> int:
+        return len(self.flights)
+
+
+class FlightRecommender:
+    """End-to-end serving facade (TPP -> RTFS -> recall -> RSS -> top-k)."""
+
+    def __init__(
+        self,
+        model,
+        dataset: ODDataset,
+        recall_config: RecallConfig | None = None,
+    ):
+        self.dataset = dataset
+        self.features = RealTimeFeatureService(dataset.source.bookings_by_user)
+        self.recall = CandidateRecall(
+            dataset.source.world,
+            dataset.route_popularity,
+            recall_config,
+        )
+        self.ranking = RankingService(model, dataset)
+
+    def recommend(self, user_id: int, day: int, k: int = 10) -> RecommendationResponse:
+        """Serve the top-``k`` flight recommendations for a user."""
+        history = self.features.user_history(user_id, day)
+        candidates = self.recall.candidate_pairs(history)
+        ranked = self.ranking.rank(history, candidates, day=day, k=k)
+        return RecommendationResponse(user_id=user_id, day=day, flights=ranked)

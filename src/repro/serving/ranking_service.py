@@ -1,0 +1,58 @@
+"""Ranking Service System (RSS) — Section VI.
+
+RSS holds the trained model and "computes the scores (or probabilities) of
+every candidate OD pair"; the top-k pairs become the recommendation list.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..data.dataset import ODDataset
+from ..data.schema import ODPair, UserHistory
+from ..data.synthetic import DecisionPoint
+
+__all__ = ["ScoredPair", "RankingService"]
+
+
+@dataclass(frozen=True)
+class ScoredPair:
+    """One ranked flight recommendation."""
+
+    pair: ODPair
+    score: float
+
+
+class RankingService:
+    """Scores candidate OD pairs with a fitted ranker (Eq. 11 for ODNET)."""
+
+    def __init__(self, model, dataset: ODDataset):
+        self.model = model
+        self.dataset = dataset
+
+    def rank(
+        self,
+        history: UserHistory,
+        candidates: list[ODPair],
+        day: int,
+        k: int = 10,
+    ) -> list[ScoredPair]:
+        """Return the top-``k`` candidates by model score, descending."""
+        if not candidates:
+            return []
+        point = DecisionPoint(
+            history=history,
+            # Target is unknown at serving time; labels in the batch are
+            # ignored by score_pairs.
+            target=candidates[0],
+            day=day,
+        )
+        batch = self.dataset.batch_for_candidates(point, candidates)
+        scores = np.asarray(self.model.score_pairs(batch), dtype=np.float64)
+        order = np.argsort(-scores, kind="mergesort")[:k]
+        return [
+            ScoredPair(pair=candidates[int(i)], score=float(scores[int(i)]))
+            for i in order
+        ]

@@ -1,0 +1,122 @@
+"""Candidate recall strategies — Section VI-B.
+
+"The user's current city, adjacent cities, resident cities, as well as
+origin cities of historical booking flights can be selected as the
+candidate origin cities (Os) of the user.  On the other hand, candidate
+destination cities (Ds) of the user can be generated based on user's
+destination cities of historical booking flights, destination cities
+corresponding to popular air lines, destination cities of flights clicked
+by the user, and etc.  After that, candidate Os and Ds are assembled to
+get candidate OD pairs."
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..data.schema import ODPair, UserHistory
+from ..data.world import CityWorld
+
+__all__ = ["RecallConfig", "CandidateRecall"]
+
+
+@dataclass(frozen=True)
+class RecallConfig:
+    """Caps for each recall strategy."""
+
+    adjacent_radius_km: float = 400.0
+    max_adjacent: int = 4
+    max_historical_origins: int = 5
+    max_historical_destinations: int = 8
+    max_popular_destinations: int = 8
+    max_clicked_destinations: int = 6
+    max_pairs: int = 120
+
+
+class CandidateRecall:
+    """Assembles candidate OD pairs from the strategies of Section VI-B."""
+
+    def __init__(
+        self,
+        world: CityWorld,
+        route_popularity: np.ndarray,
+        config: RecallConfig | None = None,
+    ):
+        self.world = world
+        self.route_popularity = np.asarray(route_popularity, dtype=np.float64)
+        self.config = config or RecallConfig()
+        # Globally popular destinations by inbound route mass.
+        inbound = self.route_popularity.sum(axis=0)
+        self._popular_destinations = np.argsort(-inbound)
+
+    # ------------------------------------------------------------------
+    def candidate_origins(self, history: UserHistory) -> list[int]:
+        """Current city + adjacent cities + resident city + historical Os."""
+        config = self.config
+        origins: list[int] = [history.current_city]
+        origins.extend(
+            int(c) for c in self.world.nearby_cities(
+                history.current_city, config.adjacent_radius_km
+            )[: config.max_adjacent]
+        )
+        frequencies = Counter(b.origin for b in history.bookings)
+        if frequencies:
+            resident = frequencies.most_common(1)[0][0]
+            origins.append(resident)
+        origins.extend(
+            city for city, _ in frequencies.most_common(
+                config.max_historical_origins
+            )
+        )
+        return list(dict.fromkeys(origins))
+
+    def candidate_destinations(self, history: UserHistory) -> list[int]:
+        """Historical Ds + popular-route Ds + clicked Ds."""
+        config = self.config
+        destinations: list[int] = []
+        frequencies = Counter(b.destination for b in history.bookings)
+        destinations.extend(
+            city for city, _ in frequencies.most_common(
+                config.max_historical_destinations
+            )
+        )
+        destinations.extend(
+            int(c) for c in
+            self._popular_destinations[: config.max_popular_destinations]
+        )
+        destinations.extend(
+            c.destination for c in history.clicks[-config.max_clicked_destinations:]
+        )
+        return list(dict.fromkeys(destinations))
+
+    def candidate_pairs(self, history: UserHistory) -> list[ODPair]:
+        """Cross-assembled OD pairs, deduplicated and capped."""
+        pairs: list[ODPair] = []
+        seen: set[ODPair] = set()
+        # Clicked exact pairs first: the highest-intent candidates.
+        for click in reversed(history.clicks):
+            pair = ODPair(click.origin, click.destination)
+            if pair.origin != pair.destination and pair not in seen:
+                seen.add(pair)
+                pairs.append(pair)
+        # Return pair of the most recent trip (the Case 2 signal).
+        if history.bookings:
+            last = history.bookings[-1]
+            pair = ODPair(last.destination, last.origin)
+            if pair.origin != pair.destination and pair not in seen:
+                seen.add(pair)
+                pairs.append(pair)
+        for origin in self.candidate_origins(history):
+            for destination in self.candidate_destinations(history):
+                if origin == destination:
+                    continue
+                pair = ODPair(origin, destination)
+                if pair not in seen:
+                    seen.add(pair)
+                    pairs.append(pair)
+                if len(pairs) >= self.config.max_pairs:
+                    return pairs
+        return pairs

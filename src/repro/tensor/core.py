@@ -1,0 +1,603 @@
+"""Reverse-mode automatic differentiation on numpy arrays.
+
+This module is the computational substrate of the reproduction: the paper
+trained ODNET with TensorFlow on Alibaba PAI, which is unavailable here, so
+we implement the minimum viable deep-learning framework from scratch.  The
+design follows the classic tape-based approach: every differentiable
+operation returns a new :class:`Tensor` holding a closure that knows how to
+push its output gradient back to its inputs; :meth:`Tensor.backward` walks
+the graph in reverse topological order.
+
+All operations are fully vectorised over numpy and support broadcasting.
+Gradient correctness is verified against central finite differences in
+``tests/tensor/test_gradcheck.py``.
+"""
+
+from __future__ import annotations
+
+import contextlib
+from typing import Callable, Iterable, Sequence
+
+import numpy as np
+
+__all__ = [
+    "Tensor",
+    "no_grad",
+    "is_grad_enabled",
+    "as_tensor",
+    "concat",
+    "stack",
+    "where",
+    "maximum",
+]
+
+_GRAD_ENABLED = True
+
+
+@contextlib.contextmanager
+def no_grad():
+    """Context manager that disables graph construction (inference mode)."""
+    global _GRAD_ENABLED
+    previous = _GRAD_ENABLED
+    _GRAD_ENABLED = False
+    try:
+        yield
+    finally:
+        _GRAD_ENABLED = previous
+
+
+def is_grad_enabled() -> bool:
+    """Return whether operations currently record gradients."""
+    return _GRAD_ENABLED
+
+
+def _unbroadcast(grad: np.ndarray, shape: tuple[int, ...]) -> np.ndarray:
+    """Reduce ``grad`` so that it matches ``shape`` after broadcasting.
+
+    numpy broadcasting may have expanded an operand along leading axes or
+    along axes of size one; the chain rule requires summing the incoming
+    gradient over those expanded axes.
+    """
+    if grad.shape == shape:
+        return grad
+    # Sum out the extra leading axes added by broadcasting.
+    extra = grad.ndim - len(shape)
+    if extra > 0:
+        grad = grad.sum(axis=tuple(range(extra)))
+    # Sum over axes that were size one in the original shape.
+    axes = tuple(i for i, n in enumerate(shape) if n == 1 and grad.shape[i] != 1)
+    if axes:
+        grad = grad.sum(axis=axes, keepdims=True)
+    return grad.reshape(shape)
+
+
+class Tensor:
+    """A numpy array with reverse-mode automatic differentiation.
+
+    Parameters
+    ----------
+    data:
+        Array-like payload.  Floating point data is stored as ``float64``
+        for numerically stable gradient checks; integer payloads (e.g.
+        embedding indices) are kept as integers and cannot require grad.
+    requires_grad:
+        Whether gradients should be accumulated into :attr:`grad` during
+        :meth:`backward`.
+    """
+
+    __slots__ = ("data", "grad", "requires_grad", "_backward", "_parents", "name")
+
+    # Make numpy defer to the reflected Tensor operators instead of trying
+    # to broadcast element-wise over the Tensor object.
+    __array_ufunc__ = None
+
+    def __init__(self, data, requires_grad: bool = False, name: str | None = None):
+        if isinstance(data, Tensor):
+            data = data.data
+        array = np.asarray(data)
+        if array.dtype.kind in "fc":
+            array = array.astype(np.float64, copy=False)
+        if requires_grad and array.dtype.kind not in "fc":
+            raise TypeError("only floating point tensors can require grad")
+        self.data: np.ndarray = array
+        self.grad: np.ndarray | None = None
+        self.requires_grad = bool(requires_grad)
+        self._backward: Callable[[np.ndarray], None] | None = None
+        self._parents: tuple[Tensor, ...] = ()
+        self.name = name
+
+    # ------------------------------------------------------------------
+    # Introspection helpers
+    # ------------------------------------------------------------------
+    @property
+    def shape(self) -> tuple[int, ...]:
+        return self.data.shape
+
+    @property
+    def ndim(self) -> int:
+        return self.data.ndim
+
+    @property
+    def size(self) -> int:
+        return self.data.size
+
+    @property
+    def dtype(self):
+        return self.data.dtype
+
+    @property
+    def T(self) -> "Tensor":
+        return self.transpose()
+
+    def __len__(self) -> int:
+        return len(self.data)
+
+    def __repr__(self) -> str:
+        grad_flag = ", requires_grad=True" if self.requires_grad else ""
+        return f"Tensor({self.data!r}{grad_flag})"
+
+    def item(self) -> float:
+        return float(self.data.item())
+
+    def numpy(self) -> np.ndarray:
+        """Return the underlying array (no copy); detached from the graph."""
+        return self.data
+
+    def detach(self) -> "Tensor":
+        return Tensor(self.data)
+
+    def copy(self) -> "Tensor":
+        return Tensor(self.data.copy(), requires_grad=self.requires_grad)
+
+    # ------------------------------------------------------------------
+    # Graph construction
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _make(
+        data: np.ndarray,
+        parents: Sequence["Tensor"],
+        backward: Callable[[np.ndarray], None],
+    ) -> "Tensor":
+        requires = _GRAD_ENABLED and any(p.requires_grad for p in parents)
+        out = Tensor(data, requires_grad=requires)
+        if requires:
+            out._parents = tuple(parents)
+            out._backward = backward
+        return out
+
+    def _accumulate(self, grad: np.ndarray) -> None:
+        if not self.requires_grad:
+            return
+        grad = _unbroadcast(np.asarray(grad, dtype=np.float64), self.data.shape)
+        if self.grad is None:
+            self.grad = grad.copy()
+        else:
+            self.grad += grad
+
+    def backward(self, grad: np.ndarray | None = None) -> None:
+        """Backpropagate from this tensor through the recorded graph."""
+        if not self.requires_grad:
+            raise RuntimeError("backward() called on a tensor without grad")
+        if grad is None:
+            if self.data.size != 1:
+                raise RuntimeError("grad must be provided for non-scalar output")
+            grad = np.ones_like(self.data)
+        grad = np.asarray(grad, dtype=np.float64)
+
+        # Reverse topological order via iterative DFS (avoids recursion
+        # limits on deep recurrent graphs).
+        order: list[Tensor] = []
+        visited: set[int] = set()
+        stack: list[tuple[Tensor, bool]] = [(self, False)]
+        while stack:
+            node, processed = stack.pop()
+            if processed:
+                order.append(node)
+                continue
+            if id(node) in visited:
+                continue
+            visited.add(id(node))
+            stack.append((node, True))
+            for parent in node._parents:
+                if id(parent) not in visited and parent.requires_grad:
+                    stack.append((parent, False))
+
+        grads: dict[int, np.ndarray] = {id(self): grad}
+
+        def deposit(parent: "Tensor", parent_grad: np.ndarray) -> None:
+            if not parent.requires_grad:
+                return
+            parent_grad = _unbroadcast(
+                np.asarray(parent_grad, dtype=np.float64), parent.data.shape
+            )
+            key = id(parent)
+            if key in grads:
+                grads[key] = grads[key] + parent_grad
+            else:
+                grads[key] = parent_grad
+
+        for node in reversed(order):
+            node_grad = grads.pop(id(node), None)
+            if node_grad is None:
+                continue
+            if node._backward is None:
+                # Leaf (parameter / input) — record the gradient.
+                node._accumulate(node_grad)
+            else:
+                node._backward(node_grad, deposit)
+
+    # ------------------------------------------------------------------
+    # Arithmetic
+    # ------------------------------------------------------------------
+    def __add__(self, other) -> "Tensor":
+        other = as_tensor(other)
+
+        def backward(grad, deposit):
+            deposit(self, grad)
+            deposit(other, grad)
+
+        return Tensor._make(self.data + other.data, (self, other), backward)
+
+    __radd__ = __add__
+
+    def __neg__(self) -> "Tensor":
+        def backward(grad, deposit):
+            deposit(self, -grad)
+
+        return Tensor._make(-self.data, (self,), backward)
+
+    def __sub__(self, other) -> "Tensor":
+        other = as_tensor(other)
+
+        def backward(grad, deposit):
+            deposit(self, grad)
+            deposit(other, -grad)
+
+        return Tensor._make(self.data - other.data, (self, other), backward)
+
+    def __rsub__(self, other) -> "Tensor":
+        return as_tensor(other).__sub__(self)
+
+    def __mul__(self, other) -> "Tensor":
+        other = as_tensor(other)
+
+        def backward(grad, deposit):
+            deposit(self, grad * other.data)
+            deposit(other, grad * self.data)
+
+        return Tensor._make(self.data * other.data, (self, other), backward)
+
+    __rmul__ = __mul__
+
+    def __truediv__(self, other) -> "Tensor":
+        other = as_tensor(other)
+
+        def backward(grad, deposit):
+            deposit(self, grad / other.data)
+            deposit(other, -grad * self.data / (other.data ** 2))
+
+        return Tensor._make(self.data / other.data, (self, other), backward)
+
+    def __rtruediv__(self, other) -> "Tensor":
+        return as_tensor(other).__truediv__(self)
+
+    def __pow__(self, exponent: float) -> "Tensor":
+        if not np.isscalar(exponent):
+            raise TypeError("only scalar exponents are supported")
+
+        def backward(grad, deposit):
+            deposit(self, grad * exponent * self.data ** (exponent - 1))
+
+        return Tensor._make(self.data ** exponent, (self,), backward)
+
+    def __matmul__(self, other) -> "Tensor":
+        other = as_tensor(other)
+        a, b = self.data, other.data
+        if a.ndim < 2 or b.ndim < 2:
+            raise ValueError("matmul requires tensors with ndim >= 2")
+
+        def backward(grad, deposit):
+            deposit(self, grad @ np.swapaxes(b, -1, -2))
+            deposit(other, np.swapaxes(a, -1, -2) @ grad)
+
+        return Tensor._make(a @ b, (self, other), backward)
+
+    # Comparison operators return plain numpy boolean arrays.
+    def __gt__(self, other):
+        return self.data > _raw(other)
+
+    def __lt__(self, other):
+        return self.data < _raw(other)
+
+    def __ge__(self, other):
+        return self.data >= _raw(other)
+
+    def __le__(self, other):
+        return self.data <= _raw(other)
+
+    # ------------------------------------------------------------------
+    # Elementwise non-linearities
+    # ------------------------------------------------------------------
+    def exp(self) -> "Tensor":
+        out_data = np.exp(self.data)
+
+        def backward(grad, deposit):
+            deposit(self, grad * out_data)
+
+        return Tensor._make(out_data, (self,), backward)
+
+    def log(self) -> "Tensor":
+        def backward(grad, deposit):
+            deposit(self, grad / self.data)
+
+        return Tensor._make(np.log(self.data), (self,), backward)
+
+    def sqrt(self) -> "Tensor":
+        out_data = np.sqrt(self.data)
+
+        def backward(grad, deposit):
+            deposit(self, grad * 0.5 / out_data)
+
+        return Tensor._make(out_data, (self,), backward)
+
+    def relu(self) -> "Tensor":
+        mask = self.data > 0
+
+        def backward(grad, deposit):
+            deposit(self, grad * mask)
+
+        return Tensor._make(self.data * mask, (self,), backward)
+
+    def sigmoid(self) -> "Tensor":
+        # Numerically stable logistic function.
+        out_data = np.where(
+            self.data >= 0,
+            1.0 / (1.0 + np.exp(-np.clip(self.data, -500, 500))),
+            np.exp(np.clip(self.data, -500, 500))
+            / (1.0 + np.exp(np.clip(self.data, -500, 500))),
+        )
+
+        def backward(grad, deposit):
+            deposit(self, grad * out_data * (1.0 - out_data))
+
+        return Tensor._make(out_data, (self,), backward)
+
+    def tanh(self) -> "Tensor":
+        out_data = np.tanh(self.data)
+
+        def backward(grad, deposit):
+            deposit(self, grad * (1.0 - out_data ** 2))
+
+        return Tensor._make(out_data, (self,), backward)
+
+    def clip(self, low: float, high: float) -> "Tensor":
+        mask = (self.data >= low) & (self.data <= high)
+
+        def backward(grad, deposit):
+            deposit(self, grad * mask)
+
+        return Tensor._make(np.clip(self.data, low, high), (self,), backward)
+
+    def abs(self) -> "Tensor":
+        sign = np.sign(self.data)
+
+        def backward(grad, deposit):
+            deposit(self, grad * sign)
+
+        return Tensor._make(np.abs(self.data), (self,), backward)
+
+    # ------------------------------------------------------------------
+    # Reductions
+    # ------------------------------------------------------------------
+    def sum(self, axis=None, keepdims: bool = False) -> "Tensor":
+        out_data = self.data.sum(axis=axis, keepdims=keepdims)
+
+        def backward(grad, deposit):
+            g = np.asarray(grad)
+            if axis is not None and not keepdims:
+                g = np.expand_dims(g, axis=axis)
+            deposit(self, np.broadcast_to(g, self.data.shape))
+
+        return Tensor._make(out_data, (self,), backward)
+
+    def mean(self, axis=None, keepdims: bool = False) -> "Tensor":
+        if axis is None:
+            count = self.data.size
+        else:
+            axes = axis if isinstance(axis, tuple) else (axis,)
+            count = int(np.prod([self.data.shape[a] for a in axes]))
+        return self.sum(axis=axis, keepdims=keepdims) * (1.0 / count)
+
+    def max(self, axis=None, keepdims: bool = False) -> "Tensor":
+        out_data = self.data.max(axis=axis, keepdims=keepdims)
+
+        def backward(grad, deposit):
+            g = np.asarray(grad)
+            out = out_data
+            if axis is not None and not keepdims:
+                g = np.expand_dims(g, axis=axis)
+                out = np.expand_dims(out_data, axis=axis)
+            mask = self.data == out
+            # Split gradient equally among ties for determinism.
+            counts = mask.sum(axis=axis, keepdims=True) if axis is not None else mask.sum()
+            deposit(self, g * mask / counts)
+
+        return Tensor._make(out_data, (self,), backward)
+
+    # ------------------------------------------------------------------
+    # Shape manipulation
+    # ------------------------------------------------------------------
+    def reshape(self, *shape) -> "Tensor":
+        if len(shape) == 1 and isinstance(shape[0], (tuple, list)):
+            shape = tuple(shape[0])
+        original = self.data.shape
+
+        def backward(grad, deposit):
+            deposit(self, np.asarray(grad).reshape(original))
+
+        return Tensor._make(self.data.reshape(shape), (self,), backward)
+
+    def transpose(self, *axes) -> "Tensor":
+        if not axes:
+            axes = tuple(reversed(range(self.data.ndim)))
+        elif len(axes) == 1 and isinstance(axes[0], (tuple, list)):
+            axes = tuple(axes[0])
+        inverse = np.argsort(axes)
+
+        def backward(grad, deposit):
+            deposit(self, np.transpose(np.asarray(grad), inverse))
+
+        return Tensor._make(np.transpose(self.data, axes), (self,), backward)
+
+    def swapaxes(self, a: int, b: int) -> "Tensor":
+        def backward(grad, deposit):
+            deposit(self, np.swapaxes(np.asarray(grad), a, b))
+
+        return Tensor._make(np.swapaxes(self.data, a, b), (self,), backward)
+
+    def expand_dims(self, axis: int) -> "Tensor":
+        def backward(grad, deposit):
+            deposit(self, np.squeeze(np.asarray(grad), axis=axis))
+
+        return Tensor._make(np.expand_dims(self.data, axis), (self,), backward)
+
+    def squeeze(self, axis: int | None = None) -> "Tensor":
+        original = self.data.shape
+
+        def backward(grad, deposit):
+            deposit(self, np.asarray(grad).reshape(original))
+
+        return Tensor._make(np.squeeze(self.data, axis=axis), (self,), backward)
+
+    def __getitem__(self, index) -> "Tensor":
+        index = _normalize_index(index)
+
+        def backward(grad, deposit):
+            full = np.zeros_like(self.data, dtype=np.float64)
+            np.add.at(full, index, np.asarray(grad))
+            deposit(self, full)
+
+        return Tensor._make(self.data[index], (self,), backward)
+
+    def take(self, indices: np.ndarray, axis: int = 0) -> "Tensor":
+        """Gather along ``axis``; gradient scatter-adds back (embedding lookup)."""
+        indices = np.asarray(indices)
+
+        def backward(grad, deposit):
+            full = np.zeros_like(self.data, dtype=np.float64)
+            if axis == 0:
+                np.add.at(full, indices, np.asarray(grad))
+            else:
+                moved = np.moveaxis(full, axis, 0)
+                np.add.at(moved, indices, np.moveaxis(np.asarray(grad), axis, 0))
+            deposit(self, full)
+
+        return Tensor._make(np.take(self.data, indices, axis=axis), (self,), backward)
+
+    # ------------------------------------------------------------------
+    # Softmax family (fused for stability)
+    # ------------------------------------------------------------------
+    def softmax(self, axis: int = -1) -> "Tensor":
+        shifted = self.data - self.data.max(axis=axis, keepdims=True)
+        exp = np.exp(shifted)
+        out_data = exp / exp.sum(axis=axis, keepdims=True)
+
+        def backward(grad, deposit):
+            g = np.asarray(grad)
+            dot = (g * out_data).sum(axis=axis, keepdims=True)
+            deposit(self, out_data * (g - dot))
+
+        return Tensor._make(out_data, (self,), backward)
+
+    def log_softmax(self, axis: int = -1) -> "Tensor":
+        shifted = self.data - self.data.max(axis=axis, keepdims=True)
+        log_norm = np.log(np.exp(shifted).sum(axis=axis, keepdims=True))
+        out_data = shifted - log_norm
+        softmax = np.exp(out_data)
+
+        def backward(grad, deposit):
+            g = np.asarray(grad)
+            deposit(self, g - softmax * g.sum(axis=axis, keepdims=True))
+
+        return Tensor._make(out_data, (self,), backward)
+
+    def masked_fill(self, mask: np.ndarray, value: float) -> "Tensor":
+        """Return a tensor with ``value`` where ``mask`` is True (no grad there)."""
+        mask = np.asarray(mask, dtype=bool)
+
+        def backward(grad, deposit):
+            deposit(self, np.where(mask, 0.0, np.asarray(grad)))
+
+        return Tensor._make(np.where(mask, value, self.data), (self,), backward)
+
+
+def _raw(value) -> np.ndarray:
+    return value.data if isinstance(value, Tensor) else np.asarray(value)
+
+
+def _normalize_index(index):
+    if isinstance(index, Tensor):
+        return index.data
+    if isinstance(index, tuple):
+        return tuple(i.data if isinstance(i, Tensor) else i for i in index)
+    return index
+
+
+def as_tensor(value) -> Tensor:
+    """Coerce ``value`` to a :class:`Tensor` (no copy when already one)."""
+    return value if isinstance(value, Tensor) else Tensor(value)
+
+
+def concat(tensors: Iterable[Tensor], axis: int = -1) -> Tensor:
+    """Concatenate tensors along ``axis`` with gradient routing."""
+    tensors = [as_tensor(t) for t in tensors]
+    sizes = [t.data.shape[axis] for t in tensors]
+    splits = np.cumsum(sizes)[:-1]
+
+    def backward(grad, deposit):
+        pieces = np.split(np.asarray(grad), splits, axis=axis)
+        for tensor, piece in zip(tensors, pieces):
+            deposit(tensor, piece)
+
+    return Tensor._make(
+        np.concatenate([t.data for t in tensors], axis=axis), tensors, backward
+    )
+
+
+def stack(tensors: Iterable[Tensor], axis: int = 0) -> Tensor:
+    """Stack tensors along a new ``axis`` with gradient routing."""
+    tensors = [as_tensor(t) for t in tensors]
+
+    def backward(grad, deposit):
+        pieces = np.split(np.asarray(grad), len(tensors), axis=axis)
+        for tensor, piece in zip(tensors, pieces):
+            deposit(tensor, np.squeeze(piece, axis=axis))
+
+    return Tensor._make(np.stack([t.data for t in tensors], axis=axis), tensors, backward)
+
+
+def where(condition: np.ndarray, a: Tensor, b: Tensor) -> Tensor:
+    """Differentiable elementwise select: ``a`` where condition else ``b``."""
+    condition = np.asarray(_raw(condition), dtype=bool)
+    a, b = as_tensor(a), as_tensor(b)
+
+    def backward(grad, deposit):
+        g = np.asarray(grad)
+        deposit(a, np.where(condition, g, 0.0))
+        deposit(b, np.where(condition, 0.0, g))
+
+    return Tensor._make(np.where(condition, a.data, b.data), (a, b), backward)
+
+
+def maximum(a: Tensor, b: Tensor) -> Tensor:
+    """Differentiable elementwise maximum (gradient split on ties)."""
+    a, b = as_tensor(a), as_tensor(b)
+    a_wins = a.data > b.data
+    ties = a.data == b.data
+
+    def backward(grad, deposit):
+        g = np.asarray(grad)
+        deposit(a, g * (a_wins + 0.5 * ties))
+        deposit(b, g * (~a_wins & ~ties) + g * 0.5 * ties)
+
+    return Tensor._make(np.maximum(a.data, b.data), (a, b), backward)

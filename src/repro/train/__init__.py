@@ -1,0 +1,23 @@
+"""Training and evaluation harness (paper protocol of Section V-A.5)."""
+
+from .checkpoint import load_checkpoint, save_checkpoint
+from .config import TrainConfig
+from .evaluate import (
+    evaluate_auc,
+    evaluate_model,
+    evaluate_ranking,
+    measure_inference_ms,
+)
+from .trainer import Trainer, TrainHistory
+
+__all__ = [
+    "TrainConfig",
+    "save_checkpoint",
+    "load_checkpoint",
+    "Trainer",
+    "TrainHistory",
+    "evaluate_auc",
+    "evaluate_ranking",
+    "evaluate_model",
+    "measure_inference_ms",
+]

@@ -1,0 +1,53 @@
+"""Model checkpointing: save/load weights as ``.npz`` archives.
+
+The production deployment (Section VI-A) trains offline on PAI and ships
+the weights to the Ranking Service System; this module is the laptop-scale
+equivalent so a trained ODNET can be persisted and served later without
+retraining.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+
+import numpy as np
+
+__all__ = ["save_checkpoint", "load_checkpoint"]
+
+_META_KEY = "__checkpoint_meta__"
+
+
+def save_checkpoint(model, path: str | pathlib.Path,
+                    metadata: dict | None = None) -> pathlib.Path:
+    """Persist a model's ``state_dict`` (plus optional JSON metadata)."""
+    path = pathlib.Path(path)
+    if path.suffix != ".npz":
+        path = path.with_suffix(".npz")
+    state = model.state_dict()
+    if _META_KEY in state:
+        raise ValueError(f"parameter name {_META_KEY!r} is reserved")
+    meta = dict(metadata or {})
+    meta.setdefault("model_name", getattr(model, "name", type(model).__name__))
+    payload = dict(state)
+    payload[_META_KEY] = np.frombuffer(
+        json.dumps(meta).encode("utf-8"), dtype=np.uint8
+    )
+    path.parent.mkdir(parents=True, exist_ok=True)
+    np.savez_compressed(path, **payload)
+    return path
+
+
+def load_checkpoint(model, path: str | pathlib.Path) -> dict:
+    """Load weights into ``model`` (shapes must match); returns metadata."""
+    path = pathlib.Path(path)
+    if path.suffix != ".npz":
+        path = path.with_suffix(".npz")
+    with np.load(path) as archive:
+        payload = {key: archive[key] for key in archive.files}
+    meta_bytes = payload.pop(_META_KEY, None)
+    metadata = {}
+    if meta_bytes is not None:
+        metadata = json.loads(bytes(meta_bytes.tobytes()).decode("utf-8"))
+    model.load_state_dict(payload)
+    return metadata

@@ -1,0 +1,20 @@
+"""Training configuration (paper defaults of Section V-A.5)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["TrainConfig"]
+
+
+@dataclass(frozen=True)
+class TrainConfig:
+    """Adam with batch size 128, learning rate 0.01, 5 epochs (§V-A.5)."""
+
+    epochs: int = 5
+    batch_size: int = 128
+    learning_rate: float = 0.01
+    grad_clip: float = 5.0
+    weight_decay: float = 0.0
+    seed: int = 0
+    verbose: bool = False

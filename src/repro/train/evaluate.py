@@ -1,0 +1,89 @@
+"""Evaluation harness: AUC over test samples, HR@k/MRR@k over ranking tasks,
+and inference latency measurement (Tables III-V)."""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from ..data.dataset import ODDataset, RankingTask
+from ..metrics import auc, evaluate_rankings, rank_of_true
+
+__all__ = [
+    "evaluate_auc",
+    "evaluate_ranking",
+    "evaluate_model",
+    "measure_inference_ms",
+]
+
+
+def evaluate_auc(model, dataset: ODDataset, split: str = "test") -> dict[str, float]:
+    """AUC-O / AUC-D over the labelled sample mix (OD mode), or AUC (LBSN)."""
+    scores_o, scores_d, labels_o, labels_d = [], [], [], []
+    for batch in dataset.iter_batches(split, batch_size=512, shuffle=False):
+        p_o, p_d = model.predict(batch)
+        scores_o.append(p_o)
+        scores_d.append(p_d)
+        labels_o.append(batch.label_o)
+        labels_d.append(batch.label_d)
+    scores_o = np.concatenate(scores_o)
+    scores_d = np.concatenate(scores_d)
+    labels_o = np.concatenate(labels_o)
+    labels_d = np.concatenate(labels_d)
+    if dataset.od_mode:
+        return {
+            "AUC-O": auc(scores_o, labels_o),
+            "AUC-D": auc(scores_d, labels_d),
+        }
+    return {"AUC": auc(scores_d, labels_d)}
+
+
+def evaluate_ranking(
+    model,
+    dataset: ODDataset,
+    tasks: list[RankingTask],
+    ks: tuple[int, ...] = (1, 5, 10),
+) -> dict[str, float]:
+    """HR@k / MRR@k of ``model`` over prepared ranking tasks."""
+    ranks = []
+    for task in tasks:
+        batch = dataset.batch_for_candidates(task.point, task.candidates)
+        scores = model.score_pairs(batch)
+        ranks.append(rank_of_true(scores, task.true_index))
+    return evaluate_rankings(np.asarray(ranks), ks=ks)
+
+
+def evaluate_model(
+    model,
+    dataset: ODDataset,
+    tasks: list[RankingTask],
+    ks: tuple[int, ...] = (1, 5, 10),
+) -> dict[str, float]:
+    """Full Table III/IV row: AUC(s) + HR@k + MRR@k."""
+    metrics = evaluate_auc(model, dataset)
+    metrics.update(evaluate_ranking(model, dataset, tasks, ks=ks))
+    return metrics
+
+
+def measure_inference_ms(
+    model,
+    dataset: ODDataset,
+    tasks: list[RankingTask],
+    repeats: int = 3,
+) -> float:
+    """Mean per-event scoring latency in milliseconds (Table V column 2)."""
+    if not tasks:
+        raise ValueError("need at least one ranking task")
+    batches = [
+        dataset.batch_for_candidates(task.point, task.candidates)
+        for task in tasks
+    ]
+    # Warm-up pass (table construction, caches).
+    model.score_pairs(batches[0])
+    start = time.perf_counter()
+    for _ in range(repeats):
+        for batch in batches:
+            model.score_pairs(batch)
+    elapsed = time.perf_counter() - start
+    return elapsed / (repeats * len(batches)) * 1000.0

@@ -1,0 +1,58 @@
+"""Mini-batch trainer for :class:`~repro.core.base.NeuralRanker` models."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..data.dataset import ODDataset
+from ..optim import Adam
+from .config import TrainConfig
+
+__all__ = ["Trainer", "TrainHistory"]
+
+
+@dataclass
+class TrainHistory:
+    """Per-epoch mean losses recorded during fitting."""
+
+    epoch_losses: list[float] = field(default_factory=list)
+
+    @property
+    def final_loss(self) -> float:
+        return self.epoch_losses[-1] if self.epoch_losses else float("nan")
+
+
+class Trainer:
+    """Runs the paper's training protocol over any model with ``loss(batch)``."""
+
+    def __init__(self, config: TrainConfig | None = None):
+        self.config = config or TrainConfig()
+
+    def fit(self, model, dataset: ODDataset) -> TrainHistory:
+        config = self.config
+        optimizer = Adam(
+            model.parameters(),
+            lr=config.learning_rate,
+            weight_decay=config.weight_decay,
+            grad_clip=config.grad_clip,
+        )
+        rng = np.random.default_rng(config.seed)
+        history = TrainHistory()
+        model.train()
+        for epoch in range(config.epochs):
+            losses = []
+            for batch in dataset.iter_batches(
+                "train", batch_size=config.batch_size, rng=rng
+            ):
+                optimizer.zero_grad()
+                loss = model.loss(batch)
+                loss.backward()
+                optimizer.step()
+                losses.append(loss.item())
+            mean_loss = float(np.mean(losses)) if losses else float("nan")
+            history.epoch_losses.append(mean_loss)
+            if config.verbose:
+                print(f"epoch {epoch + 1}/{config.epochs}: loss={mean_loss:.4f}")
+        return history

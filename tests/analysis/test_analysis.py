@@ -1,0 +1,95 @@
+"""ASCII charts and CSV export."""
+
+import csv
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    abtest_to_rows,
+    ascii_bar_chart,
+    ascii_line_chart,
+    comparison_to_rows,
+    write_csv,
+)
+
+
+class TestLineChart:
+    def test_renders_markers_and_legend(self):
+        chart = ascii_line_chart(
+            [1, 2, 3, 4],
+            {"HR@5": [0.5, 0.6, 0.7, 0.65], "MRR@5": [0.3, 0.4, 0.45, 0.44]},
+            title="Figure 6(a)",
+        )
+        assert "Figure 6(a)" in chart
+        assert "o=HR@5" in chart
+        assert "x=MRR@5" in chart
+        assert "o" in chart
+
+    def test_requires_matching_lengths(self):
+        with pytest.raises(ValueError):
+            ascii_line_chart([1, 2], {"a": [1.0]})
+
+    def test_requires_two_points(self):
+        with pytest.raises(ValueError):
+            ascii_line_chart([1], {"a": [1.0]})
+
+    def test_constant_series_does_not_crash(self):
+        chart = ascii_line_chart([1, 2, 3], {"flat": [2.0, 2.0, 2.0]})
+        assert "flat" in chart
+
+    def test_empty_series_rejected(self):
+        with pytest.raises(ValueError):
+            ascii_line_chart([1, 2], {})
+
+
+class TestBarChart:
+    def test_bars_scale_with_values(self):
+        chart = ascii_bar_chart(["A", "B"], [0.1, 0.2])
+        lines = chart.splitlines()
+        assert lines[0].count("#") < lines[1].count("#")
+
+    def test_alignment_error(self):
+        with pytest.raises(ValueError):
+            ascii_bar_chart(["A"], [1.0, 2.0])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            ascii_bar_chart([], [])
+
+
+class TestCSV:
+    def test_roundtrip(self, tmp_path):
+        path = write_csv(tmp_path / "out", {"x": [1, 2], "y": [0.1, 0.2]})
+        assert path.suffix == ".csv"
+        with open(path) as handle:
+            rows = list(csv.reader(handle))
+        assert rows[0] == ["x", "y"]
+        assert rows[1] == ["1", "0.1"]
+
+    def test_length_mismatch(self, tmp_path):
+        with pytest.raises(ValueError):
+            write_csv(tmp_path / "bad", {"x": [1], "y": [1, 2]})
+
+
+class TestAdapters:
+    def test_comparison_rows(self):
+        from repro.experiments.comparison import ComparisonResult, MethodResult
+
+        result = ComparisonResult(dataset_name="d", scale="tiny")
+        result.rows.append(MethodResult("A", {"HR@5": 0.5}, 1.0, 2.0))
+        result.rows.append(MethodResult("B", {"HR@5": 0.6}, 2.0, 3.0))
+        columns = comparison_to_rows(result)
+        assert columns["method"] == ["A", "B"]
+        assert columns["HR@5"] == [0.5, 0.6]
+        assert columns["train_seconds"] == [1.0, 2.0]
+
+    def test_abtest_rows(self):
+        from repro.serving.abtest import ABTestResult
+
+        result = ABTestResult(methods=["M"], days=2)
+        result.clicks["M"] = np.array([1.0, 2.0])
+        result.impressions["M"] = np.array([10.0, 10.0])
+        columns = abtest_to_rows(result)
+        assert columns["day"] == [1, 2]
+        np.testing.assert_allclose(columns["M"], [0.1, 0.2])

@@ -1,0 +1,78 @@
+"""Model introspection utilities."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    city_embedding_neighbors,
+    hsgc_user_neighbor_attention,
+    mmoe_gate_summary,
+    pec_history_attention,
+)
+from repro.core import build_odnet
+from tests.conftest import TINY_MODEL_CONFIG
+
+
+@pytest.fixture()
+def batch(od_dataset):
+    return next(od_dataset.iter_batches("test", 16, shuffle=False))
+
+
+class TestPECAttention:
+    def test_weights_are_masked_simplex(self, trained_odnet, batch):
+        weights = pec_history_attention(trained_odnet, batch, side="d")
+        assert weights.shape == (16, batch.long_mask.shape[1])
+        assert np.all(weights >= 0)
+        # Padded positions get zero weight; valid rows sum to one.
+        assert np.all(weights[~batch.long_mask] == 0)
+        has_history = batch.long_mask.any(axis=1)
+        np.testing.assert_allclose(
+            weights[has_history].sum(axis=1), 1.0, atol=1e-9
+        )
+
+    def test_side_validated(self, trained_odnet, batch):
+        with pytest.raises(ValueError):
+            pec_history_attention(trained_odnet, batch, side="x")
+
+    def test_mode_restored(self, trained_odnet, batch):
+        trained_odnet.train()
+        pec_history_attention(trained_odnet, batch)
+        assert trained_odnet.training
+
+
+class TestGateSummary:
+    def test_per_task_simplex(self, trained_odnet, batch):
+        summary = mmoe_gate_summary(trained_odnet, batch)
+        assert set(summary) == {"origin", "destination"}
+        for usage in summary.values():
+            assert usage.shape == (TINY_MODEL_CONFIG.num_experts,)
+            assert usage.sum() == pytest.approx(1.0)
+
+
+class TestCityNeighbors:
+    def test_returns_k_sorted(self, trained_odnet):
+        neighbors = city_embedding_neighbors(trained_odnet, city_id=0, k=4)
+        assert len(neighbors) == 4
+        sims = [s for _, s in neighbors]
+        assert sims == sorted(sims, reverse=True)
+        assert all(city != 0 for city, _ in neighbors)
+
+    def test_similarity_bounded(self, trained_odnet):
+        for _, similarity in city_embedding_neighbors(trained_odnet, 3, k=3):
+            assert -1.0 - 1e-9 <= similarity <= 1.0 + 1e-9
+
+
+class TestUserNeighborAttention:
+    def test_weights_form_distribution(self, trained_odnet, od_dataset):
+        # Find a user with at least one departure neighbour.
+        table = trained_odnet.origin_hsgc.neighbor_table
+        user = int(np.argmax(table.user_mask.sum(axis=1)))
+        pairs = hsgc_user_neighbor_attention(trained_odnet, user, side="o")
+        assert pairs
+        total = sum(weight for _, weight in pairs)
+        assert total == pytest.approx(1.0)
+
+    def test_graphless_model_rejected(self, od_dataset):
+        model = build_odnet(od_dataset, TINY_MODEL_CONFIG, "ODNET-G")
+        with pytest.raises(ValueError):
+            hsgc_user_neighbor_attention(model, 0)

@@ -1,0 +1,128 @@
+"""From-scratch gradient boosting: trees, boosting, and the ranker."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import GBDTRanker, GradientBoostingClassifier, RegressionTree
+
+
+class TestRegressionTree:
+    def test_predict_before_fit_raises(self):
+        with pytest.raises(RuntimeError):
+            RegressionTree().predict(np.zeros((2, 2)))
+
+    def test_learns_axis_aligned_split(self):
+        rng = np.random.default_rng(0)
+        X = rng.normal(size=(400, 3))
+        labels = (X[:, 1] > 0).astype(float)
+        prob = np.full(400, 0.5)
+        grad = prob - labels
+        hess = prob * (1 - prob)
+        tree = RegressionTree(max_depth=1, min_samples_leaf=5)
+        tree.fit(X, grad, hess)
+        preds = tree.predict(X)
+        assert np.corrcoef(preds, labels)[0, 1] > 0.9
+
+    def test_respects_max_depth(self):
+        rng = np.random.default_rng(1)
+        X = rng.normal(size=(200, 2))
+        labels = ((X[:, 0] > 0) ^ (X[:, 1] > 0)).astype(float)
+        grad = 0.5 - labels
+        hess = np.full(200, 0.25)
+        stump = RegressionTree(max_depth=0)
+        stump.fit(X, grad, hess)
+        assert len(np.unique(stump.predict(X))) == 1
+
+    def test_pure_node_becomes_leaf(self):
+        X = np.zeros((50, 1))  # no split possible: constant feature
+        grad = np.ones(50)
+        hess = np.ones(50)
+        tree = RegressionTree(max_depth=3)
+        tree.fit(X, grad, hess)
+        assert tree._root.is_leaf
+
+    def test_min_samples_leaf_respected(self):
+        rng = np.random.default_rng(2)
+        X = rng.normal(size=(30, 1))
+        grad = rng.normal(size=30)
+        hess = np.ones(30)
+        tree = RegressionTree(max_depth=1, min_samples_leaf=20)
+        tree.fit(X, grad, hess)
+        assert tree._root.is_leaf  # cannot split 30 into two >=20 halves
+
+
+class TestBoosting:
+    def test_fits_linear_boundary(self):
+        rng = np.random.default_rng(0)
+        X = rng.normal(size=(600, 4))
+        y = (X @ np.array([1.0, -1.0, 0.5, 0.0]) > 0).astype(float)
+        model = GradientBoostingClassifier(n_trees=30, max_depth=3)
+        model.fit(X, y)
+        prob = model.predict_proba(X)
+        accuracy = ((prob > 0.5) == y).mean()
+        assert accuracy > 0.9
+
+    def test_probabilities_in_unit_interval(self):
+        rng = np.random.default_rng(1)
+        X = rng.normal(size=(100, 2))
+        y = (X[:, 0] > 0).astype(float)
+        model = GradientBoostingClassifier(n_trees=10)
+        model.fit(X, y)
+        prob = model.predict_proba(X)
+        assert np.all((prob > 0) & (prob < 1))
+
+    def test_base_score_matches_prior(self):
+        X = np.random.default_rng(0).normal(size=(100, 2))
+        y = np.zeros(100)
+        y[:25] = 1.0
+        model = GradientBoostingClassifier(n_trees=1)
+        model.fit(X, y)
+        assert model._base_score == pytest.approx(np.log(0.25 / 0.75), rel=1e-6)
+
+    def test_more_trees_fit_better(self):
+        rng = np.random.default_rng(2)
+        X = rng.normal(size=(400, 3))
+        y = ((X[:, 0] > 0) ^ (X[:, 1] > 0)).astype(float)
+
+        def logloss(n):
+            model = GradientBoostingClassifier(n_trees=n, max_depth=3,
+                                               subsample=1.0)
+            model.fit(X, y)
+            p = np.clip(model.predict_proba(X), 1e-9, 1 - 1e-9)
+            return -(y * np.log(p) + (1 - y) * np.log(1 - p)).mean()
+
+        assert logloss(40) < logloss(5)
+
+
+class TestGBDTRanker:
+    def test_predict_before_fit_raises(self, od_dataset):
+        batch = next(od_dataset.iter_batches("train", 4, shuffle=False))
+        with pytest.raises(RuntimeError):
+            GBDTRanker().predict(batch)
+
+    def test_fit_and_rank(self, od_dataset):
+        model = GBDTRanker(n_trees=10)
+        model.fit(od_dataset)
+        batch = next(od_dataset.iter_batches("test", 64, shuffle=False))
+        p_o, p_d = model.predict(batch)
+        assert p_o.shape == (64,)
+        assert np.all((p_o > 0) & (p_o < 1))
+        scores = model.score_pairs(batch)
+        np.testing.assert_allclose(scores, 0.5 * p_o + 0.5 * p_d)
+
+    def test_beats_chance(self, od_dataset):
+        from repro.train import evaluate_auc
+
+        model = GBDTRanker(n_trees=15)
+        model.fit(od_dataset)
+        metrics = evaluate_auc(model, od_dataset)
+        assert metrics["AUC-O"] > 0.8
+        assert metrics["AUC-D"] > 0.7
+
+    def test_lbsn_mode_destination_only(self, lbsn_od_dataset):
+        model = GBDTRanker(n_trees=8)
+        model.fit(lbsn_od_dataset)
+        batch = next(lbsn_od_dataset.iter_batches("test", 16, shuffle=False))
+        p_o, p_d = model.predict(batch)
+        np.testing.assert_allclose(p_o, p_d)
+        np.testing.assert_allclose(model.score_pairs(batch), p_d)

@@ -1,0 +1,44 @@
+"""MostPop heuristic baseline."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import MostPop
+
+
+class TestMostPop:
+    def test_predict_before_fit_raises(self, od_dataset):
+        model = MostPop()
+        batch = next(od_dataset.iter_batches("train", 4, shuffle=False))
+        with pytest.raises(RuntimeError):
+            model.predict(batch)
+
+    def test_not_trainable_flag(self):
+        assert MostPop.trainable is False
+
+    def test_fit_returns_seconds(self, od_dataset):
+        assert MostPop().fit(od_dataset) >= 0.0
+
+    def test_current_city_scores_highest_origin(self, od_dataset):
+        model = MostPop()
+        model.fit(od_dataset)
+        batch = next(od_dataset.iter_batches("train", 256, shuffle=False))
+        p_o, _ = model.predict(batch)
+        current = batch.candidate_origin == batch.current_city
+        if current.any() and (~current).any():
+            assert p_o[current].min() > p_o[~current].mean()
+
+    def test_destination_score_is_popularity(self, od_dataset):
+        model = MostPop()
+        model.fit(od_dataset)
+        batch = next(od_dataset.iter_batches("train", 64, shuffle=False))
+        _, p_d = model.predict(batch)
+        np.testing.assert_allclose(
+            p_d, model._dest_pop[batch.candidate_destination]
+        )
+
+    def test_popularity_normalised(self, od_dataset):
+        model = MostPop()
+        model.fit(od_dataset)
+        assert model._dest_pop.max() == pytest.approx(1.0)
+        assert model._origin_pop.min() >= 0.0

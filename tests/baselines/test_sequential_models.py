@@ -1,0 +1,93 @@
+"""Sequential neural baselines: LSTM, STGN, LSTPM, STOD-PPA."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import (
+    LSTMRanker,
+    LSTPMRanker,
+    STGNRanker,
+    STODPPARanker,
+)
+from repro.train import TrainConfig, Trainer
+
+ALL = [LSTMRanker, STGNRanker, LSTPMRanker, STODPPARanker]
+
+
+@pytest.fixture(params=ALL, ids=lambda c: c.name)
+def model(request, od_dataset):
+    return request.param(od_dataset, dim=8, seed=0)
+
+
+class TestCommonContract:
+    def test_forward_probabilities(self, model, od_dataset):
+        batch = next(od_dataset.iter_batches("train", 8, shuffle=False))
+        p_o, p_d = model(batch)
+        assert p_o.shape == (8,)
+        assert np.all((p_o.data > 0) & (p_o.data < 1))
+        assert np.all((p_d.data > 0) & (p_d.data < 1))
+
+    def test_loss_gradients_reach_all_parameters(self, model, od_dataset):
+        batch = next(od_dataset.iter_batches("train", 8, shuffle=False))
+        model.zero_grad()
+        model.loss(batch).backward()
+        missing = [n for n, p in model.named_parameters() if p.grad is None]
+        assert not missing, missing
+
+    def test_score_pairs_blend(self, model, od_dataset):
+        batch = next(od_dataset.iter_batches("train", 8, shuffle=False))
+        p_o, p_d = model.predict(batch)
+        np.testing.assert_allclose(
+            model.score_pairs(batch), 0.5 * p_o + 0.5 * p_d
+        )
+
+    def test_one_epoch_reduces_loss(self, model, od_dataset):
+        history = Trainer(TrainConfig(epochs=2, seed=0)).fit(model, od_dataset)
+        assert history.epoch_losses[-1] < history.epoch_losses[0]
+
+
+class TestLbsnMode:
+    @pytest.mark.parametrize("cls", ALL, ids=lambda c: c.name)
+    def test_destination_only(self, cls, lbsn_od_dataset):
+        model = cls(lbsn_od_dataset, dim=8, seed=0)
+        assert model.tower_o is None
+        batch = next(lbsn_od_dataset.iter_batches("train", 8, shuffle=False))
+        p_o, p_d = model.predict(batch)
+        np.testing.assert_allclose(p_o, p_d)
+
+
+class TestDeltas:
+    def test_long_deltas_masked_and_scaled(self, od_dataset):
+        model = STGNRanker(od_dataset, dim=8)
+        batch = next(od_dataset.iter_batches("train", 16, shuffle=False))
+        delta_t, delta_d = model._long_deltas(batch, "d")
+        assert delta_t.shape == batch.long_days.shape
+        # Padded positions contribute zero intervals.
+        assert np.all(delta_t[~batch.long_mask] == 0)
+        assert np.all(delta_d[~batch.long_mask] == 0)
+        assert np.all(delta_t >= 0)
+
+    def test_first_step_has_zero_interval(self, od_dataset):
+        model = STGNRanker(od_dataset, dim=8)
+        batch = next(od_dataset.iter_batches("train", 16, shuffle=False))
+        delta_t, delta_d = model._long_deltas(batch, "o")
+        assert np.all(delta_t[:, 0] == 0)
+        assert np.all(delta_d[:, 0] == 0)
+
+
+class TestSTODPPACache:
+    def test_joint_history_cached_within_forward(self, od_dataset):
+        model = STODPPARanker(od_dataset, dim=8)
+        batch = next(od_dataset.iter_batches("train", 8, shuffle=False))
+        model._cache_key = None
+        first = model._joint_history(batch)
+        second = model._joint_history(batch)
+        assert first is second
+
+    def test_cache_invalidated_per_loss_call(self, od_dataset):
+        model = STODPPARanker(od_dataset, dim=8)
+        batch = next(od_dataset.iter_batches("train", 8, shuffle=False))
+        model.loss(batch)
+        key_after_first = model._cache_key
+        model.loss(batch)
+        assert model._cache_key == key_after_first  # recomputed, same batch id

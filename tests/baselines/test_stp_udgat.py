@@ -1,0 +1,101 @@
+"""STP-UDGAT: GAT layers and the three STP graphs."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import GATLayer, STPUDGATRanker
+from repro.baselines.stp_udgat import _build_knn_table, _table_from_counts
+from repro.tensor import Tensor
+
+
+class TestGATLayer:
+    def test_shapes_and_gradients(self, rng):
+        layer = GATLayer(8, rng)
+        table = Tensor(rng.normal(size=(6, 8)), requires_grad=True)
+        neighbors = rng.integers(0, 6, size=(6, 3))
+        mask = np.ones((6, 3), dtype=bool)
+        out = layer(table, neighbors, mask)
+        assert out.shape == (6, 8)
+        out.sum().backward()
+        assert layer.w.grad is not None
+        assert table.grad is not None
+
+    def test_isolated_node_keeps_projection(self, rng):
+        layer = GATLayer(4, rng)
+        table = Tensor(rng.normal(size=(3, 4)))
+        neighbors = np.zeros((3, 2), dtype=np.int64)
+        mask = np.zeros((3, 2), dtype=bool)
+        out = layer(table, neighbors, mask)
+        expected = np.maximum((table.data @ layer.w.data), 0.0)
+        np.testing.assert_allclose(out.data, expected, atol=1e-12)
+
+
+class TestGraphConstruction:
+    def test_knn_table_excludes_self(self):
+        rng = np.random.default_rng(0)
+        coords = rng.normal(size=(10, 2))
+        from repro.graph import l2_distance_matrix
+
+        neighbors, mask = _build_knn_table(l2_distance_matrix(coords), 4)
+        assert neighbors.shape == (10, 4)
+        for i in range(10):
+            assert i not in neighbors[i]
+        assert mask.all()
+
+    def test_knn_cap_at_population(self):
+        from repro.graph import l2_distance_matrix
+
+        coords = np.random.default_rng(1).normal(size=(3, 2))
+        neighbors, _ = _build_knn_table(l2_distance_matrix(coords), 10)
+        assert neighbors.shape == (3, 2)
+
+    def test_count_table_ranks_by_frequency(self):
+        from collections import Counter
+
+        counts = {0: Counter({3: 5, 1: 2, 2: 2})}
+        neighbors, mask = _table_from_counts(counts, 4, cap=2)
+        assert neighbors[0].tolist() == [3, 1]  # tie 1 vs 2 -> lower id
+        assert mask[0].all()
+        assert not mask[1].any()
+
+    def test_interaction_graphs_symmetric(self, od_dataset):
+        temporal, preference = STPUDGATRanker._interaction_graphs(
+            od_dataset, window_days=30
+        )
+        for src, counter in list(preference.items())[:10]:
+            for dst, count in counter.items():
+                assert preference[dst][src] == count
+
+    def test_interaction_graphs_exclude_test_bookings(self, od_dataset):
+        _, preference = STPUDGATRanker._interaction_graphs(od_dataset, 30)
+        total = sum(sum(c.values()) for c in preference.values())
+        # Recompute using all bookings: must be strictly larger.
+        from collections import Counter, defaultdict
+
+        all_pref = defaultdict(Counter)
+        for bookings in od_dataset.source.bookings_by_user.values():
+            cities = [b.destination for b in bookings]
+            for i in range(len(cities)):
+                for j in range(i + 1, len(cities)):
+                    if cities[i] != cities[j]:
+                        all_pref[cities[i]][cities[j]] += 1
+                        all_pref[cities[j]][cities[i]] += 1
+        assert total < sum(sum(c.values()) for c in all_pref.values())
+
+
+class TestRanker:
+    def test_forward_and_training(self, od_dataset):
+        from repro.train import TrainConfig, Trainer
+
+        model = STPUDGATRanker(od_dataset, dim=8)
+        batch = next(od_dataset.iter_batches("train", 8, shuffle=False))
+        p_o, p_d = model(batch)
+        assert np.all((p_o.data > 0) & (p_o.data < 1))
+        history = Trainer(TrainConfig(epochs=1, seed=0)).fit(model, od_dataset)
+        assert np.isfinite(history.final_loss)
+
+    def test_lbsn_mode(self, lbsn_od_dataset):
+        model = STPUDGATRanker(lbsn_od_dataset, dim=8)
+        batch = next(lbsn_od_dataset.iter_batches("train", 8, shuffle=False))
+        p_o, p_d = model.predict(batch)
+        np.testing.assert_allclose(p_o, p_d)

@@ -1,0 +1,49 @@
+"""Ranker base-class contracts."""
+
+import numpy as np
+
+from repro.core.base import NeuralRanker, Ranker
+
+
+class _ConstantRanker(Ranker):
+    name = "const"
+
+    def fit(self, dataset, config=None):
+        return 0.0
+
+    def predict(self, batch):
+        n = len(batch)
+        return np.full(n, 0.8), np.full(n, 0.4)
+
+
+class TestRankerDefaults:
+    def test_default_score_is_equal_blend(self, od_dataset):
+        batch = next(od_dataset.iter_batches("train", 4, shuffle=False))
+        ranker = _ConstantRanker()
+        np.testing.assert_allclose(ranker.score_pairs(batch), 0.6)
+
+    def test_trainable_flag_default(self):
+        assert _ConstantRanker.trainable is True
+
+
+class TestNeuralRankerContract:
+    def test_predict_returns_float64_numpy(self, trained_odnet, od_dataset):
+        batch = next(od_dataset.iter_batches("train", 4, shuffle=False))
+        p_o, p_d = trained_odnet.predict(batch)
+        assert isinstance(p_o, np.ndarray)
+        assert p_o.dtype == np.float64
+        assert isinstance(p_d, np.ndarray)
+
+    def test_fit_returns_positive_seconds(self, od_dataset):
+        from repro.core import build_odnet
+        from repro.train import TrainConfig
+        from tests.conftest import TINY_MODEL_CONFIG
+
+        model = build_odnet(od_dataset, TINY_MODEL_CONFIG)
+        assert model.fit(od_dataset, TrainConfig(epochs=1)) > 0
+
+    def test_is_module_and_ranker(self, trained_odnet):
+        from repro.nn import Module
+
+        assert isinstance(trained_odnet, Module)
+        assert isinstance(trained_odnet, NeuralRanker)

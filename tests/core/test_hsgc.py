@@ -1,0 +1,118 @@
+"""HSGC — Algorithm 1 with Eq. 1 attention and Eq. 2 spatial weights."""
+
+import numpy as np
+import pytest
+
+from repro.core.hsgc import HSGComponent
+from repro.graph import EdgeType, HeterogeneousSpatialGraph, Metapath, build_neighbor_table
+
+
+@pytest.fixture()
+def small_hsg():
+    rng = np.random.default_rng(0)
+    coords = np.column_stack([rng.uniform(0, 10, 8), rng.uniform(0, 10, 8)])
+    g = HeterogeneousSpatialGraph(4, coords)
+    for user in range(4):
+        for city in rng.choice(8, size=3, replace=False):
+            g.add_edge(user, int(city), EdgeType.DEPARTURE)
+    return g
+
+
+def _component(graph, depth, rng_seed=0):
+    table = build_neighbor_table(graph, Metapath.origin_aware(), 5)
+    return HSGComponent(
+        num_users=graph.num_users,
+        num_cities=graph.num_cities,
+        dim=8,
+        neighbor_table=table,
+        spatial_weights=graph.spatial_weights,
+        depth=depth,
+        rng=np.random.default_rng(rng_seed),
+    )
+
+
+class TestConstruction:
+    def test_negative_depth_rejected(self, small_hsg):
+        with pytest.raises(ValueError):
+            _component(small_hsg, depth=-1)
+
+    def test_depth_positive_requires_table(self):
+        with pytest.raises(ValueError):
+            HSGComponent(2, 3, 4, None, None, depth=1,
+                         rng=np.random.default_rng(0))
+
+    def test_depth_zero_without_table_allowed(self):
+        comp = HSGComponent(2, 3, 4, None, None, depth=0,
+                            rng=np.random.default_rng(0))
+        users, cities = comp.node_embeddings()
+        assert users.shape == (2, 4)
+        assert cities.shape == (3, 4)
+
+
+class TestPropagation:
+    def test_output_shapes(self, small_hsg):
+        comp = _component(small_hsg, depth=2)
+        users, cities = comp.node_embeddings()
+        assert users.shape == (4, 8)
+        assert cities.shape == (8, 8)
+
+    def test_depth_zero_returns_base_tables(self, small_hsg):
+        comp = _component(small_hsg, depth=0)
+        users, cities = comp.node_embeddings()
+        np.testing.assert_allclose(users.data, comp.user_embedding.weight.data)
+        np.testing.assert_allclose(cities.data, comp.city_embedding.weight.data)
+
+    def test_one_step_layer_per_depth(self, small_hsg):
+        assert len(_component(small_hsg, depth=3).step_layers) == 3
+
+    def test_propagation_changes_embeddings(self, small_hsg):
+        comp = _component(small_hsg, depth=2)
+        users, _ = comp.node_embeddings()
+        assert not np.allclose(users.data, comp.user_embedding.weight.data)
+
+    def test_outputs_nonnegative_after_relu(self, small_hsg):
+        comp = _component(small_hsg, depth=1)
+        users, cities = comp.node_embeddings()
+        assert (users.data >= 0).all()
+        assert (cities.data >= 0).all()
+
+    def test_gradients_reach_base_embeddings_and_weights(self, small_hsg):
+        comp = _component(small_hsg, depth=2)
+        users, cities = comp.node_embeddings()
+        (users.sum() + cities.sum()).backward()
+        assert comp.user_embedding.weight.grad is not None
+        assert comp.city_embedding.weight.grad is not None
+        for layer in comp.step_layers:
+            assert layer.weight.grad is not None
+
+    def test_neighbor_influence(self, small_hsg):
+        """Perturbing a neighbour city's base embedding changes the user's
+        propagated embedding (message passing works)."""
+        comp = _component(small_hsg, depth=1)
+        table = comp.neighbor_table
+        user = 0
+        neighbor = int(table.user_neighbors[user, 0])
+        before = comp.node_embeddings()[0].data[user].copy()
+        comp.city_embedding.weight.data[neighbor] += 1.0
+        after = comp.node_embeddings()[0].data[user]
+        assert not np.allclose(before, after)
+
+    def test_isolated_user_unaffected_by_neighbors(self):
+        """A user with no edges aggregates a zero neighbourhood."""
+        coords = np.array([[0.0, 0.0], [1.0, 0.0], [2.0, 0.0]])
+        g = HeterogeneousSpatialGraph(2, coords)
+        g.add_edge(0, 0, EdgeType.DEPARTURE)  # user 1 isolated
+        comp = _component(g, depth=1)
+        table = comp.neighbor_table
+        assert table.user_mask[1].sum() == 0
+        users, _ = comp.node_embeddings()
+        assert np.isfinite(users.data).all()
+
+    def test_spatial_weights_gathered_per_neighbor(self, small_hsg):
+        comp = _component(small_hsg, depth=1)
+        table = comp.neighbor_table
+        w = small_hsg.spatial_weights
+        for city in range(small_hsg.num_cities):
+            for j in range(table.max_neighbors):
+                expected = w[city, table.city_neighbors[city, j]]
+                assert comp._city_spatial[city, j] == pytest.approx(expected)

@@ -1,0 +1,82 @@
+"""O&D-JLC — the MMoE head of Eqs. 6-7."""
+
+import numpy as np
+import pytest
+
+from repro.core.mmoe import MMoEJointLearning
+from repro.tensor import Tensor
+
+
+@pytest.fixture()
+def mmoe(rng):
+    return MMoEJointLearning(
+        input_dim=12, expert_dim=6, tower_hidden=4, rng=rng,
+        num_experts=3, num_tasks=2,
+    )
+
+
+class TestStructure:
+    def test_counts_validated(self, rng):
+        with pytest.raises(ValueError):
+            MMoEJointLearning(4, 2, 2, rng, num_experts=0)
+
+    def test_three_experts_two_gates_two_towers(self, mmoe):
+        assert len(mmoe.experts) == 3
+        assert len(mmoe.gates) == 2
+        assert len(mmoe.towers) == 2
+
+    def test_gates_have_no_bias(self, mmoe):
+        assert all(gate.bias is None for gate in mmoe.gates)
+
+
+class TestForward:
+    def test_probability_outputs(self, mmoe, rng):
+        q = Tensor(rng.normal(size=(5, 12)))
+        p_o, p_d = mmoe(q)
+        assert p_o.shape == (5,)
+        assert p_d.shape == (5,)
+        assert np.all((p_o.data > 0) & (p_o.data < 1))
+        assert np.all((p_d.data > 0) & (p_d.data < 1))
+
+    def test_gate_mixtures_are_simplex(self, mmoe, rng):
+        q = Tensor(rng.normal(size=(7, 12)))
+        mixtures = mmoe.gate_mixtures(q)
+        assert mixtures.shape == (2, 7, 3)
+        np.testing.assert_allclose(mixtures.sum(axis=-1), 1.0)
+        assert np.all(mixtures >= 0)
+
+    def test_tasks_can_differ(self, mmoe, rng):
+        q = Tensor(rng.normal(size=(16, 12)))
+        p_o, p_d = mmoe(q)
+        assert not np.allclose(p_o.data, p_d.data)
+
+    def test_gradients_reach_every_expert_and_gate(self, mmoe, rng):
+        q = Tensor(rng.normal(size=(4, 12)))
+        p_o, p_d = mmoe(q)
+        (p_o.sum() + p_d.sum()).backward()
+        for name, param in mmoe.named_parameters():
+            assert param.grad is not None, name
+
+    def test_tasks_learn_different_mixtures(self, rng):
+        """Training two conflicting tasks drives the gates apart."""
+        from repro.optim import Adam
+        from repro.tensor import functional as F
+
+        mmoe = MMoEJointLearning(4, 8, 8, rng, num_experts=3, num_tasks=2)
+        X = rng.normal(size=(256, 4))
+        y_a = (X[:, 0] > 0).astype(float)
+        y_b = (X[:, 1] > 0).astype(float)
+        opt = Adam(mmoe.parameters(), lr=0.02)
+        for _ in range(150):
+            opt.zero_grad()
+            p_a, p_b = mmoe(Tensor(X))
+            loss = (
+                F.binary_cross_entropy(p_a, y_a)
+                + F.binary_cross_entropy(p_b, y_b)
+            )
+            loss.backward()
+            opt.step()
+        mixtures = mmoe.gate_mixtures(Tensor(X))
+        assert loss.item() < 0.8
+        gap = np.abs(mixtures[0].mean(axis=0) - mixtures[1].mean(axis=0)).max()
+        assert gap > 0.01

@@ -1,0 +1,70 @@
+"""STL variants (Section V-A.4)."""
+
+import numpy as np
+import pytest
+
+from repro.core import build_stl
+from repro.core.variants import VARIANTS, SingleTaskNetwork
+from tests.conftest import TINY_MODEL_CONFIG
+
+
+class TestSingleTaskNetwork:
+    def test_side_validated(self, od_dataset):
+        with pytest.raises(ValueError):
+            SingleTaskNetwork(od_dataset, "x", TINY_MODEL_CONFIG)
+
+    def test_probability_shape(self, od_dataset):
+        net = SingleTaskNetwork(od_dataset, "o", TINY_MODEL_CONFIG)
+        batch = next(od_dataset.iter_batches("train", 8, shuffle=False))
+        p = net.probability(batch)
+        assert p.shape == (8,)
+        assert np.all((p.data > 0) & (p.data < 1))
+
+    def test_loss_uses_side_label(self, od_dataset):
+        batch = next(od_dataset.iter_batches("train", 8, shuffle=False))
+        net_o = SingleTaskNetwork(od_dataset, "o", TINY_MODEL_CONFIG)
+        loss = net_o.loss(batch)
+        assert np.isfinite(loss.item())
+
+
+class TestSTLRanker:
+    def test_variant_factory(self, od_dataset):
+        plus = build_stl(od_dataset, TINY_MODEL_CONFIG, "STL+G")
+        minus = build_stl(od_dataset, TINY_MODEL_CONFIG, "STL-G")
+        assert plus.name == "STL+G"
+        assert plus.dest_net.hsgc.depth == TINY_MODEL_CONFIG.depth
+        assert minus.dest_net.hsgc.depth == 0
+
+    def test_unknown_variant(self, od_dataset):
+        with pytest.raises(ValueError):
+            build_stl(od_dataset, TINY_MODEL_CONFIG, "STL?")
+
+    def test_pair_score_is_equal_blend(self, od_dataset):
+        model = build_stl(od_dataset, TINY_MODEL_CONFIG, "STL-G")
+        batch = next(od_dataset.iter_batches("train", 8, shuffle=False))
+        p_o, p_d = model.predict(batch)
+        np.testing.assert_allclose(
+            model.score_pairs(batch), 0.5 * p_o + 0.5 * p_d
+        )
+
+    def test_lbsn_mode_trains_destination_only(self, lbsn_od_dataset):
+        model = build_stl(lbsn_od_dataset, TINY_MODEL_CONFIG, "STL+G")
+        assert model.origin_net is None
+        batch = next(lbsn_od_dataset.iter_batches("train", 8, shuffle=False))
+        p_o, p_d = model.predict(batch)
+        np.testing.assert_allclose(p_o, p_d)
+        np.testing.assert_allclose(model.score_pairs(batch), p_d)
+
+    def test_training_reduces_loss(self, od_dataset):
+        from repro.train import TrainConfig, Trainer
+
+        model = build_stl(od_dataset, TINY_MODEL_CONFIG, "STL-G")
+        history = Trainer(TrainConfig(epochs=2, seed=0)).fit(model, od_dataset)
+        assert history.epoch_losses[-1] < history.epoch_losses[0]
+
+    def test_variant_doc_table(self):
+        names = {v.name for v in VARIANTS}
+        assert names == {"ODNET", "ODNET-G", "STL+G", "STL-G"}
+        by_name = {v.name: v for v in VARIANTS}
+        assert by_name["ODNET"].graph and by_name["ODNET"].joint
+        assert not by_name["STL-G"].graph and not by_name["STL-G"].joint

@@ -1,0 +1,92 @@
+"""Dataset persistence round-trips."""
+
+import numpy as np
+import pytest
+
+from repro.data import ODDataset
+from repro.data.io import load_dataset, save_dataset
+
+
+@pytest.fixture(scope="module")
+def roundtripped(fliggy_dataset, tmp_path_factory):
+    path = save_dataset(
+        fliggy_dataset, tmp_path_factory.mktemp("io") / "fliggy"
+    )
+    return load_dataset(path)
+
+
+class TestRoundTrip:
+    def test_world_geometry(self, fliggy_dataset, roundtripped):
+        np.testing.assert_allclose(
+            roundtripped.world.coordinates, fliggy_dataset.world.coordinates
+        )
+        np.testing.assert_allclose(
+            roundtripped.world.prices, fliggy_dataset.world.prices
+        )
+        np.testing.assert_allclose(
+            roundtripped.world.popularity, fliggy_dataset.world.popularity
+        )
+
+    def test_city_semantics(self, fliggy_dataset, roundtripped):
+        for a, b in zip(fliggy_dataset.world.cities, roundtripped.world.cities):
+            assert a.patterns == b.patterns
+            assert a.name == b.name
+            assert a.region == b.region
+
+    def test_profiles(self, fliggy_dataset, roundtripped):
+        assert roundtripped.profiles == fliggy_dataset.profiles
+
+    def test_samples(self, fliggy_dataset, roundtripped):
+        assert roundtripped.train_samples == fliggy_dataset.train_samples
+        assert roundtripped.test_samples == fliggy_dataset.test_samples
+
+    def test_bookings(self, fliggy_dataset, roundtripped):
+        assert roundtripped.bookings_by_user == fliggy_dataset.bookings_by_user
+
+    def test_decision_points(self, fliggy_dataset, roundtripped):
+        assert len(roundtripped.train_points) == len(fliggy_dataset.train_points)
+        for a, b in zip(fliggy_dataset.test_points, roundtripped.test_points):
+            assert a.target == b.target
+            assert a.day == b.day
+            assert a.history.current_city == b.history.current_city
+            assert a.history.bookings == b.history.bookings
+            assert a.history.clicks == b.history.clicks
+
+    def test_config_preserved(self, fliggy_dataset, roundtripped):
+        assert roundtripped.config == fliggy_dataset.config
+
+    def test_loaded_dataset_is_trainable(self, roundtripped):
+        """The loaded dataset supports the full model pipeline."""
+        from repro.core import build_odnet
+        from repro.train import TrainConfig
+        from tests.conftest import TINY_MODEL_CONFIG
+
+        dataset = ODDataset(roundtripped, max_long=10, max_short=6)
+        model = build_odnet(dataset, TINY_MODEL_CONFIG)
+        seconds = model.fit(dataset, TrainConfig(epochs=1, seed=0))
+        assert seconds > 0
+
+    def test_statistics_identical(self, fliggy_dataset, roundtripped):
+        assert roundtripped.statistics() == fliggy_dataset.statistics()
+
+
+class TestErrors:
+    def test_unsupported_version(self, fliggy_dataset, tmp_path):
+        import json
+
+        path = save_dataset(fliggy_dataset, tmp_path / "data")
+        with np.load(path) as archive:
+            payload = {k: archive[k] for k in archive.files}
+        header = json.loads(bytes(payload["header"].tobytes()).decode())
+        header["version"] = 999
+        payload["header"] = np.frombuffer(
+            json.dumps(header).encode(), dtype=np.uint8
+        )
+        np.savez_compressed(path, **payload)
+        with pytest.raises(ValueError):
+            load_dataset(path)
+
+    def test_suffix_normalisation(self, fliggy_dataset, tmp_path):
+        path = save_dataset(fliggy_dataset, tmp_path / "data.npz")
+        load_dataset(tmp_path / "data")  # works without suffix
+        assert path.name == "data.npz"

@@ -1,0 +1,86 @@
+"""Synthetic LBSN datasets (Foursquare / Gowalla stand-ins)."""
+
+import numpy as np
+import pytest
+
+from repro.data import foursquare_config, generate_lbsn_dataset, gowalla_config
+
+
+class TestConfigs:
+    def test_presets_differ(self):
+        fs, gw = foursquare_config(), gowalla_config()
+        assert gw.num_pois > fs.num_pois
+        assert gw.name == "gowalla"
+
+    def test_overrides(self):
+        cfg = foursquare_config(num_users=10)
+        assert cfg.num_users == 10
+        assert cfg.name == "foursquare"
+
+
+class TestGeneration:
+    def test_transitions_are_od_events(self, lbsn_dataset):
+        """Each booking's origin equals the previous check-in location."""
+        for bookings in list(lbsn_dataset.bookings_by_user.values())[:20]:
+            for prev, nxt in zip(bookings, bookings[1:]):
+                assert nxt.origin == prev.destination
+
+    def test_current_city_is_previous_location(self, lbsn_dataset):
+        for point in lbsn_dataset.test_points[:30]:
+            assert point.history.current_city == point.target.origin
+
+    def test_samples_are_d_only(self, lbsn_dataset):
+        """Negatives only vary the destination (origin is known)."""
+        for sample in lbsn_dataset.train_samples[:200]:
+            assert sample.label_o == 1
+
+    def test_negative_count_per_positive(self, lbsn_dataset):
+        positives = sum(1 for s in lbsn_dataset.train_samples if s.label_d)
+        negatives = sum(1 for s in lbsn_dataset.train_samples if not s.label_d)
+        assert negatives == 4 * positives
+
+    def test_history_strictly_before_target(self, lbsn_dataset):
+        for point in lbsn_dataset.train_points + lbsn_dataset.test_points:
+            for booking in point.history.bookings:
+                assert booking.day < point.day
+
+    def test_pois_have_one_category(self, lbsn_dataset):
+        for city in lbsn_dataset.world.cities:
+            assert len(city.patterns) == 1
+            (pattern,) = city.patterns
+            assert pattern.startswith("category_")
+
+    def test_users_concentrate_on_few_categories(self, lbsn_dataset):
+        """Personal category preference shows up in the check-in mix: a
+        user's most visited category exceeds the uniform share."""
+        world = lbsn_dataset.world
+        concentrations = []
+        for bookings in lbsn_dataset.bookings_by_user.values():
+            if len(bookings) < 8:
+                continue
+            categories = [world.cities[b.destination].region for b in bookings]
+            counts = np.bincount(categories, minlength=6)
+            concentrations.append(counts.max() / counts.sum())
+        assert np.mean(concentrations) > 1.5 / 6
+
+    def test_reproducible(self):
+        cfg = foursquare_config(num_users=20, num_pois=30)
+        a = generate_lbsn_dataset(cfg)
+        b = generate_lbsn_dataset(cfg)
+        assert a.train_samples[:20] == b.train_samples[:20]
+
+    def test_mobility_is_distance_biased(self, lbsn_dataset):
+        """Consecutive check-ins are nearer than random POI pairs."""
+        world = lbsn_dataset.world
+        hop = []
+        for bookings in lbsn_dataset.bookings_by_user.values():
+            for b in bookings:
+                hop.append(world.distance_km[b.origin, b.destination])
+        rng = np.random.default_rng(0)
+        n = world.num_cities
+        random_pairs = [
+            world.distance_km[i, j]
+            for i, j in zip(rng.integers(0, n, 2000), rng.integers(0, n, 2000))
+            if i != j
+        ]
+        assert np.mean(hop) < np.mean(random_pairs)

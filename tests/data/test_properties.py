@@ -1,0 +1,105 @@
+"""Property-based tests over generator configurations.
+
+Hypothesis drives the Fliggy and LBSN generators across random
+configurations and asserts the invariants every downstream consumer
+relies on: Table I ratios, id validity, chronology, and no label leakage.
+"""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.data import (
+    FliggyConfig,
+    ODDataset,
+    foursquare_config,
+    generate_fliggy_dataset,
+    generate_lbsn_dataset,
+)
+from repro.data.world import WorldConfig
+
+
+@st.composite
+def fliggy_configs(draw):
+    return FliggyConfig(
+        num_users=draw(st.integers(20, 50)),
+        world=WorldConfig(num_cities=draw(st.integers(8, 20))),
+        min_bookings=draw(st.integers(4, 6)),
+        mean_bookings=draw(st.floats(6.0, 10.0)),
+        train_points_per_user=draw(st.integers(1, 2)),
+        partial_negatives=draw(st.integers(1, 3)),
+        full_negatives=draw(st.integers(1, 3)),
+        seed=draw(st.integers(0, 10_000)),
+    )
+
+
+class TestFliggyProperties:
+    @given(config=fliggy_configs())
+    @settings(max_examples=15, deadline=None)
+    def test_invariants(self, config):
+        dataset = generate_fliggy_dataset(config)
+        n = dataset.num_cities
+
+        # Every id is in range and origins differ from destinations at
+        # positive samples? (Negatives may coincide with O by chance but
+        # must stay in range.)
+        for sample in dataset.train_samples + dataset.test_samples:
+            assert 0 <= sample.origin < n
+            assert 0 <= sample.destination < n
+
+        # Table I ratios hold for any negative-count configuration.
+        stats = dataset.statistics()
+        if stats["training_pos"]:
+            assert stats["training_partial_neg"] == (
+                2 * config.partial_negatives * stats["training_pos"]
+            )
+            assert stats["training_neg"] == (
+                config.full_negatives * stats["training_pos"]
+            )
+
+        # Chronology and leakage.
+        for point in dataset.train_points + dataset.test_points:
+            for booking in point.history.bookings:
+                assert booking.day < point.day
+
+        # Each user contributes at most the configured train points.
+        from collections import Counter
+
+        per_user = Counter(p.history.user_id for p in dataset.train_points)
+        if per_user:
+            assert max(per_user.values()) <= config.train_points_per_user
+
+    @given(config=fliggy_configs())
+    @settings(max_examples=8, deadline=None)
+    def test_dataset_view_consistency(self, config):
+        dataset = ODDataset(generate_fliggy_dataset(config), max_long=6,
+                            max_short=4)
+        batches = list(dataset.iter_batches("train", 64, shuffle=False))
+        total = sum(len(b) for b in batches)
+        assert total == len(dataset.samples("train"))
+        for batch in batches:
+            assert batch.long_origins.max() < dataset.num_cities
+            assert batch.candidate_origin.max() < dataset.num_cities
+            assert np.isfinite(batch.xst_o).all()
+            assert np.isfinite(batch.pair_features).all()
+
+
+class TestLbsnProperties:
+    @given(
+        num_users=st.integers(10, 40),
+        num_pois=st.integers(8, 30),
+        seed=st.integers(0, 1000),
+    )
+    @settings(max_examples=10, deadline=None)
+    def test_invariants(self, num_users, num_pois, seed):
+        dataset = generate_lbsn_dataset(
+            foursquare_config(num_users=num_users, num_pois=num_pois,
+                              seed=seed)
+        )
+        for bookings in dataset.bookings_by_user.values():
+            for prev, nxt in zip(bookings, bookings[1:]):
+                assert nxt.origin == prev.destination
+            for booking in bookings:
+                assert 0 <= booking.origin < num_pois
+                assert 0 <= booking.destination < num_pois
+        for sample in dataset.train_samples:
+            assert sample.label_o == 1  # D-only negatives

@@ -1,0 +1,61 @@
+"""Domain schema: ODPair, Sample kinds, UserHistory accessors."""
+
+from repro.data import ODPair, Sample, UserHistory
+from repro.data.schema import (
+    BookingEvent,
+    CityPattern,
+    ClickEvent,
+    SampleKind,
+)
+
+
+class TestODPair:
+    def test_reversed(self):
+        pair = ODPair(3, 7)
+        assert pair.reversed == ODPair(7, 3)
+        assert pair.reversed.reversed == pair
+
+    def test_tuple_semantics(self):
+        origin, destination = ODPair(1, 2)
+        assert (origin, destination) == (1, 2)
+        assert ODPair(1, 2) == (1, 2)
+
+
+class TestSampleKind:
+    def test_positive(self):
+        assert Sample(0, 1, 2, 1, 1, 10).kind == SampleKind.POSITIVE
+
+    def test_partial_negative_d(self):
+        assert Sample(0, 1, 2, 1, 0, 10).kind == SampleKind.PARTIAL_NEG_D
+
+    def test_partial_negative_o(self):
+        assert Sample(0, 1, 2, 0, 1, 10).kind == SampleKind.PARTIAL_NEG_O
+
+    def test_negative(self):
+        assert Sample(0, 1, 2, 0, 0, 10).kind == SampleKind.NEGATIVE
+
+    def test_all_kinds_enumerated(self):
+        assert len(SampleKind.ALL) == 4
+
+
+class TestUserHistory:
+    def test_sequence_accessors(self):
+        history = UserHistory(
+            user_id=0,
+            current_city=5,
+            bookings=[
+                BookingEvent(0, 1, 2, 10, 100.0),
+                BookingEvent(0, 3, 4, 20, 150.0),
+            ],
+            clicks=[ClickEvent(0, 5, 6, 25)],
+        )
+        assert history.origin_sequence == [1, 3]
+        assert history.destination_sequence == [2, 4]
+        assert history.click_origin_sequence == [5]
+        assert history.click_destination_sequence == [6]
+
+
+class TestCityPattern:
+    def test_four_patterns(self):
+        assert len(CityPattern.ALL) == 4
+        assert CityPattern.SEASIDE in CityPattern.ALL

@@ -1,0 +1,175 @@
+"""The Fliggy behavioural simulator: Table I structure and planted signals."""
+
+from collections import Counter
+
+import numpy as np
+import pytest
+
+from repro.data import FliggyConfig, generate_fliggy_dataset
+from repro.data.schema import SampleKind
+from repro.data.world import WorldConfig
+from repro.graph import EdgeType
+
+
+class TestSampleStructure:
+    def test_table1_ratio(self, fliggy_dataset):
+        """One positive : 4 partial negatives : 2 negatives, per Table I."""
+        stats = fliggy_dataset.statistics()
+        assert stats["training_partial_neg"] == 4 * stats["training_pos"]
+        assert stats["training_neg"] == 2 * stats["training_pos"]
+        assert stats["testing_partial_neg"] == 4 * stats["testing_pos"]
+
+    def test_sample_kinds(self, fliggy_dataset):
+        kinds = Counter(s.kind for s in fliggy_dataset.train_samples)
+        assert set(kinds) == set(SampleKind.ALL)
+
+    def test_negative_city_differs_from_positive(self, fliggy_dataset):
+        for point in fliggy_dataset.train_points[:50]:
+            samples = [
+                s for s in fliggy_dataset.train_samples
+                if s.user_id == point.history.user_id and s.day == point.day
+            ]
+            for s in samples:
+                if not s.label_o:
+                    assert s.origin != point.target.origin
+                if not s.label_d:
+                    assert s.destination != point.target.destination
+
+    def test_one_test_point_per_eligible_user(self, fliggy_dataset):
+        users = [p.history.user_id for p in fliggy_dataset.test_points]
+        assert len(users) == len(set(users))
+
+    def test_train_points_capped_per_user(self, fliggy_dataset):
+        counts = Counter(p.history.user_id for p in fliggy_dataset.train_points)
+        cap = fliggy_dataset.config.train_points_per_user
+        assert max(counts.values()) <= cap
+
+
+class TestNoLeakage:
+    def test_history_strictly_before_decision_day(self, fliggy_dataset):
+        for point in fliggy_dataset.train_points + fliggy_dataset.test_points:
+            for booking in point.history.bookings:
+                assert booking.day < point.day
+            for click in point.history.clicks:
+                assert click.day < point.day
+
+    def test_train_points_before_test_point(self, fliggy_dataset):
+        test_day = {
+            p.history.user_id: p.day for p in fliggy_dataset.test_points
+        }
+        for point in fliggy_dataset.train_points:
+            if point.history.user_id in test_day:
+                assert point.day < test_day[point.history.user_id]
+
+    def test_hsg_excludes_test_bookings(self, fliggy_dataset):
+        graph = fliggy_dataset.build_hsg()
+        events = fliggy_dataset.training_od_events()
+        assert graph.num_edges(EdgeType.DEPARTURE) == len(events)
+        test_day = {
+            p.history.user_id: p.day for p in fliggy_dataset.test_points
+        }
+        total_bookings = sum(
+            len(b) for b in fliggy_dataset.bookings_by_user.values()
+        )
+        # Strictly fewer events than bookings: test bookings excluded.
+        assert len(events) < total_bookings
+        for user, day in test_day.items():
+            visible = [
+                b for b in fliggy_dataset.bookings_by_user[user] if b.day < day
+            ]
+            assert len(visible) < len(fliggy_dataset.bookings_by_user[user])
+
+
+class TestPlantedStructure:
+    """The generator must contain the paper's two challenges."""
+
+    @pytest.fixture(scope="class")
+    def dataset(self):
+        return generate_fliggy_dataset(
+            FliggyConfig(num_users=250, world=WorldConfig(num_cities=40),
+                         seed=11)
+        )
+
+    def test_origin_exploration_present(self, dataset):
+        """A meaningful share of bookings departs from a non-current city."""
+        explored = 0
+        total = 0
+        for point in dataset.test_points:
+            total += 1
+            if point.target.origin != point.history.current_city:
+                explored += 1
+        assert explored / total > 0.15
+
+    def test_destination_novelty_present(self, dataset):
+        """Many next destinations were never visited before (exploration)."""
+        novel = 0
+        total = 0
+        for point in dataset.test_points:
+            total += 1
+            if point.target.destination not in set(
+                point.history.destination_sequence
+            ):
+                novel += 1
+        assert novel / total > 0.3
+
+    def test_return_trips_present(self, dataset):
+        """Reversed-pair bookings (return tickets) occur."""
+        returns = 0
+        total = 0
+        for bookings in dataset.bookings_by_user.values():
+            for prev, nxt in zip(bookings, bookings[1:]):
+                total += 1
+                if (nxt.origin, nxt.destination) == (
+                    prev.destination, prev.origin
+                ):
+                    returns += 1
+        assert returns / total > 0.15
+
+    def test_clicks_are_intent_correlated(self, dataset):
+        """Clicked destinations share a pattern with the true one more often
+        than chance."""
+        pattern_hits = 0
+        total = 0
+        for point in dataset.test_points:
+            true_patterns = dataset.world.cities[
+                point.target.destination
+            ].patterns
+            for click in point.history.clicks:
+                total += 1
+                if dataset.world.cities[click.destination].patterns & true_patterns:
+                    pattern_hits += 1
+        assert pattern_hits / total > 0.5
+
+    def test_bookings_sorted_by_day(self, dataset):
+        for bookings in dataset.bookings_by_user.values():
+            days = [b.day for b in bookings]
+            assert days == sorted(days)
+
+    def test_prices_match_world(self, dataset):
+        for bookings in list(dataset.bookings_by_user.values())[:20]:
+            for b in bookings:
+                assert b.price == pytest.approx(
+                    dataset.world.prices[b.origin, b.destination]
+                )
+
+    def test_reproducible(self):
+        config = FliggyConfig(num_users=50, world=WorldConfig(num_cities=20),
+                              seed=99)
+        a = generate_fliggy_dataset(config)
+        b = generate_fliggy_dataset(config)
+        assert [s for s in a.train_samples[:50]] == [
+            s for s in b.train_samples[:50]
+        ]
+
+
+class TestAccessors:
+    def test_point_for_lookup(self, fliggy_dataset):
+        point = fliggy_dataset.test_points[0]
+        assert fliggy_dataset.point_for(
+            point.history.user_id, point.day
+        ) is point
+
+    def test_num_users_cities(self, fliggy_dataset):
+        assert fliggy_dataset.num_users == 120
+        assert fliggy_dataset.num_cities == 30
+        assert len(fliggy_dataset.cities) == 30

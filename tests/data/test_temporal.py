@@ -1,0 +1,95 @@
+"""Temporal statistics x_st: visibility, windows, same-period counts."""
+
+import numpy as np
+import pytest
+
+from repro.data.schema import BookingEvent
+from repro.data.temporal import XST_DIM, TemporalFeatureExtractor
+
+
+def _booking(user, o, d, day):
+    return BookingEvent(user_id=user, origin=o, destination=d, day=day,
+                        price=100.0)
+
+
+@pytest.fixture()
+def extractor():
+    bookings = {
+        0: [
+            _booking(0, 1, 2, 10),
+            _booking(0, 1, 3, 40),
+            _booking(0, 1, 2, 370),   # ~1 year after day 10
+            _booking(0, 5, 2, 395),
+        ],
+        1: [
+            _booking(1, 1, 2, 50),
+        ],
+    }
+    return TemporalFeatureExtractor(bookings)
+
+
+class TestVisibility:
+    def test_future_events_invisible(self, extractor):
+        # At day 10 nothing has happened yet for user 0 / city 2 as D.
+        features = extractor.features(0, 2, 10, "d")
+        np.testing.assert_allclose(features, np.zeros(XST_DIM))
+
+    def test_role_validation(self, extractor):
+        with pytest.raises(ValueError):
+            extractor.features(0, 2, 100, "x")
+
+    def test_unknown_user_gives_user_zeros(self, extractor):
+        # Day 60: user 1's day-50 trip to city 2 is in the global window.
+        features = extractor.features(42, 2, 60, "d")
+        assert features[0] == 0  # last month user count
+        assert features[2] == 0  # total user count
+        assert features[3] > 0   # global stats still visible
+
+
+class TestCounts:
+    def test_last_month_window(self, extractor):
+        # Day 41: booking at day 40 is within the last 30 days; day 10 not.
+        features = extractor.features(0, 1, 41, "o")
+        assert features[0] == pytest.approx(np.log1p(1))
+
+    def test_total_user_visits(self, extractor):
+        features = extractor.features(0, 1, 400, "o")
+        assert features[2] == pytest.approx(np.log1p(3))
+
+    def test_same_period_of_history(self, extractor):
+        # Day 372: the anniversary window covers day ~7 (372-365) so the
+        # day-10 trip to city 2 counts as same-period.
+        features = extractor.features(0, 2, 372, "d")
+        assert features[1] == pytest.approx(np.log1p(1))
+
+    def test_same_period_excludes_far_days(self, extractor):
+        # Day 430 -> anniversary 65; day-10 and day-40 both outside +-15.
+        features = extractor.features(0, 2, 430, "d")
+        assert features[1] == 0.0
+
+    def test_recency_decay(self, extractor):
+        day_after = extractor.features(0, 2, 396, "d")[5]
+        month_after = extractor.features(0, 2, 425, "d")[5]
+        assert day_after > month_after > 0
+
+    def test_roles_tracked_separately(self, extractor):
+        # City 2 is a destination for user 0, never an origin.
+        assert extractor.features(0, 2, 400, "o")[2] == 0.0
+        assert extractor.features(0, 2, 400, "d")[2] > 0.0
+
+    def test_global_counts_span_users(self, extractor):
+        # Origin city 1 was used by user 0 (twice before day 60) and user 1.
+        features = extractor.features(1, 1, 60, "o")
+        assert features[3] > 0
+
+    def test_batch_matches_single(self, extractor):
+        users = np.array([0, 0])
+        cities = np.array([2, 1])
+        days = np.array([400, 400])
+        batch = extractor.features_batch(users, cities, days, "d")
+        np.testing.assert_allclose(
+            batch[0], extractor.features(0, 2, 400, "d")
+        )
+        np.testing.assert_allclose(
+            batch[1], extractor.features(0, 1, 400, "d")
+        )

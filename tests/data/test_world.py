@@ -1,0 +1,106 @@
+"""Synthetic city world: geography, semantics, prices."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.data.schema import CityPattern
+from repro.data.world import WorldConfig, generate_city_world
+
+
+@pytest.fixture(scope="module")
+def world():
+    return generate_city_world(WorldConfig(num_cities=40), np.random.default_rng(0))
+
+
+class TestGeneration:
+    def test_minimum_cities(self):
+        with pytest.raises(ValueError):
+            generate_city_world(WorldConfig(num_cities=2), np.random.default_rng(0))
+
+    def test_counts_and_shapes(self, world):
+        assert world.num_cities == 40
+        assert world.coordinates.shape == (40, 2)
+        assert world.distance_km.shape == (40, 40)
+        assert world.prices.shape == (40, 40)
+
+    def test_coordinates_in_bounding_box(self, world):
+        config = WorldConfig()
+        lon, lat = world.coordinates[:, 0], world.coordinates[:, 1]
+        assert lon.min() >= config.lon_range[0]
+        assert lon.max() <= config.lon_range[1]
+        assert lat.min() >= config.lat_range[0]
+        assert lat.max() <= config.lat_range[1]
+
+    def test_popularity_is_distribution(self, world):
+        assert world.popularity.min() > 0
+        assert world.popularity.sum() == pytest.approx(1.0)
+
+    def test_every_city_has_a_pattern(self, world):
+        for city in world.cities:
+            assert city.patterns, f"{city.name} has no pattern"
+
+    def test_seaside_assigned_by_coast(self, world):
+        config = WorldConfig()
+        for city in world.cities:
+            if city.lon >= config.coast_lon:
+                assert CityPattern.SEASIDE in city.patterns
+
+    def test_pattern_members_consistent(self, world):
+        for pattern, members in world.pattern_members.items():
+            for city_id in members:
+                assert world.cities[city_id].has_pattern(pattern)
+
+    def test_reproducible(self):
+        a = generate_city_world(WorldConfig(num_cities=10), np.random.default_rng(5))
+        b = generate_city_world(WorldConfig(num_cities=10), np.random.default_rng(5))
+        np.testing.assert_allclose(a.prices, b.prices)
+
+
+class TestPrices:
+    def test_diagonal_infinite(self, world):
+        assert np.all(np.isinf(np.diag(world.prices)))
+
+    def test_off_diagonal_positive_finite(self, world):
+        off = world.prices[~np.eye(40, dtype=bool)]
+        assert np.all(np.isfinite(off))
+        assert np.all(off > 0)
+
+    def test_price_grows_with_distance_on_average(self, world):
+        off = ~np.eye(40, dtype=bool)
+        corr = np.corrcoef(world.distance_km[off], world.prices[off])[0, 1]
+        assert corr > 0.8
+
+    def test_hub_routes_cheaper_per_km(self, world):
+        # Compare per-km price between top-popularity pairs and bottom ones.
+        order = np.argsort(-world.popularity)
+        hubs, tails = order[:5], order[-5:]
+        def per_km(group):
+            vals = []
+            for i in group:
+                for j in group:
+                    if i != j and world.distance_km[i, j] > 100:
+                        vals.append(world.prices[i, j] / world.distance_km[i, j])
+            return np.mean(vals)
+        assert per_km(hubs) < per_km(tails)
+
+
+class TestQueries:
+    def test_nearby_cities_sorted_and_bounded(self, world):
+        nearby = world.nearby_cities(0, radius_km=800)
+        distances = world.distance_km[0, nearby]
+        assert np.all(np.diff(distances) >= 0)
+        assert np.all(distances <= 800)
+        assert 0 not in nearby
+
+    def test_cities_with_unknown_pattern_empty(self, world):
+        assert world.cities_with_pattern("volcano").size == 0
+
+    def test_price_accessor(self, world):
+        assert world.price(0, 1) == pytest.approx(world.prices[0, 1])
+
+    @given(radius=st.floats(50, 2000))
+    @settings(max_examples=20, deadline=None)
+    def test_property_nearby_within_radius(self, world, radius):
+        nearby = world.nearby_cities(3, radius_km=radius)
+        assert np.all(world.distance_km[3, nearby] <= radius)

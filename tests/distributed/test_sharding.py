@@ -1,0 +1,65 @@
+"""Parameter and data sharding."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.distributed import shard_parameters, shard_samples
+
+
+class TestParameterSharding:
+    def test_invalid_server_count(self):
+        with pytest.raises(ValueError):
+            shard_parameters([("a", 10)], 0)
+
+    def test_all_parameters_assigned(self):
+        sizes = [("a", 100), ("b", 50), ("c", 25), ("d", 25)]
+        assignment = shard_parameters(sizes, 2)
+        assert set(assignment) == {"a", "b", "c", "d"}
+        assert set(assignment.values()) <= {0, 1}
+
+    def test_balanced_assignment(self):
+        sizes = [("a", 100), ("b", 100), ("c", 100), ("d", 100)]
+        assignment = shard_parameters(sizes, 2)
+        loads = [0, 0]
+        for name, size in sizes:
+            loads[assignment[name]] += size
+        assert loads == [200, 200]
+
+    def test_deterministic(self):
+        sizes = [("a", 7), ("b", 7), ("c", 3)]
+        assert shard_parameters(sizes, 2) == shard_parameters(sizes, 2)
+
+    @given(
+        n=st.integers(1, 30),
+        servers=st.integers(1, 6),
+        seed=st.integers(0, 100),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_property_load_balance_bound(self, n, servers, seed):
+        rng = np.random.default_rng(seed)
+        sizes = [(f"p{i}", int(rng.integers(1, 1000))) for i in range(n)]
+        assignment = shard_parameters(sizes, servers)
+        loads = np.zeros(servers)
+        for name, size in sizes:
+            loads[assignment[name]] += size
+        # LPT guarantee: max load <= mean + largest item.
+        largest = max(size for _, size in sizes)
+        assert loads.max() <= loads.mean() + largest
+
+
+class TestSampleSharding:
+    def test_invalid_worker_count(self):
+        with pytest.raises(ValueError):
+            shard_samples(10, 0)
+
+    def test_partition_is_exact(self):
+        shards = shard_samples(103, 4)
+        assert len(shards) == 4
+        combined = np.concatenate(shards)
+        np.testing.assert_array_equal(np.sort(combined), np.arange(103))
+
+    def test_near_equal_sizes(self):
+        shards = shard_samples(103, 4)
+        sizes = [len(s) for s in shards]
+        assert max(sizes) - min(sizes) <= 1

@@ -1,0 +1,46 @@
+"""Seed-averaging of comparison results."""
+
+import pytest
+
+from repro.experiments.comparison import (
+    ComparisonResult,
+    MethodResult,
+    average_results,
+)
+
+
+def _result(values: dict[str, float], train=1.0, infer=2.0):
+    result = ComparisonResult(dataset_name="d", scale="tiny")
+    for name, value in values.items():
+        result.rows.append(
+            MethodResult(name, {"HR@5": value}, train, infer)
+        )
+    return result
+
+
+class TestAverage:
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            average_results([])
+
+    def test_mismatched_methods_rejected(self):
+        with pytest.raises(ValueError):
+            average_results([_result({"A": 0.5}), _result({"B": 0.5})])
+
+    def test_metrics_averaged(self):
+        averaged = average_results(
+            [_result({"A": 0.4, "B": 0.2}), _result({"A": 0.6, "B": 0.4})]
+        )
+        assert averaged.metric("A", "HR@5") == pytest.approx(0.5)
+        assert averaged.metric("B", "HR@5") == pytest.approx(0.3)
+        assert "x2 seeds" in averaged.scale
+
+    def test_efficiency_averaged(self):
+        averaged = average_results(
+            [_result({"A": 0.5}, train=1.0), _result({"A": 0.5}, train=3.0)]
+        )
+        assert averaged.row("A").train_seconds == pytest.approx(2.0)
+
+    def test_single_result_identity(self):
+        averaged = average_results([_result({"A": 0.7})])
+        assert averaged.metric("A", "HR@5") == pytest.approx(0.7)

@@ -1,0 +1,100 @@
+"""Experiment runners (registry, scales, tiny end-to-end comparisons)."""
+
+import numpy as np
+import pytest
+
+from repro.core import ODNETConfig
+from repro.experiments import (
+    ABTEST_METHODS,
+    ALL_METHODS,
+    LBSN_METHODS,
+    TINY,
+    build_method,
+    get_scale,
+    run_fliggy_comparison,
+    run_heads_sweep,
+    run_lbsn_comparison,
+)
+
+FAST_CONFIG = ODNETConfig(dim=8, num_heads=2, depth=1, expert_dim=16,
+                          tower_hidden=8)
+
+
+class TestRegistry:
+    def test_all_methods_buildable(self, od_dataset):
+        for name in ALL_METHODS:
+            model = build_method(name, od_dataset, FAST_CONFIG)
+            assert model.name == name
+
+    def test_unknown_method_rejected(self, od_dataset):
+        with pytest.raises(ValueError):
+            build_method("AlphaRank", od_dataset)
+
+    def test_lbsn_methods_exclude_multitask(self):
+        assert "ODNET" not in LBSN_METHODS
+        assert "ODNET-G" not in LBSN_METHODS
+        assert set(LBSN_METHODS) < set(ALL_METHODS)
+
+    def test_abtest_has_eight_methods(self):
+        assert len(ABTEST_METHODS) == 8
+        assert "ODNET" in ABTEST_METHODS
+
+
+class TestScales:
+    def test_get_scale(self):
+        assert get_scale("tiny") is TINY
+        with pytest.raises(ValueError):
+            get_scale("galactic")
+
+    def test_configs_derived_from_scale(self):
+        scale = get_scale("tiny")
+        assert scale.fliggy_config().num_users == scale.num_users
+        assert scale.lbsn_config("foursquare").num_users == scale.lbsn_users
+        assert scale.train_config().epochs == scale.epochs
+
+
+class TestComparisonRunners:
+    def test_fliggy_comparison_tiny(self):
+        result = run_fliggy_comparison(
+            scale="tiny", methods=("MostPop", "GBDT"),
+            model_config=FAST_CONFIG, measure_efficiency=True,
+        )
+        assert [r.name for r in result.rows] == ["MostPop", "GBDT"]
+        gbdt = result.row("GBDT")
+        assert gbdt.train_seconds > 0
+        assert gbdt.inference_ms > 0
+        assert "AUC-O" in gbdt.metrics and "HR@5" in gbdt.metrics
+        table = result.format_table()
+        assert "GBDT" in table and "train(s)" in table
+        assert result.best_method("HR@5") in ("MostPop", "GBDT")
+
+    def test_lbsn_comparison_tiny(self):
+        result = run_lbsn_comparison(
+            dataset_name="foursquare", scale="tiny",
+            methods=("MostPop", "GBDT"), model_config=FAST_CONFIG,
+        )
+        assert result.dataset_name == "foursquare"
+        assert "AUC" in result.row("GBDT").metrics
+
+    def test_lbsn_rejects_multitask(self):
+        with pytest.raises(ValueError):
+            run_lbsn_comparison(methods=("ODNET",), scale="tiny")
+
+    def test_missing_row_raises(self):
+        result = run_fliggy_comparison(
+            scale="tiny", methods=("MostPop",), measure_efficiency=False
+        )
+        with pytest.raises(KeyError):
+            result.row("ODNET")
+
+
+class TestSweeps:
+    def test_heads_sweep_tiny(self):
+        result = run_heads_sweep(scale="tiny", heads=(1, 2))
+        assert [p.value for p in result.points] == [1, 2]
+        assert all(np.isfinite(p.hr5) for p in result.points)
+        assert all(p.train_seconds > 0 for p in result.points)
+        assert result.best().value in (1, 2)
+        assert "HR@5" in result.format_table()
+        series = result.series()
+        assert series["num_heads"] == [1, 2]

@@ -1,0 +1,29 @@
+"""Formatting helpers of the experiment runners."""
+
+import numpy as np
+
+from repro.experiments.abtest import format_abtest
+from repro.serving.abtest import ABTestResult
+
+
+class TestFormatAbtest:
+    def test_renders_days_and_mean(self):
+        result = ABTestResult(methods=["ODNET", "MostPop"], days=3)
+        for method, rate in (("ODNET", 3.0), ("MostPop", 1.0)):
+            result.clicks[method] = np.full(3, rate)
+            result.impressions[method] = np.full(3, 10.0)
+        text = format_abtest(result)
+        assert "day 1" in text and "day 3" in text and "mean" in text
+        assert "ODNET" in text and "0.3000" in text
+        assert "MostPop" in text and "0.1000" in text
+
+    def test_improvement_zero_baseline_raises(self):
+        import pytest
+
+        result = ABTestResult(methods=["A", "B"], days=1)
+        result.clicks["A"] = np.array([1.0])
+        result.impressions["A"] = np.array([10.0])
+        result.clicks["B"] = np.array([0.0])
+        result.impressions["B"] = np.array([10.0])
+        with pytest.raises(ZeroDivisionError):
+            result.improvement("A", "B")

@@ -1,0 +1,50 @@
+"""Grid search over ODNET configurations."""
+
+import pytest
+
+from repro.core import ODNETConfig
+from repro.experiments import run_grid_search
+from repro.train import TrainConfig
+
+FAST = ODNETConfig(dim=8, num_heads=2, depth=1, expert_dim=16, tower_hidden=8)
+FAST_TRAIN = TrainConfig(epochs=1, seed=0)
+
+
+class TestGridSearch:
+    def test_unknown_field_rejected(self, od_dataset):
+        with pytest.raises(ValueError):
+            run_grid_search(od_dataset, {"banana": [1]})
+
+    def test_empty_grid_rejected(self, od_dataset):
+        with pytest.raises(ValueError):
+            run_grid_search(od_dataset, {})
+
+    def test_cartesian_product_evaluated(self, od_dataset):
+        result = run_grid_search(
+            od_dataset,
+            {"num_heads": [1, 2], "depth": [0, 1]},
+            base_config=FAST,
+            train_config=FAST_TRAIN,
+            num_candidates=8,
+            max_tasks=20,
+        )
+        assert len(result.points) == 4
+        combos = {(p.params["num_heads"], p.params["depth"])
+                  for p in result.points}
+        assert combos == {(1, 0), (1, 1), (2, 0), (2, 1)}
+
+    def test_best_and_table(self, od_dataset):
+        result = run_grid_search(
+            od_dataset,
+            {"depth": [0, 1]},
+            base_config=FAST,
+            train_config=FAST_TRAIN,
+            num_candidates=8,
+            max_tasks=20,
+        )
+        best = result.best()
+        assert best.metrics["MRR@5"] == max(
+            p.metrics["MRR@5"] for p in result.points
+        )
+        table = result.format_table()
+        assert "depth" in table and "MRR@5" in table

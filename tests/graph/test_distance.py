@@ -1,0 +1,79 @@
+"""Distance matrices and Eq. 2 spatial weights, with property tests."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.graph import haversine_matrix, l2_distance_matrix, spatial_weights
+
+
+def _coords(n, seed=0):
+    rng = np.random.default_rng(seed)
+    return np.column_stack(
+        [rng.uniform(100, 125, n), rng.uniform(20, 45, n)]
+    )
+
+
+class TestL2Distance:
+    def test_shape_validation(self):
+        with pytest.raises(ValueError):
+            l2_distance_matrix(np.zeros((3, 3)))
+
+    def test_symmetric_zero_diagonal(self):
+        d = l2_distance_matrix(_coords(6))
+        np.testing.assert_allclose(d, d.T)
+        np.testing.assert_allclose(np.diag(d), 0.0)
+
+    def test_known_value(self):
+        d = l2_distance_matrix(np.array([[0.0, 0.0], [3.0, 4.0]]))
+        assert d[0, 1] == pytest.approx(5.0)
+
+
+class TestHaversine:
+    def test_symmetric_zero_diagonal(self):
+        d = haversine_matrix(_coords(6))
+        np.testing.assert_allclose(d, d.T, atol=1e-9)
+        np.testing.assert_allclose(np.diag(d), 0.0)
+
+    def test_quarter_meridian(self):
+        # Equator to the north pole is ~10,007 km.
+        d = haversine_matrix(np.array([[0.0, 0.0], [0.0, 90.0]]))
+        assert d[0, 1] == pytest.approx(10_007, rel=0.01)
+
+    def test_triangle_inequality_sampled(self):
+        d = haversine_matrix(_coords(8, seed=3))
+        for i in range(8):
+            for j in range(8):
+                for k in range(8):
+                    assert d[i, j] <= d[i, k] + d[k, j] + 1e-6
+
+
+class TestSpatialWeights:
+    def test_requires_square(self):
+        with pytest.raises(ValueError):
+            spatial_weights(np.zeros((2, 3)))
+
+    def test_zero_diagonal(self):
+        w = spatial_weights(l2_distance_matrix(_coords(5)))
+        np.testing.assert_allclose(np.diag(w), 0.0)
+
+    def test_rows_sum_to_one(self):
+        w = spatial_weights(l2_distance_matrix(_coords(5)))
+        np.testing.assert_allclose(w.sum(axis=1), 1.0)
+
+    def test_nearer_city_gets_larger_weight(self):
+        coords = np.array([[0.0, 0.0], [1.0, 0.0], [10.0, 0.0]])
+        w = spatial_weights(l2_distance_matrix(coords))
+        assert w[0, 1] > w[0, 2]
+
+    def test_single_city_degenerates_to_zero_row(self):
+        w = spatial_weights(np.zeros((1, 1)))
+        np.testing.assert_allclose(w, 0.0)
+
+    @given(n=st.integers(2, 12), seed=st.integers(0, 1000))
+    @settings(max_examples=40, deadline=None)
+    def test_property_row_stochastic_nonnegative(self, n, seed):
+        w = spatial_weights(l2_distance_matrix(_coords(n, seed)))
+        assert np.all(w >= 0)
+        np.testing.assert_allclose(w.sum(axis=1), 1.0, atol=1e-9)
+        np.testing.assert_allclose(np.diag(w), 0.0)

@@ -1,0 +1,123 @@
+"""AUC, HR@k, MRR@k (Eqs. 12-13) and CTR (Eq. 14), with property tests."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.metrics import (
+    auc,
+    ctr,
+    evaluate_rankings,
+    hit_rate_at_k,
+    mrr_at_k,
+    rank_of_true,
+)
+
+
+class TestAUC:
+    def test_perfect_separation(self):
+        assert auc(np.array([0.9, 0.8, 0.2, 0.1]),
+                   np.array([1, 1, 0, 0])) == 1.0
+
+    def test_inverted_separation(self):
+        assert auc(np.array([0.1, 0.9]), np.array([1, 0])) == 0.0
+
+    def test_random_scores_near_half(self):
+        rng = np.random.default_rng(0)
+        scores = rng.random(20_000)
+        labels = rng.random(20_000) > 0.5
+        assert abs(auc(scores, labels) - 0.5) < 0.02
+
+    def test_ties_get_half_credit(self):
+        assert auc(np.array([0.5, 0.5]), np.array([1, 0])) == 0.5
+
+    def test_single_class_rejected(self):
+        with pytest.raises(ValueError):
+            auc(np.array([0.1, 0.2]), np.array([1, 1]))
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            auc(np.zeros(3), np.zeros(2))
+
+    @given(seed=st.integers(0, 5000), n=st.integers(4, 60))
+    @settings(max_examples=40, deadline=None)
+    def test_property_monotone_transform_invariant(self, seed, n):
+        rng = np.random.default_rng(seed)
+        scores = rng.normal(size=n)
+        labels = rng.random(n) > 0.5
+        if labels.all() or not labels.any():
+            labels[0] = ~labels[0]
+        a1 = auc(scores, labels)
+        a2 = auc(np.exp(scores * 2), labels)  # strictly monotone transform
+        assert a1 == pytest.approx(a2)
+
+    @given(seed=st.integers(0, 5000))
+    @settings(max_examples=40, deadline=None)
+    def test_property_label_flip_complements(self, seed):
+        rng = np.random.default_rng(seed)
+        scores = rng.normal(size=30)
+        labels = rng.random(30) > 0.5
+        if labels.all() or not labels.any():
+            labels[0] = ~labels[0]
+        assert auc(scores, labels) == pytest.approx(1.0 - auc(-scores, labels))
+
+
+class TestRankOfTrue:
+    def test_top_rank(self):
+        assert rank_of_true(np.array([0.9, 0.1, 0.5]), 0) == 1
+
+    def test_bottom_rank(self):
+        assert rank_of_true(np.array([0.9, 0.1, 0.5]), 1) == 3
+
+    def test_ties_are_pessimistic(self):
+        assert rank_of_true(np.array([0.5, 0.5, 0.5]), 0) == 3
+
+
+class TestHitAndMRR:
+    def test_hr_at_k(self):
+        ranks = np.array([1, 3, 7, 20])
+        assert hit_rate_at_k(ranks, 1) == 0.25
+        assert hit_rate_at_k(ranks, 5) == 0.5
+        assert hit_rate_at_k(ranks, 10) == 0.75
+
+    def test_mrr_at_k(self):
+        ranks = np.array([1, 2, 11])
+        assert mrr_at_k(ranks, 10) == pytest.approx((1.0 + 0.5 + 0.0) / 3)
+
+    def test_mrr_equals_hr_at_1(self):
+        """The paper notes MRR@k == HR@k when k == 1."""
+        ranks = np.array([1, 4, 1, 2])
+        assert mrr_at_k(ranks, 1) == hit_rate_at_k(ranks, 1)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            hit_rate_at_k(np.array([]), 5)
+        with pytest.raises(ValueError):
+            mrr_at_k(np.array([]), 5)
+
+    def test_evaluate_rankings_keys(self):
+        metrics = evaluate_rankings(np.array([1, 2, 3]), ks=(1, 5, 10))
+        assert set(metrics) == {"HR@1", "HR@5", "MRR@5", "HR@10", "MRR@10"}
+
+    @given(
+        seed=st.integers(0, 1000),
+        k_small=st.integers(1, 5),
+        k_big=st.integers(6, 20),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_property_monotone_in_k(self, seed, k_small, k_big):
+        ranks = np.random.default_rng(seed).integers(1, 25, size=30)
+        assert hit_rate_at_k(ranks, k_small) <= hit_rate_at_k(ranks, k_big)
+        assert mrr_at_k(ranks, k_small) <= mrr_at_k(ranks, k_big)
+
+
+class TestCTR:
+    def test_scalar(self):
+        assert ctr(5, 100) == 0.05
+
+    def test_zero_impressions(self):
+        assert ctr(0, 0) == 0.0
+
+    def test_vector(self):
+        out = ctr(np.array([1, 2]), np.array([10, 0]))
+        np.testing.assert_allclose(out, [0.1, 0.0])

@@ -1,0 +1,42 @@
+"""Weight initialisers (paper protocol: Gaussian mu=0, sigma=0.05)."""
+
+import numpy as np
+
+from repro.nn import init
+
+
+class TestGaussian:
+    def test_paper_defaults(self):
+        rng = np.random.default_rng(0)
+        weights = init.gaussian((500, 500), rng)
+        assert abs(weights.mean()) < 0.001
+        assert abs(weights.std() - init.PAPER_SIGMA) < 0.001
+
+    def test_custom_sigma(self):
+        rng = np.random.default_rng(0)
+        weights = init.gaussian((500, 500), rng, sigma=0.2)
+        assert abs(weights.std() - 0.2) < 0.005
+
+
+class TestXavier:
+    def test_bound(self):
+        rng = np.random.default_rng(0)
+        weights = init.xavier_uniform((64, 64), rng)
+        bound = np.sqrt(6.0 / 128)
+        assert np.abs(weights).max() <= bound
+
+    def test_1d_shape(self):
+        rng = np.random.default_rng(0)
+        assert init.xavier_uniform((10,), rng).shape == (10,)
+
+
+class TestHe:
+    def test_scale(self):
+        rng = np.random.default_rng(0)
+        weights = init.he_normal((400, 100), rng)
+        assert abs(weights.std() - np.sqrt(2.0 / 100)) < 0.01
+
+
+class TestZeros:
+    def test_zeros(self):
+        assert not init.zeros((3, 3)).any()

@@ -1,0 +1,124 @@
+"""Layer behaviour: Linear, Embedding, MLP, Dropout, LayerNorm."""
+
+import numpy as np
+import pytest
+
+from repro.nn import MLP, Dropout, Embedding, LayerNorm, Linear
+from repro.tensor import Tensor, functional as F
+
+
+class TestLinear:
+    def test_forward_value(self, rng):
+        layer = Linear(3, 2, rng)
+        x = np.ones((4, 3))
+        expected = x @ layer.weight.data.T + layer.bias.data
+        np.testing.assert_allclose(layer(Tensor(x)).data, expected)
+
+    def test_no_bias(self, rng):
+        layer = Linear(3, 2, rng, bias=False)
+        assert layer.bias is None
+        assert len(list(layer.parameters())) == 1
+
+    def test_3d_input(self, rng):
+        layer = Linear(3, 5, rng)
+        out = layer(Tensor(np.ones((2, 4, 3))))
+        assert out.shape == (2, 4, 5)
+
+    def test_gradient_flows_to_weights(self, rng):
+        layer = Linear(3, 2, rng)
+        layer(Tensor(np.ones((4, 3)))).sum().backward()
+        assert layer.weight.grad is not None
+        assert layer.bias.grad is not None
+
+    def test_paper_gaussian_init_scale(self):
+        rng = np.random.default_rng(0)
+        layer = Linear(200, 200, rng)
+        assert abs(layer.weight.data.std() - 0.05) < 0.005
+
+
+class TestEmbedding:
+    def test_lookup_rows(self, rng):
+        emb = Embedding(10, 4, rng)
+        out = emb(np.array([1, 3, 1]))
+        np.testing.assert_allclose(out.data[0], emb.weight.data[1])
+        np.testing.assert_allclose(out.data[2], emb.weight.data[1])
+
+    def test_2d_indices(self, rng):
+        emb = Embedding(10, 4, rng)
+        assert emb(np.zeros((2, 5), dtype=int)).shape == (2, 5, 4)
+
+    def test_out_of_range_raises(self, rng):
+        emb = Embedding(10, 4, rng)
+        with pytest.raises(IndexError):
+            emb(np.array([10]))
+        with pytest.raises(IndexError):
+            emb(np.array([-1]))
+
+    def test_gradient_scatter_adds_for_repeats(self, rng):
+        emb = Embedding(5, 2, rng)
+        out = emb(np.array([2, 2, 3]))
+        out.sum().backward()
+        np.testing.assert_allclose(emb.weight.grad[2], [2.0, 2.0])
+        np.testing.assert_allclose(emb.weight.grad[3], [1.0, 1.0])
+        np.testing.assert_allclose(emb.weight.grad[0], [0.0, 0.0])
+
+
+class TestMLP:
+    def test_hidden_layers_and_activation(self, rng):
+        mlp = MLP(4, [8, 8], 1, rng, final_activation=F.sigmoid)
+        out = mlp(Tensor(np.ones((3, 4))))
+        assert out.shape == (3, 1)
+        assert np.all((out.data > 0) & (out.data < 1))
+
+    def test_no_hidden(self, rng):
+        mlp = MLP(4, [], 2, rng)
+        assert len(mlp.layers) == 1
+
+    def test_trains_to_fit_xor_ish(self, rng):
+        from repro.optim import Adam
+
+        X = np.array([[0, 0], [0, 1], [1, 0], [1, 1]], dtype=float)
+        y = np.array([0.0, 1.0, 1.0, 0.0])
+        mlp = MLP(2, [16], 1, rng, final_activation=F.sigmoid)
+        opt = Adam(mlp.parameters(), lr=0.05)
+        for _ in range(400):
+            opt.zero_grad()
+            loss = F.binary_cross_entropy(mlp(Tensor(X)).squeeze(-1), y)
+            loss.backward()
+            opt.step()
+        assert loss.item() < 0.1
+
+
+class TestDropout:
+    def test_invalid_rate(self, rng):
+        with pytest.raises(ValueError):
+            Dropout(1.0, rng)
+
+    def test_eval_mode_identity(self, rng):
+        drop = Dropout(0.5, rng)
+        drop.eval()
+        x = Tensor(np.ones(10))
+        assert drop(x) is x
+
+    def test_train_mode_masks(self, rng):
+        drop = Dropout(0.5, rng)
+        out = drop(Tensor(np.ones(1000)))
+        kept = out.data != 0
+        assert 0.35 < kept.mean() < 0.65
+        np.testing.assert_allclose(out.data[kept], 2.0)
+
+
+class TestLayerNorm:
+    def test_normalises_last_axis(self):
+        ln = LayerNorm(8)
+        out = ln(Tensor(np.random.default_rng(0).normal(2.0, 3.0, (4, 8))))
+        np.testing.assert_allclose(out.data.mean(axis=-1), 0.0, atol=1e-9)
+        np.testing.assert_allclose(out.data.std(axis=-1), 1.0, atol=1e-3)
+
+    def test_gradients_flow(self):
+        ln = LayerNorm(4)
+        x = Tensor(np.random.default_rng(1).normal(size=(2, 4)),
+                   requires_grad=True)
+        ln(x).sum().backward()
+        assert x.grad is not None
+        assert ln.gamma.grad is not None

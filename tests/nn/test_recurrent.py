@@ -1,0 +1,82 @@
+"""LSTM and STGN recurrent layers."""
+
+import numpy as np
+
+from repro.nn import LSTM, LSTMCell, STGN, STGNCell
+from repro.tensor import Tensor
+
+
+class TestLSTMCell:
+    def test_state_shapes(self, rng):
+        cell = LSTMCell(4, 6, rng)
+        h, c = cell(
+            Tensor(np.ones((3, 4))), Tensor(np.zeros((3, 6))),
+            Tensor(np.zeros((3, 6))),
+        )
+        assert h.shape == (3, 6)
+        assert c.shape == (3, 6)
+
+    def test_hidden_bounded_by_tanh(self, rng):
+        cell = LSTMCell(4, 6, rng)
+        h, _ = cell(
+            Tensor(np.ones((3, 4)) * 100),
+            Tensor(np.zeros((3, 6))), Tensor(np.zeros((3, 6))),
+        )
+        assert np.all(np.abs(h.data) <= 1.0)
+
+
+class TestLSTM:
+    def test_outputs_and_last_hidden(self, rng):
+        lstm = LSTM(4, 6, rng)
+        outs, last = lstm(Tensor(np.random.default_rng(0).normal(size=(2, 5, 4))))
+        assert outs.shape == (2, 5, 6)
+        assert last.shape == (2, 6)
+        np.testing.assert_allclose(outs.data[:, -1, :], last.data)
+
+    def test_mask_freezes_state_after_sequence_end(self, rng):
+        lstm = LSTM(4, 6, rng)
+        x = np.random.default_rng(0).normal(size=(1, 5, 4))
+        mask = np.array([[True, True, True, False, False]])
+        _, last_masked = lstm(Tensor(x), mask=mask)
+        _, last_short = lstm(Tensor(x[:, :3]), mask=None)
+        np.testing.assert_allclose(last_masked.data, last_short.data, atol=1e-12)
+
+    def test_gradients_flow_through_time(self, rng):
+        lstm = LSTM(3, 4, rng)
+        x = Tensor(np.random.default_rng(0).normal(size=(2, 6, 3)),
+                   requires_grad=True)
+        _, last = lstm(x)
+        last.sum().backward()
+        assert x.grad is not None
+        # Early timesteps must receive gradient (no truncation).
+        assert np.abs(x.grad[:, 0, :]).sum() > 0
+
+
+class TestSTGN:
+    def test_shapes(self, rng):
+        stgn = STGN(4, 6, rng)
+        x = Tensor(np.random.default_rng(0).normal(size=(2, 5, 4)))
+        dt = np.random.default_rng(1).random((2, 5))
+        dd = np.random.default_rng(2).random((2, 5))
+        outs, last = stgn(x, dt, dd)
+        assert outs.shape == (2, 5, 6)
+        assert last.shape == (2, 6)
+
+    def test_intervals_modulate_state(self, rng):
+        stgn = STGN(4, 6, rng)
+        x = Tensor(np.random.default_rng(0).normal(size=(1, 4, 4)))
+        zeros = np.zeros((1, 4))
+        big = np.full((1, 4), 50.0)
+        _, last_near = stgn(x, zeros, zeros)
+        _, last_far = stgn(x, big, big)
+        assert not np.allclose(last_near.data, last_far.data)
+
+    def test_cell_gradients(self, rng):
+        cell = STGNCell(3, 4, rng)
+        h, c = cell(
+            Tensor(np.ones((2, 3))), Tensor(np.zeros((2, 4))),
+            Tensor(np.zeros((2, 4))), np.ones(2), np.ones(2),
+        )
+        h.sum().backward()
+        assert cell.w_t.grad is not None
+        assert cell.w_s.grad is not None

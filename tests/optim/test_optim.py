@@ -1,0 +1,85 @@
+"""Adam and SGD optimizers."""
+
+import numpy as np
+import pytest
+
+from repro.nn import Linear, Parameter
+from repro.optim import Adam, SGD
+from repro.tensor import Tensor, functional as F
+
+
+def _quadratic_minimisation(optimizer_factory, steps=300):
+    """Minimise ||x - target||^2 and return the final distance."""
+    target = np.array([1.0, -2.0, 0.5])
+    param = Parameter(np.zeros(3))
+    optimizer = optimizer_factory([param])
+    for _ in range(steps):
+        optimizer.zero_grad()
+        loss = ((param - target) ** 2).sum()
+        loss.backward()
+        optimizer.step()
+    return float(np.abs(param.data - target).max())
+
+
+class TestAdam:
+    def test_empty_parameters_rejected(self):
+        with pytest.raises(ValueError):
+            Adam([])
+
+    def test_converges_on_quadratic(self):
+        assert _quadratic_minimisation(lambda p: Adam(p, lr=0.05)) < 1e-3
+
+    def test_skips_parameters_without_grad(self):
+        a, b = Parameter(np.ones(2)), Parameter(np.ones(2))
+        opt = Adam([a, b], lr=0.1)
+        (a.sum() * 2.0).backward()
+        opt.step()
+        np.testing.assert_allclose(b.data, np.ones(2))
+        assert not np.allclose(a.data, np.ones(2))
+
+    def test_grad_clipping_limits_update(self):
+        param = Parameter(np.zeros(4))
+        opt = Adam([param], lr=0.1, grad_clip=1.0)
+        param.grad = np.full(4, 1e6)
+        opt.step()
+        # With clipping the effective gradient norm is 1; Adam still takes
+        # a bounded ~lr-sized step.
+        assert np.abs(param.data).max() <= 0.11
+
+    def test_weight_decay_shrinks_weights(self):
+        param = Parameter(np.ones(3) * 10)
+        opt = Adam([param], lr=0.1, weight_decay=1.0)
+        for _ in range(50):
+            param.grad = np.zeros(3)
+            opt.step()
+        assert np.abs(param.data).max() < 10.0
+
+    def test_trains_logistic_regression(self, rng):
+        X = rng.normal(size=(128, 4))
+        y = (X @ np.array([1.0, -2.0, 0.5, 0.0]) > 0).astype(float)
+        layer = Linear(4, 1, rng)
+        opt = Adam(layer.parameters(), lr=0.05)
+        for _ in range(150):
+            opt.zero_grad()
+            loss = F.binary_cross_entropy_with_logits(
+                layer(Tensor(X)).squeeze(-1), y
+            )
+            loss.backward()
+            opt.step()
+        assert loss.item() < 0.3
+
+
+class TestSGD:
+    def test_empty_parameters_rejected(self):
+        with pytest.raises(ValueError):
+            SGD([])
+
+    def test_converges_on_quadratic(self):
+        assert _quadratic_minimisation(lambda p: SGD(p, lr=0.05)) < 1e-3
+
+    def test_momentum_accelerates(self):
+        slow = _quadratic_minimisation(lambda p: SGD(p, lr=0.01), steps=60)
+        fast = _quadratic_minimisation(
+            lambda p: SGD(p, lr=0.01, momentum=0.9), steps=60
+        )
+        assert fast < slow

@@ -1,0 +1,77 @@
+"""The cascade click model: CTR must be monotone in ranking quality."""
+
+import numpy as np
+import pytest
+
+from repro.serving import ABTestConfig, ABTestSimulator
+
+
+class _OracleRanker:
+    """Scores the true pair 1.0, everything else by noise level."""
+
+    def __init__(self, dataset, noise: float, seed: int = 0):
+        self._dataset = dataset
+        self._noise = noise
+        self._rng = np.random.default_rng(seed)
+        self._truths = {
+            point.key: point.target for point in dataset.source.test_points
+        }
+
+    def score_pairs(self, batch):
+        scores = self._rng.random(len(batch)) * self._noise
+        for i in range(len(batch)):
+            key = (int(batch.user_ids[i]), int(batch.day[i]))
+            truth = self._truths.get(key)
+            if truth is not None and (
+                batch.candidate_origin[i],
+                batch.candidate_destination[i],
+            ) == tuple(truth):
+                scores[i] = 1.0 + scores[i]
+        return scores
+
+
+class TestCascadeMonotonicity:
+    @pytest.fixture(scope="class")
+    def tasks(self, od_dataset):
+        return od_dataset.ranking_tasks(
+            num_candidates=20, rng=np.random.default_rng(5), max_tasks=80
+        )
+
+    def test_better_ranker_higher_ctr(self, od_dataset, tasks):
+        config = ABTestConfig(days=4, users_per_day_per_method=20, seed=0)
+        simulator = ABTestSimulator(od_dataset, config)
+        result = simulator.run(
+            {
+                "oracle": _OracleRanker(od_dataset, noise=0.01),
+                "noisy": _OracleRanker(od_dataset, noise=5.0, seed=1),
+            },
+            tasks,
+        )
+        assert result.mean_ctr("oracle") > result.mean_ctr("noisy")
+
+    def test_ctr_deterministic_given_seed(self, od_dataset, tasks):
+        config = ABTestConfig(days=2, users_per_day_per_method=10, seed=3)
+
+        def run():
+            return ABTestSimulator(od_dataset, config).run(
+                {"oracle": _OracleRanker(od_dataset, noise=0.5)}, tasks
+            ).mean_ctr("oracle")
+
+        assert run() == pytest.approx(run())
+
+    def test_relevance_tier_ordering(self, od_dataset, tasks):
+        """exact > same destination > same pattern >= background."""
+        from repro.data.schema import ODPair
+
+        simulator = ABTestSimulator(od_dataset, ABTestConfig())
+        task = tasks[0]
+        true = task.point.target
+        exact = simulator._relevance(task, true)
+        same_dest = simulator._relevance(
+            task,
+            ODPair((true.origin + 1) % od_dataset.num_cities,
+                   true.destination),
+        )
+        assert exact > same_dest > 0
+        config = simulator.config
+        assert config.pattern_relevance >= config.background_relevance

@@ -1,0 +1,65 @@
+"""Real-Time Features Service."""
+
+import pytest
+
+from repro.data.schema import BookingEvent, ClickEvent
+from repro.serving import RealTimeFeatureService
+
+
+@pytest.fixture()
+def service():
+    bookings = {
+        0: [
+            BookingEvent(0, 1, 2, day=10, price=100.0),
+            BookingEvent(0, 2, 1, day=20, price=100.0),
+            BookingEvent(0, 1, 3, day=50, price=200.0),
+        ],
+        1: [],
+    }
+    return RealTimeFeatureService(bookings)
+
+
+class TestQueries:
+    def test_bookings_before_excludes_same_day(self, service):
+        assert len(service.bookings_before(0, 50)) == 2
+
+    def test_resident_city_most_frequent_origin(self, service):
+        assert service.resident_city(0) == 1
+
+    def test_resident_city_unknown_user(self, service):
+        assert service.resident_city(99) is None
+        assert service.resident_city(1) is None
+
+    def test_current_city_is_last_destination(self, service):
+        assert service.current_city(0, 60) == 3
+        assert service.current_city(0, 15) == 2
+
+    def test_current_city_falls_back_to_resident(self, service):
+        assert service.current_city(0, 5) == 1
+
+    def test_user_history_snapshot(self, service):
+        history = service.user_history(0, 55)
+        assert history.current_city == 3
+        assert len(history.bookings) == 3
+        assert history.clicks == []
+
+    def test_user_history_unknown_user_raises(self, service):
+        with pytest.raises(KeyError):
+            service.user_history(42, 10)
+
+
+class TestStreaming:
+    def test_record_click_visible_in_window(self, service):
+        service.record_click(ClickEvent(0, 1, 4, day=58))
+        history = service.user_history(0, 60)
+        assert len(history.clicks) == 1
+        # Outside the 7-day window it disappears.
+        assert service.clicks_before(0, 70) == []
+
+    def test_record_booking_keeps_order(self, service):
+        service.record_booking(BookingEvent(0, 3, 1, day=30, price=50.0))
+        days = [b.day for b in service.bookings_before(0, 100)]
+        assert days == sorted(days)
+
+    def test_known_users(self, service):
+        assert service.known_users() == [0, 1]

@@ -1,0 +1,23 @@
+"""Serving latency measurement."""
+
+import pytest
+
+from repro.serving import FlightRecommender, measure_serving_latency
+
+
+class TestLatency:
+    def test_requires_users(self, trained_odnet, od_dataset):
+        recommender = FlightRecommender(trained_odnet, od_dataset)
+        with pytest.raises(ValueError):
+            measure_serving_latency(recommender, [], day=700)
+
+    def test_report_consistency(self, trained_odnet, od_dataset):
+        recommender = FlightRecommender(trained_odnet, od_dataset)
+        users = [p.history.user_id for p in od_dataset.source.test_points[:8]]
+        report = measure_serving_latency(recommender, users, day=725, k=5)
+        assert report.count == len(users)
+        assert 0 < report.p50_ms <= report.p95_ms <= report.p99_ms
+        assert report.p99_ms <= report.max_ms
+        assert report.mean_ms > 0
+        text = report.format()
+        assert "p95" in text and "requests=8" in text

@@ -1,0 +1,116 @@
+"""RankingService, FlightRecommender facade, and the A/B simulator."""
+
+import numpy as np
+import pytest
+
+from repro.data.schema import ODPair
+from repro.serving import (
+    ABTestConfig,
+    ABTestSimulator,
+    FlightRecommender,
+    RankingService,
+)
+
+
+@pytest.fixture(scope="module")
+def recommender(trained_odnet, od_dataset):
+    return FlightRecommender(trained_odnet, od_dataset)
+
+
+class TestRankingService:
+    def test_empty_candidates(self, trained_odnet, od_dataset):
+        service = RankingService(trained_odnet, od_dataset)
+        point = od_dataset.source.test_points[0]
+        assert service.rank(point.history, [], day=point.day) == []
+
+    def test_scores_descending_and_k_respected(self, trained_odnet, od_dataset):
+        service = RankingService(trained_odnet, od_dataset)
+        point = od_dataset.source.test_points[0]
+        n = od_dataset.num_cities
+        candidates = [
+            ODPair(i % n, (i + 3) % n) for i in range(12)
+        ]
+        candidates = [p for p in candidates if p.origin != p.destination]
+        ranked = service.rank(point.history, candidates, day=point.day, k=5)
+        assert len(ranked) == 5
+        scores = [r.score for r in ranked]
+        assert scores == sorted(scores, reverse=True)
+
+
+class TestFlightRecommender:
+    def test_end_to_end_response(self, recommender, od_dataset):
+        user = od_dataset.source.test_points[0].history.user_id
+        response = recommender.recommend(user_id=user, day=720, k=5)
+        assert len(response) <= 5
+        assert response.user_id == user
+        for flight in response.flights:
+            assert flight.pair.origin != flight.pair.destination
+        assert len(set(response.pairs)) == len(response.pairs)
+
+    def test_unknown_user_raises(self, recommender, od_dataset):
+        with pytest.raises(KeyError):
+            recommender.recommend(user_id=10**9, day=720)
+
+    def test_ranked_quality_beats_reversed(self, recommender, trained_odnet,
+                                           od_dataset):
+        """The top recommendation must score at least the bottom one."""
+        user = od_dataset.source.test_points[1].history.user_id
+        response = recommender.recommend(user_id=user, day=720, k=10)
+        if len(response) >= 2:
+            assert response.flights[0].score >= response.flights[-1].score
+
+
+class TestABTest:
+    def test_result_structure(self, trained_odnet, od_dataset):
+        from repro.baselines import MostPop
+
+        mostpop = MostPop()
+        mostpop.fit(od_dataset)
+        config = ABTestConfig(days=3, users_per_day_per_method=5, seed=0)
+        simulator = ABTestSimulator(od_dataset, config)
+        tasks = od_dataset.ranking_tasks(num_candidates=15, max_tasks=40)
+        result = simulator.run(
+            {"ODNET": trained_odnet, "MostPop": mostpop}, tasks
+        )
+        assert result.methods == ["ODNET", "MostPop"]
+        for method in result.methods:
+            assert result.impressions[method].shape == (3,)
+            daily = result.daily_ctr(method)
+            assert np.all((daily >= 0) & (daily <= 1))
+            assert 0 <= result.mean_ctr(method) <= 1
+
+    def test_impressions_bounded_by_config(self, trained_odnet, od_dataset):
+        config = ABTestConfig(days=2, users_per_day_per_method=4, top_k=6,
+                              seed=0)
+        simulator = ABTestSimulator(od_dataset, config)
+        tasks = od_dataset.ranking_tasks(num_candidates=10, max_tasks=20)
+        result = simulator.run({"ODNET": trained_odnet}, tasks)
+        impressions = result.impressions["ODNET"]
+        # Cascade: at least one impression per user, at most top_k each.
+        assert np.all(impressions >= 4)
+        assert np.all(impressions <= 4 * 6)
+
+    def test_improvement_metric(self, trained_odnet, od_dataset):
+        from repro.baselines import MostPop
+
+        mostpop = MostPop()
+        mostpop.fit(od_dataset)
+        config = ABTestConfig(days=6, users_per_day_per_method=30, seed=2)
+        tasks = od_dataset.ranking_tasks(
+            num_candidates=20, rng=np.random.default_rng(2), max_tasks=110
+        )
+        result = ABTestSimulator(od_dataset, config).run(
+            {"ODNET": trained_odnet, "MostPop": mostpop}, tasks
+        )
+        # A trained ODNET must hold a CTR edge over raw popularity.
+        assert result.improvement("ODNET", "MostPop") > 0
+
+    def test_relevance_anchored_to_truth(self, od_dataset, trained_odnet):
+        simulator = ABTestSimulator(od_dataset, ABTestConfig())
+        task = od_dataset.ranking_tasks(num_candidates=10, max_tasks=1)[0]
+        exact = simulator._relevance(task, task.point.target)
+        other = ODPair(
+            task.point.target.origin,
+            (task.point.target.destination + 1) % od_dataset.num_cities,
+        )
+        assert exact > simulator._relevance(task, other)

@@ -1,0 +1,103 @@
+"""Candidate recall strategies (Section VI-B)."""
+
+import numpy as np
+import pytest
+
+from repro.serving import CandidateRecall, RecallConfig
+
+
+@pytest.fixture(scope="module")
+def recall(od_dataset):
+    return CandidateRecall(
+        od_dataset.source.world, od_dataset.route_popularity
+    )
+
+
+@pytest.fixture(scope="module")
+def history(od_dataset):
+    return od_dataset.source.test_points[0].history
+
+
+class TestOrigins:
+    def test_current_city_first(self, recall, history):
+        origins = recall.candidate_origins(history)
+        assert origins[0] == history.current_city
+
+    def test_includes_resident_city(self, recall, history):
+        from collections import Counter
+
+        origins = recall.candidate_origins(history)
+        resident = Counter(
+            b.origin for b in history.bookings
+        ).most_common(1)[0][0]
+        assert resident in origins
+
+    def test_no_duplicates(self, recall, history):
+        origins = recall.candidate_origins(history)
+        assert len(origins) == len(set(origins))
+
+    def test_adjacent_cities_within_radius(self, recall, history, od_dataset):
+        config = recall.config
+        origins = recall.candidate_origins(history)
+        adjacent = od_dataset.source.world.nearby_cities(
+            history.current_city, config.adjacent_radius_km
+        )[: config.max_adjacent]
+        for city in adjacent:
+            assert int(city) in origins
+
+
+class TestDestinations:
+    def test_includes_historical_destinations(self, recall, history):
+        destinations = recall.candidate_destinations(history)
+        top_hist = history.destination_sequence[-1]
+        assert top_hist in destinations or len(destinations) >= 8
+
+    def test_includes_clicked_destinations(self, recall, history):
+        destinations = recall.candidate_destinations(history)
+        for click in history.clicks[-3:]:
+            assert click.destination in destinations
+
+    def test_no_duplicates(self, recall, history):
+        destinations = recall.candidate_destinations(history)
+        assert len(destinations) == len(set(destinations))
+
+
+class TestPairs:
+    def test_pairs_valid_and_capped(self, recall, history):
+        pairs = recall.candidate_pairs(history)
+        assert 0 < len(pairs) <= recall.config.max_pairs
+        assert all(p.origin != p.destination for p in pairs)
+        assert len(set(pairs)) == len(pairs)
+
+    def test_return_pair_included(self, recall, history):
+        pairs = recall.candidate_pairs(history)
+        last = history.bookings[-1]
+        if last.destination != last.origin:
+            assert (last.destination, last.origin) in [
+                (p.origin, p.destination) for p in pairs
+            ]
+
+    def test_clicked_pairs_lead(self, recall, history):
+        pairs = recall.candidate_pairs(history)
+        click = history.clicks[-1]
+        if click.origin != click.destination:
+            assert pairs[0] == (click.origin, click.destination)
+
+    def test_small_cap_respected(self, od_dataset, history):
+        tight = CandidateRecall(
+            od_dataset.source.world,
+            od_dataset.route_popularity,
+            RecallConfig(max_pairs=10),
+        )
+        assert len(tight.candidate_pairs(history)) <= 10
+
+    def test_recall_usually_contains_truth(self, od_dataset, recall):
+        """The recall stage should surface the true next OD pair for a
+        decent share of test events (otherwise ranking cannot fix it)."""
+        hits = 0
+        points = od_dataset.source.test_points[:60]
+        for point in points:
+            pairs = set(recall.candidate_pairs(point.history))
+            if point.target in pairs:
+                hits += 1
+        assert hits / len(points) > 0.5

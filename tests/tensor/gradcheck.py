@@ -1,0 +1,38 @@
+"""Finite-difference gradient checking used across the tensor tests."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.tensor import Tensor
+
+
+def numerical_gradients(fn, arrays, eps: float = 1e-6):
+    """Central-difference gradients of sum(fn(*arrays)) wrt each array."""
+    gradients = []
+    for target_index, target in enumerate(arrays):
+        grad = np.zeros_like(target, dtype=np.float64)
+        flat = target.ravel()
+        grad_flat = grad.ravel()
+        for i in range(flat.size):
+            original = flat[i]
+            flat[i] = original + eps
+            up = fn(*[Tensor(a) for a in arrays]).data.sum()
+            flat[i] = original - eps
+            down = fn(*[Tensor(a) for a in arrays]).data.sum()
+            flat[i] = original
+            grad_flat[i] = (up - down) / (2 * eps)
+        gradients.append(grad)
+    return gradients
+
+
+def assert_gradients_match(fn, *arrays, atol: float = 1e-5):
+    """Backprop through sum(fn(...)) and compare against finite differences."""
+    arrays = [np.asarray(a, dtype=np.float64) for a in arrays]
+    tensors = [Tensor(a.copy(), requires_grad=True) for a in arrays]
+    out = fn(*tensors)
+    out.sum().backward() if out.data.size > 1 else out.backward()
+    numeric = numerical_gradients(fn, [a.copy() for a in arrays])
+    for tensor, expected in zip(tensors, numeric):
+        assert tensor.grad is not None, "missing gradient"
+        np.testing.assert_allclose(tensor.grad, expected, atol=atol)

@@ -1,0 +1,96 @@
+"""Tensor edge cases and failure modes."""
+
+import numpy as np
+import pytest
+
+from repro.tensor import Tensor, concat, no_grad, stack
+
+
+class TestDtypeGuards:
+    def test_integer_index_tensors_flow_through_getitem(self):
+        weights = Tensor(np.arange(12.0).reshape(4, 3), requires_grad=True)
+        indices = Tensor(np.array([0, 2]))
+        out = weights[indices]
+        out.sum().backward()
+        np.testing.assert_allclose(weights.grad[0], np.ones(3))
+        np.testing.assert_allclose(weights.grad[1], np.zeros(3))
+
+    def test_integer_dtype_preserved(self):
+        t = Tensor(np.array([1, 2], dtype=np.int32))
+        assert t.dtype.kind == "i"
+
+    def test_scalar_tensor_roundtrip(self):
+        t = Tensor(3.0, requires_grad=True)
+        (t * t).backward()
+        np.testing.assert_allclose(t.grad, 6.0)
+
+
+class TestGraphSemantics:
+    def test_gradient_through_diamond(self):
+        # x -> a, b -> c; both paths must contribute exactly once.
+        x = Tensor(np.array([2.0]), requires_grad=True)
+        a = x * 3.0
+        b = x * 5.0
+        c = a + b
+        c.sum().backward()
+        np.testing.assert_allclose(x.grad, [8.0])
+
+    def test_deep_chain_does_not_recurse(self):
+        x = Tensor(np.ones(2), requires_grad=True)
+        y = x
+        for _ in range(3000):
+            y = y + 0.001
+        y.sum().backward()
+        np.testing.assert_allclose(x.grad, np.ones(2))
+
+    def test_reuse_of_output_in_two_losses(self):
+        x = Tensor(np.array([1.0, 2.0]), requires_grad=True)
+        hidden = x.tanh()
+        (hidden.sum() + (hidden * hidden).sum()).backward()
+        manual = (1 - np.tanh(x.data) ** 2) * (1 + 2 * np.tanh(x.data))
+        np.testing.assert_allclose(x.grad, manual)
+
+    def test_no_grad_inside_graph_detaches(self):
+        x = Tensor(np.ones(3), requires_grad=True)
+        y = x * 2.0
+        with no_grad():
+            z = y * 10.0
+        assert not z.requires_grad
+        y.sum().backward()
+        np.testing.assert_allclose(x.grad, [2.0, 2.0, 2.0])
+
+
+class TestCombinatorEdges:
+    def test_concat_single_tensor(self):
+        t = Tensor(np.ones((2, 2)), requires_grad=True)
+        out = concat([t], axis=0)
+        out.sum().backward()
+        np.testing.assert_allclose(t.grad, np.ones((2, 2)))
+
+    def test_stack_gradient_split(self):
+        a = Tensor(np.ones(3), requires_grad=True)
+        b = Tensor(np.ones(3), requires_grad=True)
+        stacked = stack([a, b], axis=0)
+        (stacked[0] * 2.0 + stacked[1] * 3.0).sum().backward()
+        np.testing.assert_allclose(a.grad, [2.0] * 3)
+        np.testing.assert_allclose(b.grad, [3.0] * 3)
+
+
+class TestNumericalStability:
+    def test_softmax_with_mixed_magnitudes(self):
+        t = Tensor(np.array([-1e9, 0.0, 1e9]))
+        out = t.softmax().data
+        np.testing.assert_allclose(out, [0.0, 0.0, 1.0], atol=1e-12)
+
+    def test_log_softmax_no_overflow(self):
+        t = Tensor(np.array([1e8, 1e8]))
+        out = t.log_softmax().data
+        np.testing.assert_allclose(out, [np.log(0.5)] * 2)
+
+    def test_bce_at_extreme_probabilities(self):
+        from repro.tensor import functional as F
+
+        p = Tensor(np.array([1.0, 0.0]))
+        loss = F.binary_cross_entropy(p, np.array([1.0, 0.0]))
+        assert np.isfinite(loss.item())
+        assert loss.item() < 1e-6

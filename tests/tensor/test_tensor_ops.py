@@ -1,0 +1,235 @@
+"""Forward-value and API tests for the Tensor core."""
+
+import numpy as np
+import pytest
+
+from repro.tensor import Tensor, as_tensor, concat, maximum, no_grad, stack, where
+
+
+class TestConstruction:
+    def test_float_data_is_float64(self):
+        t = Tensor([1.0, 2.0])
+        assert t.dtype == np.float64
+
+    def test_int_data_stays_int(self):
+        t = Tensor([1, 2, 3])
+        assert t.dtype.kind == "i"
+
+    def test_int_tensor_cannot_require_grad(self):
+        with pytest.raises(TypeError):
+            Tensor([1, 2], requires_grad=True)
+
+    def test_from_tensor_shares_data(self):
+        a = Tensor([1.0, 2.0])
+        b = Tensor(a)
+        assert b.data is a.data
+
+    def test_shape_ndim_size(self):
+        t = Tensor(np.zeros((2, 3)))
+        assert t.shape == (2, 3)
+        assert t.ndim == 2
+        assert t.size == 6
+        assert len(t) == 2
+
+    def test_item_and_numpy(self):
+        t = Tensor(3.5)
+        assert t.item() == 3.5
+        assert isinstance(t.numpy(), np.ndarray)
+
+    def test_detach_drops_grad(self):
+        t = Tensor([1.0], requires_grad=True)
+        assert not t.detach().requires_grad
+
+    def test_repr_mentions_grad(self):
+        assert "requires_grad=True" in repr(Tensor([1.0], requires_grad=True))
+
+    def test_as_tensor_passthrough(self):
+        t = Tensor([1.0])
+        assert as_tensor(t) is t
+        assert isinstance(as_tensor([1.0]), Tensor)
+
+
+class TestArithmetic:
+    def test_add_broadcast(self):
+        out = Tensor(np.ones((2, 3))) + Tensor(np.arange(3.0))
+        np.testing.assert_allclose(out.data, np.ones((2, 3)) + np.arange(3.0))
+
+    def test_radd_with_numpy_left(self):
+        out = np.ones(3) + Tensor(np.arange(3.0))
+        assert isinstance(out, Tensor)
+        np.testing.assert_allclose(out.data, [1.0, 2.0, 3.0])
+
+    def test_numpy_left_mul_defers_to_tensor(self):
+        out = np.full(3, 2.0) * Tensor(np.arange(3.0))
+        assert isinstance(out, Tensor)
+        np.testing.assert_allclose(out.data, [0.0, 2.0, 4.0])
+
+    def test_sub_and_rsub(self):
+        a = Tensor([3.0])
+        np.testing.assert_allclose((a - 1.0).data, [2.0])
+        np.testing.assert_allclose((5.0 - a).data, [2.0])
+
+    def test_div_and_rdiv(self):
+        a = Tensor([2.0])
+        np.testing.assert_allclose((a / 4.0).data, [0.5])
+        np.testing.assert_allclose((4.0 / a).data, [2.0])
+
+    def test_pow_scalar_only(self):
+        with pytest.raises(TypeError):
+            Tensor([1.0]) ** Tensor([2.0])
+
+    def test_matmul_requires_2d(self):
+        with pytest.raises(ValueError):
+            Tensor([1.0, 2.0]) @ Tensor([1.0, 2.0])
+
+    def test_matmul_batched_value(self):
+        a = np.random.default_rng(0).normal(size=(2, 3, 4))
+        b = np.random.default_rng(1).normal(size=(2, 4, 5))
+        np.testing.assert_allclose((Tensor(a) @ Tensor(b)).data, a @ b)
+
+    def test_comparisons_return_numpy(self):
+        mask = Tensor([1.0, 2.0]) > 1.5
+        assert isinstance(mask, np.ndarray)
+        assert mask.tolist() == [False, True]
+
+
+class TestShapes:
+    def test_reshape_accepts_tuple_or_args(self):
+        t = Tensor(np.arange(6.0))
+        assert t.reshape(2, 3).shape == (2, 3)
+        assert t.reshape((3, 2)).shape == (3, 2)
+
+    def test_transpose_default_reverses(self):
+        t = Tensor(np.zeros((2, 3, 4)))
+        assert t.transpose().shape == (4, 3, 2)
+        assert t.T.shape == (4, 3, 2)
+
+    def test_swapaxes(self):
+        t = Tensor(np.zeros((2, 3, 4)))
+        assert t.swapaxes(0, 2).shape == (4, 3, 2)
+
+    def test_expand_squeeze_roundtrip(self):
+        t = Tensor(np.zeros((2, 3)))
+        assert t.expand_dims(1).squeeze(1).shape == (2, 3)
+
+    def test_getitem_row(self):
+        t = Tensor(np.arange(6.0).reshape(2, 3))
+        np.testing.assert_allclose(t[1].data, [3.0, 4.0, 5.0])
+
+    def test_getitem_with_integer_array(self):
+        t = Tensor(np.arange(10.0))
+        idx = np.array([0, 0, 5])
+        np.testing.assert_allclose(t[idx].data, [0.0, 0.0, 5.0])
+
+    def test_take_axis0(self):
+        t = Tensor(np.arange(12.0).reshape(4, 3))
+        out = t.take(np.array([[0, 3], [1, 1]]))
+        assert out.shape == (2, 2, 3)
+
+
+class TestReductions:
+    def test_sum_axis_keepdims(self):
+        t = Tensor(np.ones((2, 3)))
+        assert t.sum(axis=1).shape == (2,)
+        assert t.sum(axis=1, keepdims=True).shape == (2, 1)
+        assert t.sum().item() == 6.0
+
+    def test_mean_matches_numpy(self):
+        data = np.random.default_rng(0).normal(size=(3, 4))
+        np.testing.assert_allclose(
+            Tensor(data).mean(axis=0).data, data.mean(axis=0)
+        )
+
+    def test_max_matches_numpy(self):
+        data = np.random.default_rng(1).normal(size=(3, 4))
+        np.testing.assert_allclose(
+            Tensor(data).max(axis=1).data, data.max(axis=1)
+        )
+
+
+class TestNonlinearities:
+    def test_softmax_rows_sum_to_one(self):
+        out = Tensor(np.random.default_rng(0).normal(size=(4, 5))).softmax()
+        np.testing.assert_allclose(out.data.sum(axis=-1), np.ones(4))
+
+    def test_softmax_is_stable_for_large_inputs(self):
+        out = Tensor([1000.0, 1000.0]).softmax()
+        np.testing.assert_allclose(out.data, [0.5, 0.5])
+
+    def test_sigmoid_extremes(self):
+        out = Tensor([-1000.0, 0.0, 1000.0]).sigmoid()
+        np.testing.assert_allclose(out.data, [0.0, 0.5, 1.0], atol=1e-12)
+
+    def test_log_softmax_consistency(self):
+        data = np.random.default_rng(2).normal(size=(3, 4))
+        np.testing.assert_allclose(
+            Tensor(data).log_softmax().data,
+            np.log(Tensor(data).softmax().data),
+            atol=1e-12,
+        )
+
+    def test_relu_clip_abs(self):
+        t = Tensor([-2.0, 0.5, 3.0])
+        np.testing.assert_allclose(t.relu().data, [0.0, 0.5, 3.0])
+        np.testing.assert_allclose(t.clip(-1.0, 1.0).data, [-1.0, 0.5, 1.0])
+        np.testing.assert_allclose(t.abs().data, [2.0, 0.5, 3.0])
+
+    def test_masked_fill(self):
+        t = Tensor([1.0, 2.0, 3.0])
+        out = t.masked_fill(np.array([True, False, True]), -1.0)
+        np.testing.assert_allclose(out.data, [-1.0, 2.0, -1.0])
+
+
+class TestCombinators:
+    def test_concat_values(self):
+        out = concat([Tensor(np.ones((2, 2))), Tensor(np.zeros((2, 3)))], axis=1)
+        assert out.shape == (2, 5)
+
+    def test_stack_values(self):
+        out = stack([Tensor(np.ones(3)), Tensor(np.zeros(3))], axis=0)
+        assert out.shape == (2, 3)
+
+    def test_where_select(self):
+        out = where(np.array([True, False]), Tensor([1.0, 1.0]), Tensor([9.0, 9.0]))
+        np.testing.assert_allclose(out.data, [1.0, 9.0])
+
+    def test_maximum(self):
+        out = maximum(Tensor([1.0, 5.0]), Tensor([3.0, 2.0]))
+        np.testing.assert_allclose(out.data, [3.0, 5.0])
+
+
+class TestAutogradBasics:
+    def test_backward_requires_grad(self):
+        with pytest.raises(RuntimeError):
+            Tensor([1.0]).backward()
+
+    def test_backward_nonscalar_needs_grad_argument(self):
+        t = Tensor([1.0, 2.0], requires_grad=True)
+        with pytest.raises(RuntimeError):
+            (t * 2).backward()
+
+    def test_grad_accumulates_across_backward_calls(self):
+        t = Tensor([1.0], requires_grad=True)
+        (t * 2).sum().backward()
+        (t * 2).sum().backward()
+        np.testing.assert_allclose(t.grad, [4.0])
+
+    def test_no_grad_blocks_graph(self):
+        t = Tensor([1.0], requires_grad=True)
+        with no_grad():
+            out = t * 2
+        assert not out.requires_grad
+
+    def test_no_grad_restores_on_exception(self):
+        from repro.tensor import is_grad_enabled
+
+        with pytest.raises(ValueError):
+            with no_grad():
+                raise ValueError()
+        assert is_grad_enabled()
+
+    def test_shared_subexpression_gradient(self):
+        t = Tensor([2.0], requires_grad=True)
+        y = t * t + t * 3.0
+        y.sum().backward()
+        np.testing.assert_allclose(t.grad, [7.0])  # 2x + 3

@@ -1,0 +1,40 @@
+"""Command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main, run_experiment
+
+
+class TestParser:
+    def test_rejects_unknown_experiment(self, capsys):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["table99"])
+
+    def test_defaults(self):
+        args = build_parser().parse_args(["table3"])
+        assert args.scale == "small"
+        assert args.seed == 0
+
+    def test_list_command(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "table3" in out and "fig7" in out
+
+
+class TestDispatch:
+    def test_table1_tiny(self, capsys):
+        assert main(["table1", "--scale", "tiny"]) == 0
+        out = capsys.readouterr().out
+        assert "training_samples" in out
+
+    def test_table2_tiny(self, capsys):
+        assert main(["table2", "--scale", "tiny"]) == 0
+        out = capsys.readouterr().out
+        assert "foursquare" in out and "gowalla" in out
+
+    def test_unknown_experiment_value_error(self):
+        class FakeArgs:
+            experiment = "nope"
+
+        with pytest.raises(ValueError):
+            run_experiment(FakeArgs())

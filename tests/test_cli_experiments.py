@@ -1,0 +1,24 @@
+"""CLI dispatch of the heavier experiments, at tiny scale."""
+
+from types import SimpleNamespace
+
+from repro.cli import run_experiment
+
+
+def _args(experiment, **overrides):
+    defaults = dict(experiment=experiment, scale="tiny", seed=0,
+                    dataset="foursquare")
+    defaults.update(overrides)
+    return SimpleNamespace(**defaults)
+
+
+class TestHeavyDispatch:
+    def test_table4_tiny(self):
+        report = run_experiment(_args("table4"))
+        assert "MostPop" in report
+        assert "STL+G" in report
+
+    def test_fig6a_tiny(self):
+        report = run_experiment(_args("fig6a"))
+        assert "num_heads" in report
+        assert "HR@5" in report

@@ -1,0 +1,90 @@
+"""End-to-end integration: generate -> train -> evaluate -> serve -> A/B.
+
+These tests exercise the complete pipeline that the paper's production
+system runs (Figure 9), at tiny scale, and assert the qualitative
+relationships the reproduction is built around.
+"""
+
+import numpy as np
+import pytest
+
+from repro import (
+    ABTestConfig,
+    ABTestSimulator,
+    FlightRecommender,
+    ODNETConfig,
+    TrainConfig,
+    build_odnet,
+    build_stl,
+    evaluate_model,
+)
+from repro.baselines import MostPop
+from tests.conftest import TINY_MODEL_CONFIG
+
+
+class TestFullPipeline:
+    def test_train_evaluate_serve(self, od_dataset, trained_odnet):
+        tasks = od_dataset.ranking_tasks(
+            num_candidates=15, rng=np.random.default_rng(0), max_tasks=60
+        )
+        metrics = evaluate_model(trained_odnet, od_dataset, tasks)
+        assert metrics["AUC-O"] > 0.7
+        assert metrics["HR@10"] > 0.3
+
+        recommender = FlightRecommender(trained_odnet, od_dataset)
+        user = od_dataset.source.test_points[0].history.user_id
+        response = recommender.recommend(user_id=user, day=725, k=5)
+        assert 0 < len(response) <= 5
+
+    def test_odnet_beats_mostpop_everywhere(self, od_dataset, trained_odnet):
+        """The weakest qualitative claim of Table III, at tiny scale."""
+        mostpop = MostPop()
+        mostpop.fit(od_dataset)
+        tasks = od_dataset.ranking_tasks(
+            num_candidates=15, rng=np.random.default_rng(1), max_tasks=80
+        )
+        odnet_metrics = evaluate_model(trained_odnet, od_dataset, tasks)
+        mostpop_metrics = evaluate_model(mostpop, od_dataset, tasks)
+        assert odnet_metrics["HR@5"] > mostpop_metrics["HR@5"]
+        assert odnet_metrics["MRR@10"] > mostpop_metrics["MRR@10"]
+
+    def test_odnet_beats_mostpop_in_ctr(self, od_dataset, trained_odnet):
+        """Figure 7's qualitative claim."""
+        mostpop = MostPop()
+        mostpop.fit(od_dataset)
+        tasks = od_dataset.ranking_tasks(
+            num_candidates=20, rng=np.random.default_rng(2), max_tasks=120
+        )
+        result = ABTestSimulator(
+            od_dataset, ABTestConfig(days=5, users_per_day_per_method=20,
+                                     seed=3)
+        ).run({"ODNET": trained_odnet, "MostPop": mostpop}, tasks)
+        assert result.mean_ctr("ODNET") > result.mean_ctr("MostPop")
+
+    def test_state_dict_roundtrip_preserves_scores(self, od_dataset,
+                                                   trained_odnet):
+        clone = build_odnet(od_dataset, TINY_MODEL_CONFIG)
+        clone.load_state_dict(trained_odnet.state_dict())
+        batch = next(od_dataset.iter_batches("test", 16, shuffle=False))
+        np.testing.assert_allclose(
+            clone.score_pairs(batch), trained_odnet.score_pairs(batch)
+        )
+
+    def test_seed_reproducibility_of_full_run(self, od_dataset):
+        config = ODNETConfig(dim=8, num_heads=2, depth=1, expert_dim=16,
+                             tower_hidden=8, seed=5)
+
+        def run():
+            model = build_odnet(od_dataset, config)
+            model.fit(od_dataset, TrainConfig(epochs=1, seed=5))
+            batch = next(od_dataset.iter_batches("test", 8, shuffle=False))
+            return model.score_pairs(batch)
+
+        np.testing.assert_allclose(run(), run())
+
+    def test_stl_pipeline_end_to_end(self, od_dataset):
+        model = build_stl(od_dataset, TINY_MODEL_CONFIG, "STL+G")
+        model.fit(od_dataset, TrainConfig(epochs=1, seed=0))
+        tasks = od_dataset.ranking_tasks(num_candidates=10, max_tasks=20)
+        metrics = evaluate_model(model, od_dataset, tasks)
+        assert np.isfinite(metrics["HR@5"])

@@ -1,0 +1,44 @@
+"""Checkpoint save/load round-trips."""
+
+import numpy as np
+import pytest
+
+from repro.core import build_odnet
+from repro.train import load_checkpoint, save_checkpoint
+from tests.conftest import TINY_MODEL_CONFIG
+
+
+class TestCheckpoint:
+    def test_roundtrip_preserves_scores(self, trained_odnet, od_dataset,
+                                        tmp_path):
+        path = save_checkpoint(trained_odnet, tmp_path / "odnet",
+                               metadata={"epochs": 2})
+        assert path.suffix == ".npz"
+        clone = build_odnet(od_dataset, TINY_MODEL_CONFIG)
+        meta = load_checkpoint(clone, path)
+        assert meta["epochs"] == 2
+        assert meta["model_name"] == "ODNET"
+        batch = next(od_dataset.iter_batches("test", 8, shuffle=False))
+        np.testing.assert_allclose(
+            clone.score_pairs(batch), trained_odnet.score_pairs(batch)
+        )
+
+    def test_suffix_added_on_load(self, trained_odnet, od_dataset, tmp_path):
+        save_checkpoint(trained_odnet, tmp_path / "model.npz")
+        clone = build_odnet(od_dataset, TINY_MODEL_CONFIG)
+        load_checkpoint(clone, tmp_path / "model")  # no suffix
+
+    def test_mismatched_architecture_rejected(self, trained_odnet, od_dataset,
+                                              tmp_path):
+        from dataclasses import replace
+
+        path = save_checkpoint(trained_odnet, tmp_path / "odnet")
+        other = build_odnet(
+            od_dataset, replace(TINY_MODEL_CONFIG, dim=8)
+        )
+        with pytest.raises((KeyError, ValueError)):
+            load_checkpoint(other, path)
+
+    def test_creates_parent_directories(self, trained_odnet, tmp_path):
+        path = save_checkpoint(trained_odnet, tmp_path / "a" / "b" / "model")
+        assert path.exists()

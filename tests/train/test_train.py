@@ -1,0 +1,72 @@
+"""Trainer and evaluation harness."""
+
+import numpy as np
+import pytest
+
+from repro.core import build_odnet
+from repro.train import (
+    TrainConfig,
+    Trainer,
+    evaluate_auc,
+    evaluate_model,
+    evaluate_ranking,
+    measure_inference_ms,
+)
+from tests.conftest import TINY_MODEL_CONFIG
+
+
+class TestTrainer:
+    def test_records_epoch_losses(self, od_dataset):
+        model = build_odnet(od_dataset, TINY_MODEL_CONFIG)
+        history = Trainer(TrainConfig(epochs=2, seed=0)).fit(model, od_dataset)
+        assert len(history.epoch_losses) == 2
+        assert all(np.isfinite(history.epoch_losses))
+        assert history.final_loss == history.epoch_losses[-1]
+
+    def test_deterministic_given_seed(self, od_dataset):
+        def run():
+            model = build_odnet(od_dataset, TINY_MODEL_CONFIG)
+            return Trainer(TrainConfig(epochs=1, seed=7)).fit(
+                model, od_dataset
+            ).final_loss
+
+        assert run() == pytest.approx(run())
+
+    def test_verbose_prints(self, od_dataset, capsys):
+        model = build_odnet(od_dataset, TINY_MODEL_CONFIG)
+        Trainer(TrainConfig(epochs=1, verbose=True)).fit(model, od_dataset)
+        assert "epoch 1/1" in capsys.readouterr().out
+
+
+class TestEvaluate:
+    def test_auc_keys_od_mode(self, trained_odnet, od_dataset):
+        metrics = evaluate_auc(trained_odnet, od_dataset)
+        assert set(metrics) == {"AUC-O", "AUC-D"}
+
+    def test_auc_keys_lbsn_mode(self, lbsn_od_dataset):
+        from repro.baselines import MostPop
+
+        model = MostPop()
+        model.fit(lbsn_od_dataset)
+        metrics = evaluate_auc(model, lbsn_od_dataset)
+        assert set(metrics) == {"AUC"}
+
+    def test_ranking_metrics_keys(self, trained_odnet, od_dataset):
+        tasks = od_dataset.ranking_tasks(num_candidates=10, max_tasks=20)
+        metrics = evaluate_ranking(trained_odnet, od_dataset, tasks)
+        assert set(metrics) == {"HR@1", "HR@5", "MRR@5", "HR@10", "MRR@10"}
+        assert 0 <= metrics["HR@1"] <= metrics["HR@5"] <= metrics["HR@10"] <= 1
+
+    def test_evaluate_model_merges(self, trained_odnet, od_dataset):
+        tasks = od_dataset.ranking_tasks(num_candidates=10, max_tasks=10)
+        metrics = evaluate_model(trained_odnet, od_dataset, tasks)
+        assert "AUC-O" in metrics and "HR@5" in metrics
+
+    def test_inference_time_positive(self, trained_odnet, od_dataset):
+        tasks = od_dataset.ranking_tasks(num_candidates=10, max_tasks=5)
+        ms = measure_inference_ms(trained_odnet, od_dataset, tasks, repeats=1)
+        assert ms > 0
+
+    def test_inference_time_requires_tasks(self, trained_odnet, od_dataset):
+        with pytest.raises(ValueError):
+            measure_inference_ms(trained_odnet, od_dataset, [])

@@ -1,0 +1,231 @@
+"""Assemble EXPERIMENTS.md from benchmarks/results plus fixed commentary.
+
+Run after ``pytest benchmarks/ --benchmark-only``:
+
+    python tools/build_experiments_md.py
+"""
+
+import pathlib
+
+ROOT = pathlib.Path(__file__).resolve().parent.parent
+RESULTS = ROOT / "benchmarks" / "results"
+
+
+def block(name: str) -> str:
+    path = RESULTS / f"{name}.txt"
+    if not path.exists():
+        return f"(missing: run `pytest benchmarks/ --benchmark-only` first)"
+    return "```\n" + path.read_text().rstrip() + "\n```"
+
+
+TEMPLATE = f"""# EXPERIMENTS — paper vs. measured
+
+This file records, for every table and figure in the paper's evaluation
+(Section V), the paper's reported values next to this reproduction's
+measured values, and explains every known deviation.  Raw outputs live in
+`benchmarks/results/`; regenerate everything with
+`pytest benchmarks/ --benchmark-only` (the numbers below are seeded and
+reproducible).
+
+**Measured setup.** Single CPU, numpy backend.  The method-comparison
+suite (Tables III/V, Figure 7, ablations) runs at the `medium` scale —
+900 synthetic users, 60 cities, ~26k training samples, 400 ranking tasks
+of 50 candidates — versus the paper's 2.6M users, 200x200 cities, 22M
+samples.  The cheaper benches (Tables I/II/IV, Figure 6) run at `small`
+scale.
+
+**How to read this.** Absolute values are not comparable to the paper
+(synthetic data, 1000x smaller training, ~50-candidate ranking pools vs a
+production recall pool — which is why our HR/MRR run much *higher* and
+AUCs saturate).  The reproduction targets the paper's **shape**: who
+wins, which components contribute, where hyper-parameter knees fall,
+which efficiency orderings hold.  Each section lists the shape claims and
+whether they held.
+
+---
+
+## Table I — Fliggy dataset statistics
+
+Paper: 21,996,450 training / 5,299,441 testing samples from 2,037,869 /
+587,042 users over 200x200 cities, in a 1 : 4 : 2 mix of positive,
+partially-negative and negative samples per booking.
+
+Measured (synthetic generator, `small` scale):
+
+{block('table1_fliggy_statistics')}
+
+**Held:** the 1:4:2 construction is exact by design; origin and
+destination city counts match.  **Differs:** scale (by intent).
+
+## Table II — LBSN dataset statistics
+
+Paper: Foursquare 243,680 users / 203,219 POIs / 16.6M check-ins;
+Gowalla 196,344 users / 381,595 POIs / 20.4M check-ins.
+
+Measured:
+
+{block('table2_lbsn_statistics')}
+
+**Held:** Gowalla has more POIs and more check-ins than Foursquare.
+
+## Table III — method comparison on Fliggy
+
+Paper (selected): ODNET wins every column — AUC-O 0.9432, AUC-D 0.9310,
+HR@1 0.3461, HR@5 0.7685, HR@10 0.8264, MRR@5 0.5322, MRR@10 0.6785 —
+beating the next best (STP-UDGAT / STL+G) by +2.0% AUC and +1-11% HR/MRR;
+ordering MostPop < GBDT < LSTM < STGN < LSTPM < STOD-PPA < STP-UDGAT,
+with the variant family STL-G < ODNET-G < STL+G < ODNET.
+
+Measured (`medium` scale, shared dataset and tasks):
+
+{block('table3_fliggy_comparison')}
+
+**Held:**
+- ODNET is the best method on HR@1/HR@5/MRR@5/MRR@10 (the headline);
+- variant family: ODNET > STL+G and ODNET > ODNET-G, STL+G >= STL-G
+  (graph exploration and joint learning both contribute, Section V-C);
+- MostPop is worst by a wide margin;
+- deep models dominate the popularity heuristic everywhere.
+
+**Differs:**
+- GBDT and LSTM sit mid-pack rather than near the bottom.  This is a
+  sample-efficiency artifact: at 26k samples, count/tree methods are
+  competitive with under-trained neural models; at the paper's 22M they
+  are not.  The gap between ODNET and GBDT still matches the paper's
+  direction and rough size.
+- AUC columns saturate (~0.99) for all learned models because the
+  Table-I negatives are popularity-random and easy; the paper's larger
+  candidate space keeps AUCs lower.
+
+## Table IV — single-task methods on LBSN data
+
+Paper: STL+G best on both datasets (e.g. Foursquare HR@5 0.3391 vs
+STP-UDGAT 0.3001), STL-G comparable to the RNN family, MostPop worst by
+an order of magnitude.
+
+Measured (`small` scale):
+
+{block('table4_lbsn_comparison')}
+
+**Held:** the HSGC-equipped STL+G leads or co-leads HR@5/HR@10 on both
+datasets and beats STL-G (the graph helps on LBSN data too); the neural
+pack beats MostPop on HR@5.  **Differs:** MostPop is far less bad than
+in the paper because our ranking pools are 25 popularity-sampled
+candidates, not a 200k-POI open world; GBDT sits at the MostPop band
+since it cannot see the latent venue categories.
+
+## Table V — efficiency
+
+Paper (training minutes / inference ms): GBDT 30/8.1, LSTM 85/19.4,
+STGN 93/22.8, LSTPM 90/23.3, STOD-PPA 94/25.7, STP-UDGAT 82/22.5,
+STL-G 59/21.9, STL+G 64/23.4, ODNET-G 68/14.2, ODNET 73/16.3.
+
+Measured (same run as Table III):
+
+{block('table5_efficiency')}
+
+**Held:**
+- the RNN family (LSTM/STGN/LSTPM/STOD-PPA) trains slower than the
+  attention/graph ODNET family (sequential cells cannot batch over time);
+- STOD-PPA is the slowest neural method in both columns, as in the paper;
+- multi-task inference beats running two single-task networks
+  (ODNET-G < STL+G, ODNET ~ two-thirds of 2x STL cost);
+- GBDT is the cheapest learned model to train.
+
+**Differs:** absolute numbers (minutes on a 55-machine cluster vs seconds
+on one CPU core), by intent.
+
+## Figure 6(a) — attention heads
+
+Paper: HR@5/MRR@5 peak at 4 heads; more heads beyond 4 reduce accuracy.
+
+Measured:
+
+{block('fig6a_heads_sweep')}
+
+**Held:** multi-head helps over a single head and the curve is flat-to-
+declining beyond 4 — the peak sits at 2-4 heads depending on seed; 8
+heads is never the optimum.  At reproduction scale the 2-vs-4 difference
+is within noise.
+
+## Figure 6(b) — exploration depth K
+
+Paper: accuracy knee at K=2 ("no marked marginal returns" beyond);
+training time grows 55 -> 73 -> 94 -> 135 minutes for K=1..4.
+
+Measured:
+
+{block('fig6b_depth_sweep')}
+
+**Held:** training time is strictly increasing in K, and K=2 sits at (or
+within noise of) the accuracy knee — the step from K=1 to K=2 is the
+largest gain, exactly the paper's justification for K=2.
+
+## Figure 7 — simulated online A/B test
+
+Paper: over one week of live traffic, ODNET's CTR beats the two SOTA
+methods by +11.25% on average and MostPop by +17.3%.
+
+Measured (closed-form cascade click model anchored to held-out bookings;
+see `repro.serving.abtest` for why this preserves ordering):
+
+{block('fig7_abtest_ctr')}
+
+**Held:** ODNET has the best mean CTR, with a clear positive lift over
+STP-UDGAT and STOD-PPA and a large one over MostPop.  **Differs:** the
+magnitude of the MostPop gap is larger than the paper's +17.3% because
+our simulated relevance model is anchored directly to the true next
+booking, which punishes a non-personalised ranker harder than live
+traffic does.
+
+## Figure 8 — case study
+
+Reproduced qualitatively by `python examples/case_study.py`, which finds
+(on simulated users) all three behaviours of Section V-F: the reverse of
+an outbound booking recommended at rank 1 for a user who is away from
+home (Case 2's return ticket), an unvisited same-pattern destination in
+the top ranks (destination exploration), and flights departing from a
+nearby airport other than the current city (origin exploration).
+`examples/model_introspection.py` shows the mechanisms: MMoE task gates
+specialise across experts and HSGC city embeddings cluster by semantic
+pattern.
+
+## Ablations (beyond the paper's tables)
+
+Decomposition of ODNET's design choices (Section V-C discusses the first
+three; the spatial-weight and pair-feature rows are this reproduction's
+additions):
+
+{block('ablation_components')}
+
+**Held:** removing any of {{HSGC, joint learning, both}} costs accuracy,
+with "both" (STL-G) worst — matching Section V-C's decomposition;
+removing the pair-level unity features costs the single largest share of
+ODNET's edge, consistent with the paper's emphasis on learning O&D as a
+unity.  The Eq. 2 spatial weights are roughly accuracy-neutral at this
+scale (documented; their benefit in the paper likely needs the full
+200-city geography).
+
+## Known deviations, summarised
+
+1. **GBDT/LSTM stronger than in the paper** (Tables III/IV): a
+   sample-efficiency artifact of running at 1/1000 of the paper's data
+   scale.  All neural-vs-neural and component orderings still hold.
+2. **AUC saturation** (Table III): easy popularity-random negatives.
+3. **MostPop less catastrophic on LBSN** (Table IV): 25-candidate pools
+   vs an open POI vocabulary.
+4. **Figure 7 magnitudes**: the cascade click simulator preserves
+   ordering but not the paper's exact lift percentages.
+5. Architectural liberties needed at reproduction scale are documented in
+   DESIGN.md §5 (positional embeddings, interaction products, pair-level
+   unity features, theta centering prior).
+"""
+
+
+def main() -> None:
+    (ROOT / "EXPERIMENTS.md").write_text(TEMPLATE)
+    print(f"wrote {ROOT / 'EXPERIMENTS.md'}")
+
+
+if __name__ == "__main__":
+    main()
