@@ -21,6 +21,14 @@ import pytest
 from repro.data import ODDataset, generate_fliggy_dataset
 from repro.experiments import ALL_METHODS, build_method, get_scale
 from repro.experiments.comparison import ComparisonResult, MethodResult
+from repro.obs import (
+    MetricsRegistry,
+    Tracer,
+    set_registry,
+    set_tracer,
+    to_prometheus,
+    write_jsonl,
+)
 from repro.train import evaluate_model, measure_inference_ms
 
 RESULTS_DIR = pathlib.Path(__file__).parent / "results"
@@ -46,6 +54,23 @@ class FliggySuite:
 def results_dir() -> pathlib.Path:
     RESULTS_DIR.mkdir(exist_ok=True)
     return RESULTS_DIR
+
+
+@pytest.fixture(scope="session", autouse=True)
+def obs_session():
+    """Observe the whole bench session; dump the telemetry snapshot
+    (JSONL + Prometheus text) alongside the reproduction tables."""
+    registry, tracer = MetricsRegistry(), Tracer()
+    previous_registry = set_registry(registry)
+    previous_tracer = set_tracer(tracer)
+    try:
+        yield registry
+    finally:
+        set_registry(previous_registry)
+        set_tracer(previous_tracer)
+        RESULTS_DIR.mkdir(exist_ok=True)
+        write_jsonl(RESULTS_DIR / "obs_snapshot.jsonl", registry, tracer)
+        (RESULTS_DIR / "obs_snapshot.prom").write_text(to_prometheus(registry))
 
 
 @pytest.fixture(scope="session")

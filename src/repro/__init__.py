@@ -7,8 +7,9 @@ Heterogeneous Spatial Graph (:mod:`repro.graph`), behavioural data
 simulators (:mod:`repro.data`), the ODNET model and its ablation variants
 (:mod:`repro.core`), all seven baselines (:mod:`repro.baselines`), the
 training/evaluation harness (:mod:`repro.train`, :mod:`repro.metrics`),
-the Figure 9 serving stack and A/B simulator (:mod:`repro.serving`), and
-runners for every table and figure (:mod:`repro.experiments`).
+the Figure 9 serving stack and A/B simulator (:mod:`repro.serving`), the
+metrics/tracing/profiling layer (:mod:`repro.obs`), and runners for every
+table and figure (:mod:`repro.experiments`).
 
 Quickstart::
 
@@ -58,6 +59,16 @@ from .graph import (
     build_neighbor_table,
 )
 from .metrics import auc, ctr, evaluate_rankings, hit_rate_at_k, mrr_at_k
+from .obs import (
+    MetricsProfiler,
+    MetricsRegistry,
+    Profiler,
+    Tracer,
+    render_summary,
+    use_observability,
+    use_registry,
+    use_tracer,
+)
 from .serving import (
     ABTestConfig,
     ABTestSimulator,
@@ -118,4 +129,13 @@ __all__ = [
     "RankingService",
     "ABTestSimulator",
     "ABTestConfig",
+    # observability
+    "MetricsRegistry",
+    "Tracer",
+    "Profiler",
+    "MetricsProfiler",
+    "use_registry",
+    "use_tracer",
+    "use_observability",
+    "render_summary",
 ]

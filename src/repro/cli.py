@@ -5,6 +5,8 @@ Usage::
     python -m repro table3 --scale small
     python -m repro fig6b --scale tiny
     python -m repro fig7 --scale small --seed 1
+    python -m repro obs --scale tiny
+    python -m repro obs --input benchmarks/results/obs_snapshot.jsonl
     python -m repro list
 """
 
@@ -34,6 +36,7 @@ _EXPERIMENTS = {
     "fig6a": "attention-heads sweep (Figure 6a)",
     "fig6b": "exploration-depth sweep (Figure 6b)",
     "fig7": "simulated online A/B test (Figure 7)",
+    "obs": "observability summary (live demo run, or --input snapshot.jsonl)",
 }
 
 
@@ -56,6 +59,9 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--dataset", default="foursquare",
                         choices=("foursquare", "gowalla"),
                         help="LBSN dataset for table4 (default: foursquare)")
+    parser.add_argument("--input", default=None, metavar="SNAPSHOT",
+                        help="for 'obs': render an existing JSONL snapshot "
+                             "instead of running the live demo")
     return parser
 
 
@@ -84,8 +90,56 @@ def _table2(args) -> str:
     return "\n".join(lines)
 
 
+def _obs(args) -> str:
+    """Render a telemetry summary.
+
+    With ``--input`` the given JSONL snapshot is parsed back and rendered.
+    Otherwise a small end-to-end demo (train ODNET, serve a handful of
+    requests) runs under a live registry + tracer and its summary is
+    rendered — the quickest way to see what the obs subsystem records.
+    """
+    from .obs import read_jsonl, render_records, render_summary, use_observability
+
+    if args.input:
+        import json
+
+        try:
+            records = read_jsonl(args.input)
+        except OSError as exc:
+            raise SystemExit(f"repro obs: cannot read {args.input}: {exc}")
+        except json.JSONDecodeError as exc:
+            raise SystemExit(
+                f"repro obs: {args.input} is not a JSONL snapshot ({exc})"
+            )
+        return render_records(records)
+
+    from .core import ODNETConfig, build_odnet
+    from .data import ODDataset, generate_fliggy_dataset
+    from .experiments import get_scale
+    from .serving import FlightRecommender
+    from .train import Trainer
+
+    scale = get_scale(args.scale)
+    with use_observability() as (registry, tracer):
+        dataset = ODDataset(
+            generate_fliggy_dataset(scale.fliggy_config(seed=args.seed))
+        )
+        model = build_odnet(
+            dataset, ODNETConfig(dim=16, num_heads=2, depth=2, seed=args.seed)
+        )
+        Trainer(scale.train_config(seed=args.seed)).fit(model, dataset)
+        recommender = FlightRecommender(model, dataset)
+        for point in dataset.source.test_points[:10]:
+            recommender.recommend(
+                user_id=point.history.user_id, day=point.day, k=5
+            )
+        return render_summary(registry, tracer)
+
+
 def run_experiment(args) -> str:
     """Dispatch one experiment and return its printable report."""
+    if args.experiment == "obs":
+        return _obs(args)
     if args.experiment == "table1":
         return _table1(args)
     if args.experiment == "table2":

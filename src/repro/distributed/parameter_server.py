@@ -30,6 +30,7 @@ import numpy as np
 
 from ..data.dataset import ODDataset
 from ..nn.module import Module
+from ..obs.registry import get_registry
 from .sharding import shard_parameters, shard_samples
 
 __all__ = ["ParameterServer", "Worker", "ParameterServerTrainer", "PSConfig"]
@@ -84,11 +85,24 @@ class ParameterServer:
         self.pulls += 1
         if names is None:
             names = self.parameter_names
-        return {name: self._store[name].copy() for name in names}
+        weights = {name: self._store[name].copy() for name in names}
+        registry = get_registry()
+        if registry.enabled:
+            registry.counter("ps.pulls").inc()
+            registry.counter("ps.pull_bytes").inc(
+                sum(value.nbytes for value in weights.values())
+            )
+        return weights
 
     def push(self, gradients: dict[str, np.ndarray]) -> None:
         """Apply Adam updates for the pushed gradient shard."""
         self.pushes += 1
+        registry = get_registry()
+        if registry.enabled:
+            registry.counter("ps.pushes").inc()
+            registry.counter("ps.push_bytes").inc(
+                sum(np.asarray(grad).nbytes for grad in gradients.values())
+            )
         beta1, beta2, eps = 0.9, 0.999, 1e-8
         for name, grad in gradients.items():
             if name not in self._store:

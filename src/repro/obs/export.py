@@ -1,0 +1,160 @@
+"""Exporters: JSONL snapshots and Prometheus text exposition format.
+
+The JSONL snapshot is one self-describing record per instrument (and,
+optionally, per finished span), so a run's telemetry can be dumped next to
+its benchmark results and parsed back later::
+
+    {"type": "counter", "name": "serving.requests", "labels": {}, "value": 12.0}
+    {"type": "histogram", "name": "serving.latency_ms", "count": 12, ...}
+    {"type": "span", "name": "recall", "span_id": 2, "parent_id": 1, ...}
+
+:func:`to_prometheus` renders the classic text format (counters get the
+``_total`` suffix, histograms emit cumulative ``_bucket{le=...}`` series
+plus ``_sum``/``_count``) so the snapshot can be scraped or diffed with
+standard tooling.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import pathlib
+
+from .registry import MetricsRegistry
+from .tracing import Tracer
+
+__all__ = [
+    "snapshot_records",
+    "write_jsonl",
+    "read_jsonl",
+    "to_prometheus",
+]
+
+
+def _finite(value: float) -> float | None:
+    """JSON has no NaN/Inf; map them to null."""
+    return value if math.isfinite(value) else None
+
+
+def snapshot_records(
+    registry: MetricsRegistry, tracer: Tracer | None = None
+) -> list[dict]:
+    """Serialize every instrument (and finished span) to plain dicts."""
+    records: list[dict] = []
+    for counter in registry.counters:
+        records.append(
+            {
+                "type": "counter",
+                "name": counter.name,
+                "labels": dict(counter.labels),
+                "value": counter.value,
+            }
+        )
+    for gauge in registry.gauges:
+        records.append(
+            {
+                "type": "gauge",
+                "name": gauge.name,
+                "labels": dict(gauge.labels),
+                "value": _finite(gauge.value),
+            }
+        )
+    for histogram in registry.histograms:
+        summary = {
+            key: _finite(value) for key, value in histogram.summary().items()
+        }
+        records.append(
+            {
+                "type": "histogram",
+                "name": histogram.name,
+                "labels": dict(histogram.labels),
+                "count": histogram.count,
+                "buckets": [
+                    {
+                        "le": "+Inf" if math.isinf(bound) else bound,
+                        "count": count,
+                    }
+                    for bound, count in histogram.cumulative_buckets()
+                ],
+                **summary,
+            }
+        )
+    if tracer is not None:
+        records.extend(span.to_dict() for span in tracer.finished())
+    return records
+
+
+def write_jsonl(
+    path: str | pathlib.Path,
+    registry: MetricsRegistry,
+    tracer: Tracer | None = None,
+) -> int:
+    """Write one JSON record per line; returns the number of records."""
+    records = snapshot_records(registry, tracer)
+    text = "".join(json.dumps(record) + "\n" for record in records)
+    pathlib.Path(path).write_text(text)
+    return len(records)
+
+
+def read_jsonl(path: str | pathlib.Path) -> list[dict]:
+    """Parse a snapshot back into the list of record dicts."""
+    records = []
+    for line in pathlib.Path(path).read_text().splitlines():
+        line = line.strip()
+        if line:
+            records.append(json.loads(line))
+    return records
+
+
+# ----------------------------------------------------------------------
+def _prom_name(name: str) -> str:
+    """``serving.latency_ms`` -> ``repro_serving_latency_ms``."""
+    cleaned = "".join(c if c.isalnum() or c == "_" else "_" for c in name)
+    return f"repro_{cleaned}"
+
+
+def _prom_labels(labels: dict[str, str], extra: dict[str, str] | None = None) -> str:
+    merged = {**labels, **(extra or {})}
+    if not merged:
+        return ""
+    inner = ",".join(f'{key}="{value}"' for key, value in sorted(merged.items()))
+    return "{" + inner + "}"
+
+
+def _prom_value(value: float) -> str:
+    if math.isnan(value):
+        return "NaN"
+    if math.isinf(value):
+        return "+Inf" if value > 0 else "-Inf"
+    return repr(value)
+
+
+def to_prometheus(registry: MetricsRegistry) -> str:
+    """Render the registry in the Prometheus text exposition format."""
+    lines: list[str] = []
+    for counter in registry.counters:
+        name = _prom_name(counter.name) + "_total"
+        lines.append(f"# TYPE {name} counter")
+        lines.append(
+            f"{name}{_prom_labels(counter.labels)} {_prom_value(counter.value)}"
+        )
+    for gauge in registry.gauges:
+        name = _prom_name(gauge.name)
+        lines.append(f"# TYPE {name} gauge")
+        lines.append(
+            f"{name}{_prom_labels(gauge.labels)} {_prom_value(gauge.value)}"
+        )
+    for histogram in registry.histograms:
+        name = _prom_name(histogram.name)
+        lines.append(f"# TYPE {name} histogram")
+        for bound, count in histogram.cumulative_buckets():
+            le = "+Inf" if math.isinf(bound) else repr(bound)
+            lines.append(
+                f"{name}_bucket{_prom_labels(histogram.labels, {'le': le})} {count}"
+            )
+        lines.append(
+            f"{name}_sum{_prom_labels(histogram.labels)} "
+            f"{_prom_value(histogram.sum)}"
+        )
+        lines.append(f"{name}_count{_prom_labels(histogram.labels)} {histogram.count}")
+    return "\n".join(lines) + ("\n" if lines else "")

@@ -1,0 +1,89 @@
+"""Human-readable telemetry summary (what ``python -m repro obs`` prints).
+
+Works from live objects (:func:`render_summary`) or from a parsed JSONL
+snapshot (:func:`render_records`) — both funnel through one renderer so
+the on-disk and in-process views read identically.
+"""
+
+from __future__ import annotations
+
+from .export import snapshot_records
+from .registry import MetricsRegistry, get_registry
+from .tracing import Tracer, get_tracer
+
+__all__ = ["render_summary", "render_records"]
+
+
+def _format_value(value) -> str:
+    if value is None:
+        return "nan"
+    if isinstance(value, float) and not value.is_integer():
+        return f"{value:.3f}"
+    return f"{value:g}" if isinstance(value, float) else str(value)
+
+
+def _labels_suffix(labels: dict) -> str:
+    if not labels:
+        return ""
+    inner = ",".join(f"{k}={v}" for k, v in sorted(labels.items()))
+    return "{" + inner + "}"
+
+
+def render_records(records: list[dict]) -> str:
+    """Render a snapshot (see :func:`repro.obs.export.snapshot_records`)."""
+    counters = [r for r in records if r.get("type") == "counter"]
+    gauges = [r for r in records if r.get("type") == "gauge"]
+    histograms = [r for r in records if r.get("type") == "histogram"]
+    spans = [r for r in records if r.get("type") == "span"]
+
+    lines: list[str] = []
+    if counters:
+        lines.append("== counters ==")
+        for record in counters:
+            name = record["name"] + _labels_suffix(record.get("labels", {}))
+            lines.append(f"{name:<36} {_format_value(record['value'])}")
+    if gauges:
+        lines.append("== gauges ==")
+        for record in gauges:
+            name = record["name"] + _labels_suffix(record.get("labels", {}))
+            lines.append(f"{name:<36} {_format_value(record['value'])}")
+    if histograms:
+        lines.append("== histograms ==")
+        for record in histograms:
+            name = record["name"] + _labels_suffix(record.get("labels", {}))
+            parts = "  ".join(
+                f"{key}={_format_value(record.get(key))}"
+                for key in ("count", "mean", "p50", "p95", "p99", "max")
+            )
+            lines.append(f"{name:<36} {parts}")
+    if spans:
+        lines.append("== spans ==")
+        stats: dict[str, dict[str, float]] = {}
+        for record in spans:
+            entry = stats.setdefault(
+                record["name"], {"count": 0.0, "total_ms": 0.0, "max_ms": 0.0}
+            )
+            duration = float(record.get("duration_ms") or 0.0)
+            entry["count"] += 1
+            entry["total_ms"] += duration
+            entry["max_ms"] = max(entry["max_ms"], duration)
+        for name in sorted(stats):
+            entry = stats[name]
+            mean = entry["total_ms"] / entry["count"]
+            lines.append(
+                f"{name:<36} count={entry['count']:g}  "
+                f"mean={mean:.3f}ms  max={entry['max_ms']:.3f}ms  "
+                f"total={entry['total_ms']:.3f}ms"
+            )
+    if not lines:
+        return "(no telemetry recorded)"
+    return "\n".join(lines)
+
+
+def render_summary(
+    registry: MetricsRegistry | None = None, tracer: Tracer | None = None
+) -> str:
+    """Render the given (default: active) registry and tracer."""
+    registry = registry if registry is not None else get_registry()
+    tracer = tracer if tracer is not None else get_tracer()
+    return render_records(snapshot_records(registry, tracer))

@@ -1,0 +1,191 @@
+"""Span-based request tracing for the Figure 9 serving path.
+
+A :class:`Tracer` records wall-time :class:`Span`\\ s with parent/child
+nesting and free-form tags:
+
+>>> from repro.obs import Tracer, use_tracer
+>>> with use_tracer() as tracer:
+...     with tracer.span("recommend", user_id=7):
+...         with tracer.span("recall") as sp:
+...             sp.set_tag("candidates", 42)
+>>> [s.name for s in tracer.finished()]
+['recall', 'recommend']
+
+Like the metrics registry, the *active* tracer defaults to a no-op
+:class:`NullTracer` so instrumented hot paths stay near-zero-cost until a
+caller opts in with :func:`use_tracer` / :func:`set_tracer`.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+
+__all__ = [
+    "Span",
+    "Tracer",
+    "NullTracer",
+    "NULL_TRACER",
+    "get_tracer",
+    "set_tracer",
+    "use_tracer",
+]
+
+
+@dataclass
+class Span:
+    """One timed operation; children reference their parent by id."""
+
+    name: str
+    span_id: int
+    parent_id: int | None
+    start_s: float
+    end_s: float | None = None
+    tags: dict = field(default_factory=dict)
+
+    def set_tag(self, key: str, value) -> None:
+        self.tags[key] = value
+
+    @property
+    def duration_ms(self) -> float:
+        end = self.end_s if self.end_s is not None else time.perf_counter()
+        return (end - self.start_s) * 1000.0
+
+    @property
+    def is_root(self) -> bool:
+        return self.parent_id is None
+
+    def to_dict(self) -> dict:
+        return {
+            "type": "span",
+            "name": self.name,
+            "span_id": self.span_id,
+            "parent_id": self.parent_id,
+            "duration_ms": self.duration_ms,
+            "tags": dict(self.tags),
+        }
+
+
+class Tracer:
+    """Collects finished spans; nesting follows the with-statement stack."""
+
+    enabled = True
+
+    def __init__(self) -> None:
+        self._finished: list[Span] = []
+        self._stack: list[Span] = []
+        self._next_id = 1
+
+    @contextmanager
+    def span(self, name: str, **tags):
+        """Open a child span of whatever span is currently active."""
+        parent = self._stack[-1].span_id if self._stack else None
+        current = Span(
+            name=name,
+            span_id=self._next_id,
+            parent_id=parent,
+            start_s=time.perf_counter(),
+            tags=dict(tags),
+        )
+        self._next_id += 1
+        self._stack.append(current)
+        try:
+            yield current
+        finally:
+            current.end_s = time.perf_counter()
+            self._stack.pop()
+            self._finished.append(current)
+
+    # ------------------------------------------------------------------
+    def finished(self, name: str | None = None) -> list[Span]:
+        """Completed spans in finish order, optionally filtered by name."""
+        if name is None:
+            return list(self._finished)
+        return [s for s in self._finished if s.name == name]
+
+    def aggregate(self) -> dict[str, dict[str, float]]:
+        """Per-span-name count/total/mean/max wall-time in milliseconds."""
+        stats: dict[str, dict[str, float]] = {}
+        for span in self._finished:
+            entry = stats.setdefault(
+                span.name,
+                {"count": 0.0, "total_ms": 0.0, "mean_ms": 0.0, "max_ms": 0.0},
+            )
+            duration = span.duration_ms
+            entry["count"] += 1
+            entry["total_ms"] += duration
+            if duration > entry["max_ms"]:
+                entry["max_ms"] = duration
+        for entry in stats.values():
+            entry["mean_ms"] = entry["total_ms"] / entry["count"]
+        return stats
+
+    def reset(self) -> None:
+        self._finished.clear()
+        self._stack.clear()
+        self._next_id = 1
+
+
+# ----------------------------------------------------------------------
+class _NullSpan:
+    """A reusable span/context-manager that records nothing."""
+
+    __slots__ = ()
+    name = "null"
+    span_id = 0
+    parent_id = None
+    duration_ms = 0.0
+    tags: dict = {}
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        return False
+
+    def set_tag(self, key: str, value) -> None:
+        pass
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class NullTracer(Tracer):
+    """Default tracer: ``span()`` hands back one stateless null span."""
+
+    enabled = False
+
+    def span(self, name: str, **tags):
+        return _NULL_SPAN
+
+
+#: Shared do-nothing tracer; the process default.
+NULL_TRACER = NullTracer()
+
+_active: Tracer = NULL_TRACER
+
+
+def get_tracer() -> Tracer:
+    """The tracer instrumented code should emit spans to right now."""
+    return _active
+
+
+def set_tracer(tracer: Tracer | None) -> Tracer:
+    """Install ``tracer`` (``None`` restores the no-op default); returns
+    the previously active tracer."""
+    global _active
+    previous = _active
+    _active = tracer if tracer is not None else NULL_TRACER
+    return previous
+
+
+@contextmanager
+def use_tracer(tracer: Tracer | None = None):
+    """Scope a tracer: activates it, yields it, restores the previous one."""
+    tracer = tracer if tracer is not None else Tracer()
+    previous = set_tracer(tracer)
+    try:
+        yield tracer
+    finally:
+        set_tracer(previous)

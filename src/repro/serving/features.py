@@ -9,9 +9,11 @@ be exercised end to end.
 
 from __future__ import annotations
 
+import bisect
 from collections import Counter
 
 from ..data.schema import BookingEvent, ClickEvent, UserHistory
+from ..obs.registry import get_registry
 
 __all__ = ["RealTimeFeatureService"]
 
@@ -32,11 +34,19 @@ class RealTimeFeatureService:
     # Streaming ingestion
     # ------------------------------------------------------------------
     def record_booking(self, event: BookingEvent) -> None:
-        self._bookings.setdefault(event.user_id, []).append(event)
-        self._bookings[event.user_id].sort(key=lambda e: e.day)
+        # Streaming events can arrive out of order; an insertion keyed on
+        # day keeps the timeline sorted at O(log n) per event instead of
+        # re-sorting the whole history on every ingest.
+        bisect.insort(
+            self._bookings.setdefault(event.user_id, []),
+            event,
+            key=lambda e: e.day,
+        )
+        get_registry().counter("rtfs.bookings_ingested").inc()
 
     def record_click(self, event: ClickEvent) -> None:
         self._clicks.setdefault(event.user_id, []).append(event)
+        get_registry().counter("rtfs.clicks_ingested").inc()
 
     # ------------------------------------------------------------------
     # Queries

@@ -4,6 +4,10 @@ The paper reports a single mean inference time per method; production
 serving cares about tail latency.  :func:`measure_serving_latency` drives
 the full Figure 9 request path (features -> recall -> rank) repeatedly
 and reports percentile statistics.
+
+Percentiles come from :class:`repro.obs.registry.Histogram` — the one
+percentile implementation shared with the metrics registry — via
+:meth:`LatencyReport.from_histogram`.
 """
 
 from __future__ import annotations
@@ -11,7 +15,7 @@ from __future__ import annotations
 import time
 from dataclasses import dataclass
 
-import numpy as np
+from ..obs.registry import Histogram
 
 __all__ = ["LatencyReport", "measure_serving_latency"]
 
@@ -26,6 +30,18 @@ class LatencyReport:
     p95_ms: float
     p99_ms: float
     max_ms: float
+
+    @classmethod
+    def from_histogram(cls, histogram: Histogram) -> "LatencyReport":
+        """Build the report from an obs histogram of per-request ms."""
+        return cls(
+            count=histogram.count,
+            mean_ms=histogram.mean,
+            p50_ms=histogram.percentile(50),
+            p95_ms=histogram.percentile(95),
+            p99_ms=histogram.percentile(99),
+            max_ms=histogram.max,
+        )
 
     def format(self) -> str:
         return (
@@ -42,22 +58,22 @@ def measure_serving_latency(
     k: int = 10,
     warmup: int = 2,
 ) -> LatencyReport:
-    """Time end-to-end ``recommend`` calls for each user id."""
+    """Time end-to-end ``recommend`` calls for each user id.
+
+    Each user id is served exactly once, in order.  The first ``warmup``
+    iterations prime caches/allocators and are **excluded** from the
+    measured samples (historically they were also re-timed, inflating the
+    sample count); ``warmup`` is clamped so at least one request is always
+    measured, and ``report.count`` is the number of *measured* requests.
+    """
     if not user_ids:
         raise ValueError("need at least one user id")
-    for user_id in user_ids[:warmup]:
-        recommender.recommend(user_id=user_id, day=day, k=k)
-    samples = []
-    for user_id in user_ids:
+    warmup = max(0, min(warmup, len(user_ids) - 1))
+    histogram = Histogram("serving.measured_latency_ms")
+    for index, user_id in enumerate(user_ids):
         start = time.perf_counter()
         recommender.recommend(user_id=user_id, day=day, k=k)
-        samples.append((time.perf_counter() - start) * 1000.0)
-    array = np.asarray(samples)
-    return LatencyReport(
-        count=len(samples),
-        mean_ms=float(array.mean()),
-        p50_ms=float(np.percentile(array, 50)),
-        p95_ms=float(np.percentile(array, 95)),
-        p99_ms=float(np.percentile(array, 99)),
-        max_ms=float(array.max()),
-    )
+        elapsed_ms = (time.perf_counter() - start) * 1000.0
+        if index >= warmup:
+            histogram.observe(elapsed_ms)
+    return LatencyReport.from_histogram(histogram)

@@ -9,14 +9,25 @@ This is the main end-to-end public API of the reproduction:
 
 >>> recommender = FlightRecommender(model, dataset)           # doctest: +SKIP
 >>> response = recommender.recommend(user_id=7, day=720, k=5) # doctest: +SKIP
+
+Every request is observable (see :mod:`repro.obs`): under an active
+:class:`~repro.obs.tracing.Tracer` the stages emit nested ``features`` /
+``recall`` / ``rank`` spans inside a root ``recommend`` span, the active
+registry counts requests and candidates and records a latency histogram,
+and an optional :class:`~repro.obs.profiler.Profiler` gets ``on_request``.
+With the default no-op registry/tracer this instrumentation is near-free.
 """
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 
 from ..data.dataset import ODDataset
 from ..data.schema import ODPair
+from ..obs.profiler import Profiler
+from ..obs.registry import get_registry
+from ..obs.tracing import get_tracer
 from .features import RealTimeFeatureService
 from .ranking_service import RankingService, ScoredPair
 from .recall import CandidateRecall, RecallConfig
@@ -48,6 +59,7 @@ class FlightRecommender:
         model,
         dataset: ODDataset,
         recall_config: RecallConfig | None = None,
+        profiler: Profiler | None = None,
     ):
         self.dataset = dataset
         self.features = RealTimeFeatureService(dataset.source.bookings_by_user)
@@ -57,10 +69,32 @@ class FlightRecommender:
             recall_config,
         )
         self.ranking = RankingService(model, dataset)
+        self.profiler = profiler
 
     def recommend(self, user_id: int, day: int, k: int = 10) -> RecommendationResponse:
         """Serve the top-``k`` flight recommendations for a user."""
-        history = self.features.user_history(user_id, day)
-        candidates = self.recall.candidate_pairs(history)
-        ranked = self.ranking.rank(history, candidates, day=day, k=k)
+        tracer = get_tracer()
+        start = time.perf_counter()
+        with tracer.span("recommend", user_id=user_id, day=day, k=k):
+            with tracer.span("features"):
+                history = self.features.user_history(user_id, day)
+            with tracer.span("recall") as recall_span:
+                candidates = self.recall.candidate_pairs(history)
+                recall_span.set_tag("candidates", len(candidates))
+            with tracer.span("rank") as rank_span:
+                ranked = self.ranking.rank(history, candidates, day=day, k=k)
+                rank_span.set_tag("returned", len(ranked))
+        latency_ms = (time.perf_counter() - start) * 1000.0
+        registry = get_registry()
+        registry.counter("serving.requests").inc()
+        registry.counter("serving.candidates").inc(len(candidates))
+        registry.histogram("serving.latency_ms").observe(latency_ms)
+        if self.profiler is not None:
+            self.profiler.on_request(
+                user_id=user_id,
+                day=day,
+                latency_ms=latency_ms,
+                num_candidates=len(candidates),
+                k=k,
+            )
         return RecommendationResponse(user_id=user_id, day=day, flights=ranked)

@@ -13,6 +13,8 @@ import numpy as np
 from ..data.dataset import ODDataset
 from ..data.schema import ODPair, UserHistory
 from ..data.synthetic import DecisionPoint
+from ..obs.registry import get_registry
+from ..obs.tracing import get_tracer
 
 __all__ = ["ScoredPair", "RankingService"]
 
@@ -42,6 +44,7 @@ class RankingService:
         """Return the top-``k`` candidates by model score, descending."""
         if not candidates:
             return []
+        tracer = get_tracer()
         point = DecisionPoint(
             history=history,
             # Target is unknown at serving time; labels in the batch are
@@ -49,8 +52,11 @@ class RankingService:
             target=candidates[0],
             day=day,
         )
-        batch = self.dataset.batch_for_candidates(point, candidates)
-        scores = np.asarray(self.model.score_pairs(batch), dtype=np.float64)
+        with tracer.span("rank.batch"):
+            batch = self.dataset.batch_for_candidates(point, candidates)
+        with tracer.span("rank.score"):
+            scores = np.asarray(self.model.score_pairs(batch), dtype=np.float64)
+        get_registry().counter("ranking.scored_pairs").inc(len(candidates))
         order = np.argsort(-scores, kind="mergesort")[:k]
         return [
             ScoredPair(pair=candidates[int(i)], score=float(scores[int(i)]))

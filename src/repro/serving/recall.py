@@ -19,6 +19,7 @@ import numpy as np
 
 from ..data.schema import ODPair, UserHistory
 from ..data.world import CityWorld
+from ..obs.registry import get_registry
 
 __all__ = ["RecallConfig", "CandidateRecall"]
 
@@ -94,6 +95,15 @@ class CandidateRecall:
 
     def candidate_pairs(self, history: UserHistory) -> list[ODPair]:
         """Cross-assembled OD pairs, deduplicated and capped."""
+        pairs = self._assemble_pairs(history)
+        registry = get_registry()
+        if registry.enabled:
+            registry.counter("recall.calls").inc()
+            registry.counter("recall.pairs").inc(len(pairs))
+            registry.histogram("recall.pairs_per_call").observe(len(pairs))
+        return pairs
+
+    def _assemble_pairs(self, history: UserHistory) -> list[ODPair]:
         pairs: list[ODPair] = []
         seen: set[ODPair] = set()
         # Clicked exact pairs first: the highest-intent candidates.

@@ -1,12 +1,24 @@
-"""Mini-batch trainer for :class:`~repro.core.base.NeuralRanker` models."""
+"""Mini-batch trainer for :class:`~repro.core.base.NeuralRanker` models.
+
+The trainer reports into the observability layer (:mod:`repro.obs`): the
+active metrics registry receives per-epoch loss, gradient norm, the Eq. 8
+``theta`` trade-off (when the model exposes one), and throughput; an
+optional :class:`~repro.obs.profiler.Profiler` gets the ``on_batch`` /
+``on_epoch`` hooks.  With the default no-op registry and no profiler the
+extra work (notably the global gradient norm) is skipped entirely.
+"""
 
 from __future__ import annotations
 
+import math
+import time
 from dataclasses import dataclass, field
 
 import numpy as np
 
 from ..data.dataset import ODDataset
+from ..obs.profiler import Profiler
+from ..obs.registry import get_registry
 from ..optim import Adam
 from .config import TrainConfig
 
@@ -15,20 +27,41 @@ __all__ = ["Trainer", "TrainHistory"]
 
 @dataclass
 class TrainHistory:
-    """Per-epoch mean losses recorded during fitting."""
+    """Per-epoch training statistics recorded during fitting.
+
+    ``epoch_losses`` is always populated; ``grad_norms`` only when the
+    run was observed (an enabled registry or a profiler), and ``thetas``
+    only for models exposing a ``theta`` property.
+    """
 
     epoch_losses: list[float] = field(default_factory=list)
+    grad_norms: list[float] = field(default_factory=list)
+    thetas: list[float] = field(default_factory=list)
+    examples_per_sec: list[float] = field(default_factory=list)
 
     @property
     def final_loss(self) -> float:
         return self.epoch_losses[-1] if self.epoch_losses else float("nan")
 
 
+def _global_grad_norm(model) -> float:
+    """L2 norm over every parameter gradient (the clipped quantity)."""
+    total = 0.0
+    for param in model.parameters():
+        grad = param.grad
+        if grad is not None:
+            flat = np.asarray(grad).ravel()
+            total += float(np.dot(flat, flat))
+    return math.sqrt(total)
+
+
 class Trainer:
     """Runs the paper's training protocol over any model with ``loss(batch)``."""
 
-    def __init__(self, config: TrainConfig | None = None):
+    def __init__(self, config: TrainConfig | None = None,
+                 profiler: Profiler | None = None):
         self.config = config or TrainConfig()
+        self.profiler = profiler
 
     def fit(self, model, dataset: ODDataset) -> TrainHistory:
         config = self.config
@@ -40,19 +73,67 @@ class Trainer:
         )
         rng = np.random.default_rng(config.seed)
         history = TrainHistory()
+        registry = get_registry()
+        profiler = self.profiler
+        # Gradient norms cost a full pass over the parameters, so they are
+        # only computed when someone is listening.
+        observing = registry.enabled or profiler is not None
         model.train()
         for epoch in range(config.epochs):
+            epoch_start = time.perf_counter()
             losses = []
-            for batch in dataset.iter_batches(
+            batch_norms: list[float] = []
+            examples = 0
+            for batch_index, batch in enumerate(dataset.iter_batches(
                 "train", batch_size=config.batch_size, rng=rng
-            ):
+            )):
                 optimizer.zero_grad()
                 loss = model.loss(batch)
                 loss.backward()
+                loss_value = loss.item()
+                if observing:
+                    grad_norm = _global_grad_norm(model)
+                    batch_norms.append(grad_norm)
+                    registry.counter("train.batches").inc()
+                    registry.histogram("train.grad_norm").observe(grad_norm)
+                    registry.histogram("train.batch_loss").observe(loss_value)
+                    if profiler is not None:
+                        profiler.on_batch(
+                            epoch=epoch,
+                            batch_index=batch_index,
+                            loss=loss_value,
+                            grad_norm=grad_norm,
+                            batch_size=len(batch),
+                        )
                 optimizer.step()
-                losses.append(loss.item())
+                losses.append(loss_value)
+                examples += len(batch)
+            elapsed = time.perf_counter() - epoch_start
             mean_loss = float(np.mean(losses)) if losses else float("nan")
+            throughput = examples / elapsed if elapsed > 0 else 0.0
+            theta = getattr(model, "theta", None)
             history.epoch_losses.append(mean_loss)
+            history.examples_per_sec.append(throughput)
+            if batch_norms:
+                history.grad_norms.append(float(np.mean(batch_norms)))
+            if theta is not None:
+                history.thetas.append(float(theta))
+            registry.counter("train.epochs").inc()
+            registry.counter("train.examples").inc(examples)
+            registry.gauge("train.epoch_loss").set(mean_loss)
+            registry.gauge("train.examples_per_sec").set(throughput)
+            if theta is not None:
+                registry.gauge("train.theta").set(float(theta))
+            if profiler is not None:
+                profiler.on_epoch(
+                    epoch=epoch,
+                    loss=mean_loss,
+                    grad_norm=(
+                        float(np.mean(batch_norms)) if batch_norms else None
+                    ),
+                    theta=(float(theta) if theta is not None else None),
+                    examples_per_sec=throughput,
+                )
             if config.verbose:
                 print(f"epoch {epoch + 1}/{config.epochs}: loss={mean_loss:.4f}")
         return history

@@ -37,6 +37,20 @@ class TestParameterServer:
         assert server.pushes == 1
         assert server.num_elements == 2
 
+    def test_obs_counts_and_bytes(self):
+        from repro.obs import use_registry
+
+        server = ParameterServer(0, learning_rate=0.1)
+        weights = np.zeros(4)
+        server.register("w", weights)
+        with use_registry() as registry:
+            server.pull()
+            server.push({"w": np.ones(4)})
+        assert registry.counter("ps.pulls").value == 1
+        assert registry.counter("ps.pushes").value == 1
+        assert registry.counter("ps.pull_bytes").value == weights.nbytes
+        assert registry.counter("ps.push_bytes").value == weights.nbytes
+
 
 class TestTrainer:
     def test_invalid_mode(self, od_dataset):

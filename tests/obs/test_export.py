@@ -1,0 +1,107 @@
+"""Exporter round-trips: JSONL parse-back and Prometheus text format."""
+
+import math
+
+from repro.obs import (
+    MetricsRegistry,
+    Tracer,
+    read_jsonl,
+    render_records,
+    render_summary,
+    snapshot_records,
+    to_prometheus,
+    write_jsonl,
+)
+
+
+def _populated():
+    registry = MetricsRegistry()
+    registry.counter("serving.requests").inc(3)
+    registry.gauge("train.theta").set(0.52)
+    histogram = registry.histogram("serving.latency_ms", buckets=(1.0, 10.0))
+    for value in (0.5, 2.0, 50.0):
+        histogram.observe(value)
+    tracer = Tracer()
+    with tracer.span("recommend", user_id=1):
+        with tracer.span("recall"):
+            pass
+    return registry, tracer
+
+
+class TestJsonl:
+    def test_round_trip(self, tmp_path):
+        registry, tracer = _populated()
+        path = tmp_path / "snapshot.jsonl"
+        written = write_jsonl(path, registry, tracer)
+        records = read_jsonl(path)
+        assert len(records) == written == 5  # counter, gauge, hist, 2 spans
+        assert records == snapshot_records(registry, tracer)
+
+        by_type = {}
+        for record in records:
+            by_type.setdefault(record["type"], []).append(record)
+        assert by_type["counter"][0]["value"] == 3.0
+        assert by_type["gauge"][0]["value"] == 0.52
+        histogram = by_type["histogram"][0]
+        assert histogram["count"] == 3
+        assert histogram["max"] == 50.0
+        assert histogram["buckets"][-1]["le"] == "+Inf"
+        assert histogram["buckets"][-1]["count"] == 3
+        span_names = {record["name"] for record in by_type["span"]}
+        assert span_names == {"recommend", "recall"}
+        parents = {r["name"]: r["parent_id"] for r in by_type["span"]}
+        assert parents["recommend"] is None
+        assert parents["recall"] is not None
+
+    def test_nan_gauge_round_trips_as_null(self, tmp_path):
+        registry = MetricsRegistry()
+        registry.gauge("never.set")
+        path = tmp_path / "snapshot.jsonl"
+        write_jsonl(path, registry)
+        (record,) = read_jsonl(path)
+        assert record["value"] is None
+
+    def test_rendered_from_file_matches_live(self, tmp_path):
+        registry, tracer = _populated()
+        path = tmp_path / "snapshot.jsonl"
+        write_jsonl(path, registry, tracer)
+        assert render_records(read_jsonl(path)) == render_summary(
+            registry, tracer
+        )
+
+
+class TestPrometheus:
+    def test_text_format_lines(self):
+        registry, _ = _populated()
+        text = to_prometheus(registry)
+        lines = text.splitlines()
+        assert "# TYPE repro_serving_requests_total counter" in lines
+        assert "repro_serving_requests_total 3.0" in lines
+        assert "# TYPE repro_train_theta gauge" in lines
+        assert "repro_train_theta 0.52" in lines
+        assert "# TYPE repro_serving_latency_ms histogram" in lines
+        assert 'repro_serving_latency_ms_bucket{le="1.0"} 1' in lines
+        assert 'repro_serving_latency_ms_bucket{le="10.0"} 2' in lines
+        assert 'repro_serving_latency_ms_bucket{le="+Inf"} 3' in lines
+        assert "repro_serving_latency_ms_count 3" in lines
+        sum_line = next(
+            line for line in lines
+            if line.startswith("repro_serving_latency_ms_sum")
+        )
+        assert math.isclose(float(sum_line.split()[-1]), 52.5)
+
+    def test_empty_registry(self):
+        assert to_prometheus(MetricsRegistry()) == ""
+
+
+class TestSummary:
+    def test_empty_summary_placeholder(self):
+        assert render_records([]) == "(no telemetry recorded)"
+
+    def test_summary_sections(self):
+        registry, tracer = _populated()
+        text = render_summary(registry, tracer)
+        for section in ("counters", "gauges", "histograms", "spans"):
+            assert f"== {section} ==" in text
+        assert "serving.requests" in text
+        assert "recommend" in text

@@ -1,0 +1,128 @@
+"""Metrics registry: counters, gauges, histogram percentiles, null path."""
+
+import math
+
+import pytest
+
+from repro.obs.registry import (
+    NULL_REGISTRY,
+    Histogram,
+    MetricsRegistry,
+    NullRegistry,
+    get_registry,
+    set_registry,
+    use_registry,
+)
+
+
+class TestCounterGauge:
+    def test_counter_accumulates(self):
+        registry = MetricsRegistry()
+        registry.counter("c").inc()
+        registry.counter("c").inc(2.5)
+        assert registry.counter("c").value == 3.5
+
+    def test_counter_rejects_negative(self):
+        with pytest.raises(ValueError):
+            MetricsRegistry().counter("c").inc(-1)
+
+    def test_gauge_moves_both_ways(self):
+        gauge = MetricsRegistry().gauge("g")
+        gauge.set(2.0)
+        gauge.set(-1.0)
+        assert gauge.value == -1.0
+
+    def test_labels_create_distinct_instruments(self):
+        registry = MetricsRegistry()
+        registry.counter("c", labels={"stage": "recall"}).inc()
+        registry.counter("c", labels={"stage": "rank"}).inc(2)
+        values = {
+            tuple(sorted(c.labels.items())): c.value for c in registry.counters
+        }
+        assert values[(("stage", "recall"),)] == 1
+        assert values[(("stage", "rank"),)] == 2
+
+
+class TestHistogramPercentiles:
+    def test_empty_histogram_is_nan(self):
+        histogram = Histogram("h")
+        assert math.isnan(histogram.percentile(50))
+        assert math.isnan(histogram.mean)
+        assert math.isnan(histogram.min)
+        assert math.isnan(histogram.max)
+        assert histogram.count == 0
+
+    def test_single_sample_every_percentile(self):
+        histogram = Histogram("h")
+        histogram.observe(7.0)
+        for q in (0, 50, 95, 99, 100):
+            assert histogram.percentile(q) == 7.0
+        assert histogram.min == histogram.max == 7.0
+
+    def test_all_equal_samples(self):
+        histogram = Histogram("h")
+        for _ in range(10):
+            histogram.observe(3.0)
+        assert histogram.percentile(50) == 3.0
+        assert histogram.percentile(99) == 3.0
+        assert histogram.mean == 3.0
+
+    def test_percentiles_monotone(self):
+        histogram = Histogram("h")
+        for value in range(100):
+            histogram.observe(float(value))
+        p50, p95, p99 = (histogram.percentile(q) for q in (50, 95, 99))
+        assert p50 <= p95 <= p99 <= histogram.max
+
+    def test_percentile_range_validated(self):
+        with pytest.raises(ValueError):
+            Histogram("h").percentile(101)
+
+    def test_summary_keys(self):
+        histogram = Histogram("h")
+        histogram.observe(1.0)
+        summary = histogram.summary()
+        assert set(summary) == {
+            "count", "sum", "mean", "min", "max", "p50", "p90", "p95", "p99",
+        }
+        assert summary["count"] == 1.0
+
+    def test_bucket_counts_cumulative_and_boundary_inclusive(self):
+        histogram = Histogram("h", buckets=(1.0, 5.0))
+        for value in (0.5, 1.0, 3.0, 100.0):
+            histogram.observe(value)
+        pairs = histogram.cumulative_buckets()
+        assert pairs[0] == (1.0, 2)       # 0.5 and the boundary value 1.0
+        assert pairs[1] == (5.0, 3)
+        assert pairs[2][1] == 4           # +Inf sees every sample
+        assert math.isinf(pairs[2][0])
+
+
+class TestActiveRegistry:
+    def test_default_is_null(self):
+        assert get_registry() is NULL_REGISTRY
+        assert not get_registry().enabled
+
+    def test_null_registry_is_inert(self):
+        registry = NullRegistry()
+        registry.counter("c").inc(5)
+        registry.gauge("g").set(1)
+        registry.histogram("h").observe(2.0)
+        assert registry.counters == []
+        assert registry.histograms == []
+
+    def test_use_registry_scopes_and_restores(self):
+        before = get_registry()
+        with use_registry() as registry:
+            assert get_registry() is registry
+            assert registry.enabled
+        assert get_registry() is before
+
+    def test_set_registry_returns_previous(self):
+        registry = MetricsRegistry()
+        previous = set_registry(registry)
+        try:
+            assert get_registry() is registry
+        finally:
+            set_registry(previous)
+        assert get_registry() is previous

@@ -1,0 +1,101 @@
+"""Span tracing: nesting/parentage, tags, aggregation, null path."""
+
+from repro.obs.tracing import (
+    NULL_TRACER,
+    NullTracer,
+    Tracer,
+    get_tracer,
+    use_tracer,
+)
+
+
+class TestSpans:
+    def test_nested_parentage(self):
+        tracer = Tracer()
+        with tracer.span("root") as root:
+            with tracer.span("child") as child:
+                with tracer.span("grandchild") as grandchild:
+                    pass
+            with tracer.span("sibling") as sibling:
+                pass
+        assert root.parent_id is None and root.is_root
+        assert child.parent_id == root.span_id
+        assert grandchild.parent_id == child.span_id
+        assert sibling.parent_id == root.span_id
+        # Finish order is innermost-first.
+        assert [s.name for s in tracer.finished()] == [
+            "grandchild", "child", "sibling", "root",
+        ]
+
+    def test_span_ids_unique(self):
+        tracer = Tracer()
+        with tracer.span("a"):
+            pass
+        with tracer.span("b"):
+            pass
+        ids = [s.span_id for s in tracer.finished()]
+        assert len(ids) == len(set(ids))
+
+    def test_durations_nested_leq_parent(self):
+        tracer = Tracer()
+        with tracer.span("outer"):
+            with tracer.span("inner"):
+                sum(range(1000))
+        inner, outer = tracer.finished()
+        assert 0 <= inner.duration_ms <= outer.duration_ms
+
+    def test_tags_from_kwargs_and_set_tag(self):
+        tracer = Tracer()
+        with tracer.span("op", user_id=7) as span:
+            span.set_tag("candidates", 42)
+        finished = tracer.finished("op")[0]
+        assert finished.tags == {"user_id": 7, "candidates": 42}
+
+    def test_span_survives_exception(self):
+        tracer = Tracer()
+        try:
+            with tracer.span("boom"):
+                raise RuntimeError("x")
+        except RuntimeError:
+            pass
+        assert tracer.finished("boom")[0].end_s is not None
+        # The stack unwound, so a new span is a root again.
+        with tracer.span("after") as span:
+            assert span.parent_id is None
+
+    def test_aggregate(self):
+        tracer = Tracer()
+        for _ in range(3):
+            with tracer.span("op"):
+                pass
+        stats = tracer.aggregate()["op"]
+        assert stats["count"] == 3
+        assert stats["total_ms"] >= stats["max_ms"] >= stats["mean_ms"] >= 0
+
+    def test_reset(self):
+        tracer = Tracer()
+        with tracer.span("a"):
+            pass
+        tracer.reset()
+        assert tracer.finished() == []
+
+
+class TestActiveTracer:
+    def test_default_is_null(self):
+        assert get_tracer() is NULL_TRACER
+        assert not get_tracer().enabled
+
+    def test_null_tracer_records_nothing(self):
+        tracer = NullTracer()
+        with tracer.span("x", a=1) as span:
+            span.set_tag("b", 2)
+        assert tracer.finished() == []
+
+    def test_use_tracer_scopes_and_restores(self):
+        before = get_tracer()
+        with use_tracer() as tracer:
+            assert get_tracer() is tracer
+            with get_tracer().span("seen"):
+                pass
+        assert get_tracer() is before
+        assert [s.name for s in tracer.finished()] == ["seen"]

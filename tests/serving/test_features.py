@@ -61,5 +61,21 @@ class TestStreaming:
         days = [b.day for b in service.bookings_before(0, 100)]
         assert days == sorted(days)
 
+    def test_record_booking_out_of_order_arrivals(self, service):
+        # Streaming events arrive late and out of order; the timeline must
+        # stay day-sorted after every single insert (bisect.insort path).
+        arrivals = [45, 5, 60, 15, 5, 55, 1]
+        for day in arrivals:
+            service.record_booking(BookingEvent(0, 2, 3, day=day, price=10.0))
+            days = [b.day for b in service.bookings_before(0, 1000)]
+            assert days == sorted(days)
+        final = [b.day for b in service.bookings_before(0, 1000)]
+        assert final == sorted([10, 20, 50] + arrivals)
+
+    def test_record_booking_new_user(self, service):
+        service.record_booking(BookingEvent(7, 1, 2, day=3, price=10.0))
+        assert [b.day for b in service.bookings_before(7, 10)] == [3]
+        assert 7 in service.known_users()
+
     def test_known_users(self, service):
         assert service.known_users() == [0, 1]

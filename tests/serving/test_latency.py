@@ -3,6 +3,8 @@
 import pytest
 
 from repro.serving import FlightRecommender, measure_serving_latency
+from repro.serving.latency import LatencyReport
+from repro.obs.registry import Histogram
 
 
 class TestLatency:
@@ -15,9 +17,29 @@ class TestLatency:
         recommender = FlightRecommender(trained_odnet, od_dataset)
         users = [p.history.user_id for p in od_dataset.source.test_points[:8]]
         report = measure_serving_latency(recommender, users, day=725, k=5)
-        assert report.count == len(users)
+        # Warmup iterations are excluded from the measured samples.
+        assert report.count == len(users) - 2
         assert 0 < report.p50_ms <= report.p95_ms <= report.p99_ms
         assert report.p99_ms <= report.max_ms
         assert report.mean_ms > 0
         text = report.format()
-        assert "p95" in text and "requests=8" in text
+        assert "p95" in text and "requests=6" in text
+
+    def test_warmup_excluded_but_clamped(self, trained_odnet, od_dataset):
+        recommender = FlightRecommender(trained_odnet, od_dataset)
+        users = [p.history.user_id for p in od_dataset.source.test_points[:3]]
+        report = measure_serving_latency(
+            recommender, users, day=725, k=5, warmup=10
+        )
+        # warmup >= len(users) still measures at least one request.
+        assert report.count == 1
+
+    def test_report_from_histogram_matches_obs_percentiles(self):
+        histogram = Histogram("lat")
+        for value in (1.0, 2.0, 3.0, 4.0, 100.0):
+            histogram.observe(value)
+        report = LatencyReport.from_histogram(histogram)
+        assert report.count == 5
+        assert report.p50_ms == histogram.percentile(50)
+        assert report.p99_ms == histogram.percentile(99)
+        assert report.max_ms == 100.0

@@ -1,0 +1,100 @@
+"""Observability wired through the Figure 9 serving path."""
+
+import numpy as np
+
+from repro.obs import RecordingProfiler, render_summary, use_observability
+from repro.serving import FlightRecommender
+
+
+def _any_test_user(od_dataset):
+    return od_dataset.source.test_points[0].history.user_id
+
+
+class TestRecommendInstrumentation:
+    def test_stage_spans_and_counters(self, trained_odnet, od_dataset):
+        recommender = FlightRecommender(trained_odnet, od_dataset)
+        with use_observability() as (registry, tracer):
+            response = recommender.recommend(
+                user_id=_any_test_user(od_dataset), day=725, k=5
+            )
+        assert len(response) > 0
+
+        names = [span.name for span in tracer.finished()]
+        for stage in ("features", "recall", "rank"):
+            assert stage in names
+        root = tracer.finished("recommend")[0]
+        assert root.is_root
+        for stage in ("features", "recall", "rank"):
+            assert tracer.finished(stage)[0].parent_id == root.span_id
+        # The ranking service adds its own sub-spans under "rank".
+        rank_id = tracer.finished("rank")[0].span_id
+        assert tracer.finished("rank.score")[0].parent_id == rank_id
+
+        assert registry.counter("serving.requests").value == 1
+        candidates = registry.counter("serving.candidates").value
+        assert candidates > 0
+        assert registry.counter("ranking.scored_pairs").value == candidates
+        assert registry.counter("recall.pairs").value == candidates
+        latency = registry.histogram("serving.latency_ms")
+        assert latency.count == 1 and latency.percentile(50) > 0
+
+        summary = render_summary(registry, tracer)
+        assert "serving.requests" in summary
+        assert "recommend" in summary and "recall" in summary
+
+    def test_counters_accumulate_over_requests(self, trained_odnet, od_dataset):
+        recommender = FlightRecommender(trained_odnet, od_dataset)
+        users = [
+            p.history.user_id for p in od_dataset.source.test_points[:3]
+        ]
+        with use_observability() as (registry, tracer):
+            for user_id in users:
+                recommender.recommend(user_id=user_id, day=725, k=5)
+        assert registry.counter("serving.requests").value == len(users)
+        assert registry.histogram("serving.latency_ms").count == len(users)
+        assert len(tracer.finished("recommend")) == len(users)
+
+    def test_disabled_observability_changes_nothing(
+        self, trained_odnet, od_dataset
+    ):
+        recommender = FlightRecommender(trained_odnet, od_dataset)
+        user = _any_test_user(od_dataset)
+        baseline = recommender.recommend(user_id=user, day=725, k=5)
+        with use_observability():
+            observed = recommender.recommend(user_id=user, day=725, k=5)
+        assert [f.pair for f in baseline.flights] == [
+            f.pair for f in observed.flights
+        ]
+        assert np.allclose(
+            [f.score for f in baseline.flights],
+            [f.score for f in observed.flights],
+        )
+
+
+class TestRequestProfiler:
+    def test_on_request_hook(self, trained_odnet, od_dataset):
+        profiler = RecordingProfiler()
+        recommender = FlightRecommender(
+            trained_odnet, od_dataset, profiler=profiler
+        )
+        user = _any_test_user(od_dataset)
+        recommender.recommend(user_id=user, day=725, k=5)
+        (event,) = profiler.events
+        assert event["hook"] == "request"
+        assert event["user_id"] == user and event["day"] == 725
+        assert event["latency_ms"] > 0
+        assert event["num_candidates"] > 0 and event["k"] == 5
+
+
+class TestStreamingIngestionMetrics:
+    def test_rtfs_counters(self, trained_odnet, od_dataset):
+        from repro.data.schema import BookingEvent, ClickEvent
+
+        recommender = FlightRecommender(trained_odnet, od_dataset)
+        with use_observability() as (registry, _):
+            recommender.features.record_booking(
+                BookingEvent(0, 1, 2, day=700, price=80.0)
+            )
+            recommender.features.record_click(ClickEvent(0, 1, 3, day=701))
+        assert registry.counter("rtfs.bookings_ingested").value == 1
+        assert registry.counter("rtfs.clicks_ingested").value == 1

@@ -18,7 +18,7 @@ class TestParser:
     def test_list_command(self, capsys):
         assert main(["list"]) == 0
         out = capsys.readouterr().out
-        assert "table3" in out and "fig7" in out
+        assert "table3" in out and "fig7" in out and "obs" in out
 
 
 class TestDispatch:
@@ -38,3 +38,28 @@ class TestDispatch:
 
         with pytest.raises(ValueError):
             run_experiment(FakeArgs())
+
+    def test_obs_from_snapshot(self, tmp_path, capsys):
+        from repro.obs import MetricsRegistry, Tracer, write_jsonl
+
+        registry = MetricsRegistry()
+        registry.counter("serving.requests").inc(4)
+        registry.histogram("serving.latency_ms").observe(2.5)
+        tracer = Tracer()
+        with tracer.span("recommend"):
+            pass
+        snapshot = tmp_path / "obs.jsonl"
+        write_jsonl(snapshot, registry, tracer)
+
+        assert main(["obs", "--input", str(snapshot)]) == 0
+        out = capsys.readouterr().out
+        assert "serving.requests" in out
+        assert "== spans ==" in out and "recommend" in out
+
+    def test_obs_bad_snapshot_paths(self, tmp_path):
+        with pytest.raises(SystemExit, match="cannot read"):
+            main(["obs", "--input", str(tmp_path / "missing.jsonl")])
+        garbage = tmp_path / "garbage.jsonl"
+        garbage.write_text("not json at all\n")
+        with pytest.raises(SystemExit, match="not a JSONL snapshot"):
+            main(["obs", "--input", str(garbage)])
