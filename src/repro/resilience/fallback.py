@@ -1,0 +1,109 @@
+"""Typed fallback policies: degrade, don't error.
+
+A :class:`FallbackPolicy` binds one named stage to its degraded
+alternative (Fliggy's production rankers fall back to popularity
+scoring; so do we).  :func:`run_with_fallback` executes the primary
+through the optional retry/breaker/deadline guards and, on any guarded
+failure, runs the fallback and returns a :class:`FallbackEvent` that
+says *why* — the serving response carries these events so callers and
+tests can see exactly what degraded.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+from ..obs.registry import get_registry
+from .breaker import BreakerOpen, CircuitBreaker
+from .deadline import Deadline, DeadlineExceeded
+from .errors import RetriesExhausted
+from .retry import RetryPolicy, retry_call
+
+__all__ = ["FallbackEvent", "FallbackPolicy", "record_fallback",
+           "run_with_fallback"]
+
+
+@dataclass(frozen=True)
+class FallbackEvent:
+    """One degradation decision: which stage fell back, and why."""
+
+    site: str
+    reason: str    # "cold_start", "empty", "deadline", "breaker_open",
+                   # "error:<ExceptionName>"
+
+    def __str__(self) -> str:
+        return f"{self.site}:{self.reason}"
+
+
+@dataclass(frozen=True)
+class FallbackPolicy:
+    """The degraded alternative for one stage plus its failure guards."""
+
+    site: str
+    fallback: Callable
+    retry: RetryPolicy | None = None
+    breaker: CircuitBreaker | None = None
+    catch: tuple[type[BaseException], ...] = (Exception,)
+
+
+def record_fallback(site: str, reason: str) -> FallbackEvent:
+    """Count a degradation (aggregate + per-site) and return its event."""
+    registry = get_registry()
+    if registry.enabled:
+        registry.counter("resilience.fallbacks").inc()
+        registry.counter(
+            "resilience.fallbacks", labels={"site": site, "reason": reason}
+        ).inc()
+    return FallbackEvent(site=site, reason=reason)
+
+
+def run_with_fallback(
+    policy: FallbackPolicy,
+    primary: Callable,
+    *args,
+    deadline: Deadline | None = None,
+    rng: np.random.Generator | None = None,
+    **kwargs,
+):
+    """Run ``primary`` under the policy's guards; degrade on failure.
+
+    Returns ``(value, event)`` where ``event`` is ``None`` when the
+    primary succeeded and a :class:`FallbackEvent` naming the reason when
+    the fallback produced the value instead.  The breaker records one
+    outcome per *request* (post-retry), so its failure window measures
+    observed availability, not raw attempt count.
+    """
+    breaker = policy.breaker
+    if deadline is not None and deadline.expired:
+        event = record_fallback(policy.site, "deadline")
+        return policy.fallback(*args, **kwargs), event
+    if breaker is not None and not breaker.allow():
+        event = record_fallback(policy.site, "breaker_open")
+        return policy.fallback(*args, **kwargs), event
+    try:
+        if policy.retry is not None:
+            value = retry_call(
+                primary, *args,
+                policy=policy.retry, site=policy.site,
+                retry_on=policy.catch, deadline=deadline,
+                sleep=None, rng=rng, **kwargs,
+            )
+        else:
+            value = primary(*args, **kwargs)
+    except (RetriesExhausted, DeadlineExceeded, BreakerOpen, *policy.catch) as exc:
+        if breaker is not None:
+            breaker.record_failure()
+        if isinstance(exc, DeadlineExceeded):
+            reason = "deadline"
+        elif isinstance(exc, RetriesExhausted):
+            reason = f"error:{type(exc.last).__name__}"
+        else:
+            reason = f"error:{type(exc).__name__}"
+        event = record_fallback(policy.site, reason)
+        return policy.fallback(*args, **kwargs), event
+    if breaker is not None:
+        breaker.record_success()
+    return value, None

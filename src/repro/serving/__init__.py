@@ -4,7 +4,11 @@ from .abtest import ABTestConfig, ABTestResult, ABTestSimulator
 from .explain import Explanation, RecommendationExplainer
 from .features import RealTimeFeatureService
 from .latency import LatencyReport, measure_serving_latency
-from .platform import FlightRecommender, RecommendationResponse
+from .platform import (
+    FlightRecommender,
+    RecommendationResponse,
+    ServingResilienceConfig,
+)
 from .ranking_service import RankingService, ScoredPair
 from .recall import CandidateRecall, RecallConfig
 
@@ -16,6 +20,7 @@ __all__ = [
     "ScoredPair",
     "FlightRecommender",
     "RecommendationResponse",
+    "ServingResilienceConfig",
     "ABTestSimulator",
     "ABTestConfig",
     "ABTestResult",

@@ -14,6 +14,7 @@ from collections import Counter
 
 from ..data.schema import BookingEvent, ClickEvent, UserHistory
 from ..obs.registry import get_registry
+from ..resilience.chaos import get_fault_injector
 
 __all__ = ["RealTimeFeatureService"]
 
@@ -85,7 +86,12 @@ class RealTimeFeatureService:
     def user_history(
         self, user_id: int, day: int, click_window_days: int = 7
     ) -> UserHistory:
-        """Assemble the model-facing history snapshot at ``day``."""
+        """Assemble the model-facing history snapshot at ``day``.
+
+        Raises :class:`KeyError` for a user with no behavioural data; the
+        serving facade catches this and degrades to a cold-start profile.
+        """
+        get_fault_injector().inject("features.history")
         current = self.current_city(user_id, day)
         if current is None:
             raise KeyError(f"no behavioural data for user {user_id}")

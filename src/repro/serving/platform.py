@@ -16,6 +16,14 @@ Every request is observable (see :mod:`repro.obs`): under an active
 registry counts requests and candidates and records a latency histogram,
 and an optional :class:`~repro.obs.profiler.Profiler` gets ``on_request``.
 With the default no-op registry/tracer this instrumentation is near-free.
+
+Every request is also *fault tolerant* (see :mod:`repro.resilience`): a
+request carries a :class:`~repro.resilience.Deadline`, each stage has a
+typed fallback (cold-start profile, popular routes, popularity-ordered
+scoring), and the rank stage sits behind a retry policy and a circuit
+breaker, so a scoring outage degrades the response instead of erroring —
+the production behaviour of Fliggy's and Grab's rankers.  The response's
+``degraded``/``fallbacks`` metadata says exactly what happened.
 """
 
 from __future__ import annotations
@@ -24,24 +32,59 @@ import time
 from dataclasses import dataclass, field
 
 from ..data.dataset import ODDataset
-from ..data.schema import ODPair
+from ..data.schema import ODPair, UserHistory
 from ..obs.profiler import Profiler
 from ..obs.registry import get_registry
 from ..obs.tracing import get_tracer
+from ..resilience import (
+    CircuitBreaker,
+    Deadline,
+    FallbackEvent,
+    FallbackPolicy,
+    RetryPolicy,
+    record_fallback,
+    run_with_fallback,
+)
 from .features import RealTimeFeatureService
 from .ranking_service import RankingService, ScoredPair
 from .recall import CandidateRecall, RecallConfig
 
-__all__ = ["RecommendationResponse", "FlightRecommender"]
+__all__ = [
+    "ServingResilienceConfig",
+    "RecommendationResponse",
+    "FlightRecommender",
+]
+
+
+@dataclass(frozen=True)
+class ServingResilienceConfig:
+    """Degradation knobs for the serving path (one breaker per rank site)."""
+
+    deadline_ms: float | None = None     # default per-request budget
+    stage_budgets_ms: dict | None = None  # e.g. {"rank": 30.0}
+    retry: RetryPolicy = RetryPolicy(
+        max_attempts=2, base_delay_ms=1.0, max_delay_ms=5.0
+    )
+    breaker_window: int = 10
+    breaker_threshold: float = 0.5
+    breaker_min_calls: int = 4
+    breaker_recovery_s: float = 30.0
 
 
 @dataclass
 class RecommendationResponse:
-    """The ranked flight list returned to the mobile app."""
+    """The ranked flight list returned to the mobile app.
+
+    ``degraded`` is True when any stage fell back to a non-personalised
+    alternative; ``fallbacks`` lists each degradation decision
+    (:class:`~repro.resilience.FallbackEvent`) in stage order.
+    """
 
     user_id: int
     day: int
     flights: list[ScoredPair] = field(default_factory=list)
+    degraded: bool = False
+    fallbacks: list[FallbackEvent] = field(default_factory=list)
 
     @property
     def pairs(self) -> list[ODPair]:
@@ -60,6 +103,7 @@ class FlightRecommender:
         dataset: ODDataset,
         recall_config: RecallConfig | None = None,
         profiler: Profiler | None = None,
+        resilience: ServingResilienceConfig | None = None,
     ):
         self.dataset = dataset
         self.features = RealTimeFeatureService(dataset.source.bookings_by_user)
@@ -70,25 +114,142 @@ class FlightRecommender:
         )
         self.ranking = RankingService(model, dataset)
         self.profiler = profiler
+        self.resilience = resilience or ServingResilienceConfig()
+        self.rank_breaker = CircuitBreaker(
+            "rank",
+            window=self.resilience.breaker_window,
+            failure_threshold=self.resilience.breaker_threshold,
+            min_calls=self.resilience.breaker_min_calls,
+            recovery_s=self.resilience.breaker_recovery_s,
+        )
 
-    def recommend(self, user_id: int, day: int, k: int = 10) -> RecommendationResponse:
-        """Serve the top-``k`` flight recommendations for a user."""
+    # ------------------------------------------------------------------
+    # Fallback producers (the degradation ladder)
+    # ------------------------------------------------------------------
+    def cold_start_history(self, user_id: int) -> UserHistory:
+        """A personalisation-free profile anchored at the most popular
+        origin city — what an unknown/new user gets instead of KeyError.
+
+        Ids outside the embedding table are hashed into range (the usual
+        hash-bucket trick) so the model can still score the empty profile.
+        """
+        return UserHistory(
+            user_id=user_id % max(1, self.dataset.num_users),
+            current_city=self.recall.most_popular_origin(),
+            bookings=[],
+            clicks=[],
+        )
+
+    def popularity_rank(
+        self, candidates: list[ODPair], k: int
+    ) -> list[ScoredPair]:
+        """Rank candidates by global route popularity (model-free)."""
+        scores = self.recall.popularity_scores(candidates)
+        order = sorted(
+            range(len(candidates)), key=lambda i: -float(scores[i])
+        )[:k]
+        return [
+            ScoredPair(pair=candidates[i], score=float(scores[i]))
+            for i in order
+        ]
+
+    def _resolve_deadline(self, deadline) -> Deadline | None:
+        if isinstance(deadline, Deadline):
+            return deadline
+        if deadline is not None:
+            return Deadline(float(deadline), self.resilience.stage_budgets_ms)
+        if self.resilience.deadline_ms is not None:
+            return Deadline(
+                self.resilience.deadline_ms, self.resilience.stage_budgets_ms
+            )
+        return None
+
+    # ------------------------------------------------------------------
+    def recommend(
+        self,
+        user_id: int,
+        day: int,
+        k: int = 10,
+        deadline: Deadline | float | None = None,
+    ) -> RecommendationResponse:
+        """Serve the top-``k`` flight recommendations for a user.
+
+        ``deadline`` is an optional request budget — a
+        :class:`~repro.resilience.Deadline` or a number of milliseconds.
+        The request never raises for an unknown user, a failing rank
+        stage, or an expired budget; it degrades and reports how in the
+        response's ``degraded``/``fallbacks`` metadata.
+        """
+        if k < 1:
+            raise ValueError(f"k must be >= 1, got {k}")
+        deadline = self._resolve_deadline(deadline)
+        events: list[FallbackEvent] = []
         tracer = get_tracer()
         start = time.perf_counter()
         with tracer.span("recommend", user_id=user_id, day=day, k=k):
+            # Stage 1 — features: unknown users get a cold-start profile.
             with tracer.span("features"):
-                history = self.features.user_history(user_id, day)
+                stage_start = time.perf_counter()
+                try:
+                    history = self.features.user_history(user_id, day)
+                except KeyError:
+                    events.append(record_fallback("features", "cold_start"))
+                    history = self.cold_start_history(user_id)
+                except Exception as exc:
+                    events.append(record_fallback(
+                        "features", f"error:{type(exc).__name__}"
+                    ))
+                    history = self.cold_start_history(user_id)
+                self._observe_stage(deadline, "features", stage_start)
+
+            # Stage 2 — recall: degrade to globally popular routes.
             with tracer.span("recall") as recall_span:
-                candidates = self.recall.candidate_pairs(history)
+                stage_start = time.perf_counter()
+                candidates, event = run_with_fallback(
+                    FallbackPolicy(
+                        site="recall",
+                        fallback=lambda: self.recall.popular_pairs(),
+                    ),
+                    lambda: self.recall.candidate_pairs(history),
+                    deadline=deadline,
+                )
+                if event is None and not candidates:
+                    event = record_fallback("recall", "empty")
+                    candidates = self.recall.popular_pairs()
+                if event is not None:
+                    events.append(event)
                 recall_span.set_tag("candidates", len(candidates))
+                self._observe_stage(deadline, "recall", stage_start)
+
+            # Stage 3 — rank: retry + breaker + deadline; degrade to
+            # popularity ordering when the model cannot score.
             with tracer.span("rank") as rank_span:
-                ranked = self.ranking.rank(history, candidates, day=day, k=k)
+                stage_start = time.perf_counter()
+                ranked, event = run_with_fallback(
+                    FallbackPolicy(
+                        site="rank",
+                        fallback=lambda: self.popularity_rank(candidates, k),
+                        retry=self.resilience.retry,
+                        breaker=self.rank_breaker,
+                    ),
+                    lambda: self.ranking.rank(
+                        history, candidates, day=day, k=k
+                    ),
+                    deadline=deadline,
+                )
+                if event is not None:
+                    events.append(event)
                 rank_span.set_tag("returned", len(ranked))
+                rank_span.set_tag("degraded", event is not None)
+                self._observe_stage(deadline, "rank", stage_start)
+
         latency_ms = (time.perf_counter() - start) * 1000.0
         registry = get_registry()
         registry.counter("serving.requests").inc()
         registry.counter("serving.candidates").inc(len(candidates))
         registry.histogram("serving.latency_ms").observe(latency_ms)
+        if events:
+            registry.counter("serving.degraded_requests").inc()
         if self.profiler is not None:
             self.profiler.on_request(
                 user_id=user_id,
@@ -97,4 +258,20 @@ class FlightRecommender:
                 num_candidates=len(candidates),
                 k=k,
             )
-        return RecommendationResponse(user_id=user_id, day=day, flights=ranked)
+        return RecommendationResponse(
+            user_id=user_id,
+            day=day,
+            flights=ranked,
+            degraded=bool(events),
+            fallbacks=events,
+        )
+
+    @staticmethod
+    def _observe_stage(
+        deadline: Deadline | None, stage: str, start_s: float
+    ) -> None:
+        if deadline is not None:
+            deadline.observe_stage(
+                stage, (time.perf_counter() - start_s) * 1000.0
+            )
+

@@ -15,6 +15,7 @@ from ..data.schema import ODPair, UserHistory
 from ..data.synthetic import DecisionPoint
 from ..obs.registry import get_registry
 from ..obs.tracing import get_tracer
+from ..resilience.chaos import get_fault_injector
 
 __all__ = ["ScoredPair", "RankingService"]
 
@@ -55,6 +56,7 @@ class RankingService:
         with tracer.span("rank.batch"):
             batch = self.dataset.batch_for_candidates(point, candidates)
         with tracer.span("rank.score"):
+            get_fault_injector().inject("rank.score")
             scores = np.asarray(self.model.score_pairs(batch), dtype=np.float64)
         get_registry().counter("ranking.scored_pairs").inc(len(candidates))
         order = np.argsort(-scores, kind="mergesort")[:k]

@@ -20,6 +20,7 @@ import numpy as np
 from ..data.schema import ODPair, UserHistory
 from ..data.world import CityWorld
 from ..obs.registry import get_registry
+from ..resilience.chaos import get_fault_injector
 
 __all__ = ["RecallConfig", "CandidateRecall"]
 
@@ -95,6 +96,7 @@ class CandidateRecall:
 
     def candidate_pairs(self, history: UserHistory) -> list[ODPair]:
         """Cross-assembled OD pairs, deduplicated and capped."""
+        get_fault_injector().inject("recall.candidates")
         pairs = self._assemble_pairs(history)
         registry = get_registry()
         if registry.enabled:
@@ -102,6 +104,40 @@ class CandidateRecall:
             registry.counter("recall.pairs").inc(len(pairs))
             registry.histogram("recall.pairs_per_call").observe(len(pairs))
         return pairs
+
+    # ------------------------------------------------------------------
+    # Popularity fallbacks (the degradation ladder's bottom rung)
+    # ------------------------------------------------------------------
+    def popular_pairs(self, limit: int | None = None) -> list[ODPair]:
+        """Globally popular OD pairs by route mass — the personalisation-free
+        candidate set used when per-user recall is unavailable."""
+        if limit is None:
+            limit = self.config.max_pairs
+        flat = np.argsort(-self.route_popularity, axis=None)[: limit + 1]
+        num_cities = self.route_popularity.shape[1]
+        pairs = []
+        for index in flat:
+            origin, destination = divmod(int(index), num_cities)
+            if origin == destination:
+                continue
+            pairs.append(ODPair(origin, destination))
+            if len(pairs) >= limit:
+                break
+        return pairs
+
+    def popularity_scores(self, pairs: list[ODPair]) -> np.ndarray:
+        """Route-popularity score per pair (the fallback ranking key)."""
+        if not pairs:
+            return np.zeros(0, dtype=np.float64)
+        origins = np.fromiter((p.origin for p in pairs), dtype=np.intp,
+                              count=len(pairs))
+        destinations = np.fromiter((p.destination for p in pairs),
+                                   dtype=np.intp, count=len(pairs))
+        return self.route_popularity[origins, destinations]
+
+    def most_popular_origin(self) -> int:
+        """The city with the largest outbound route mass."""
+        return int(np.argmax(self.route_popularity.sum(axis=1)))
 
     def _assemble_pairs(self, history: UserHistory) -> list[ODPair]:
         pairs: list[ODPair] = []

@@ -1,6 +1,6 @@
 """Training and evaluation harness (paper protocol of Section V-A.5)."""
 
-from .checkpoint import load_checkpoint, save_checkpoint
+from .checkpoint import CheckpointError, load_checkpoint, save_checkpoint
 from .config import TrainConfig
 from .evaluate import (
     evaluate_auc,
@@ -12,6 +12,7 @@ from .trainer import Trainer, TrainHistory
 
 __all__ = [
     "TrainConfig",
+    "CheckpointError",
     "save_checkpoint",
     "load_checkpoint",
     "Trainer",

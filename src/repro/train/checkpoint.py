@@ -4,23 +4,41 @@ The production deployment (Section VI-A) trains offline on PAI and ships
 the weights to the Ranking Service System; this module is the laptop-scale
 equivalent so a trained ODNET can be persisted and served later without
 retraining.
+
+Saves are *atomic*: the archive is written to a temp file in the target
+directory and ``os.replace``d into place, so a crash mid-write can never
+leave a truncated checkpoint behind — a reader sees the old file or the
+new one, nothing in between.  Loads raise :class:`CheckpointError` (not a
+raw ``zipfile``/``KeyError`` traceback) for missing, truncated, or
+corrupt archives.
 """
 
 from __future__ import annotations
 
 import json
+import os
 import pathlib
+import tempfile
+import zipfile
 
 import numpy as np
 
-__all__ = ["save_checkpoint", "load_checkpoint"]
+__all__ = ["CheckpointError", "save_checkpoint", "load_checkpoint"]
 
 _META_KEY = "__checkpoint_meta__"
 
 
+class CheckpointError(RuntimeError):
+    """A checkpoint file is missing, truncated, or otherwise unreadable."""
+
+
 def save_checkpoint(model, path: str | pathlib.Path,
                     metadata: dict | None = None) -> pathlib.Path:
-    """Persist a model's ``state_dict`` (plus optional JSON metadata)."""
+    """Persist a model's ``state_dict`` (plus optional JSON metadata).
+
+    The write is atomic: a temp file in the destination directory is
+    fsync'd and renamed over ``path``.
+    """
     path = pathlib.Path(path)
     if path.suffix != ".npz":
         path = path.with_suffix(".npz")
@@ -34,20 +52,52 @@ def save_checkpoint(model, path: str | pathlib.Path,
         json.dumps(meta).encode("utf-8"), dtype=np.uint8
     )
     path.parent.mkdir(parents=True, exist_ok=True)
-    np.savez_compressed(path, **payload)
+    # Temp file in the *target* directory so os.replace stays on one
+    # filesystem (cross-device renames are not atomic).
+    fd, tmp_name = tempfile.mkstemp(
+        dir=path.parent, prefix=path.stem + ".", suffix=".tmp"
+    )
+    try:
+        with os.fdopen(fd, "wb") as handle:
+            np.savez_compressed(handle, **payload)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp_name, path)
+    except BaseException:
+        try:
+            os.unlink(tmp_name)
+        except OSError:
+            pass
+        raise
     return path
 
 
 def load_checkpoint(model, path: str | pathlib.Path) -> dict:
-    """Load weights into ``model`` (shapes must match); returns metadata."""
+    """Load weights into ``model`` (shapes must match); returns metadata.
+
+    Raises :class:`CheckpointError` when the file is missing or is not a
+    readable ``.npz`` archive (truncated, corrupt, or the wrong format).
+    """
     path = pathlib.Path(path)
     if path.suffix != ".npz":
         path = path.with_suffix(".npz")
-    with np.load(path) as archive:
-        payload = {key: archive[key] for key in archive.files}
+    if not path.exists():
+        raise CheckpointError(f"checkpoint not found: {path}")
+    try:
+        with np.load(path) as archive:
+            payload = {key: archive[key] for key in archive.files}
+    except (zipfile.BadZipFile, OSError, ValueError, KeyError, EOFError) as exc:
+        raise CheckpointError(
+            f"checkpoint {path} is truncated or corrupt: {exc}"
+        ) from exc
     meta_bytes = payload.pop(_META_KEY, None)
     metadata = {}
     if meta_bytes is not None:
-        metadata = json.loads(bytes(meta_bytes.tobytes()).decode("utf-8"))
+        try:
+            metadata = json.loads(bytes(meta_bytes.tobytes()).decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            raise CheckpointError(
+                f"checkpoint {path} has corrupt metadata: {exc}"
+            ) from exc
     model.load_state_dict(payload)
     return metadata

@@ -1,0 +1,187 @@
+"""Parameter-server training under chaos: retries, drops, dead workers,
+and checkpoint recovery."""
+
+import numpy as np
+import pytest
+
+from repro.core import build_odnet
+from repro.distributed import ParameterServerTrainer, PSConfig
+from repro.obs import use_registry
+from repro.resilience import (
+    FaultInjector,
+    FaultSpec,
+    RetriesExhausted,
+    use_fault_injector,
+)
+from tests.conftest import TINY_MODEL_CONFIG
+
+
+def make_trainer(od_dataset, **overrides):
+    defaults = dict(num_servers=2, num_workers=3, epochs=3, seed=0)
+    defaults.update(overrides)
+    model = build_odnet(od_dataset, TINY_MODEL_CONFIG)
+    return ParameterServerTrainer(model, od_dataset, PSConfig(**defaults))
+
+
+class TestPSConfigValidation:
+    @pytest.mark.parametrize("field,value", [
+        ("num_servers", 0), ("num_workers", 0), ("epochs", 0),
+        ("batch_size", 0), ("staleness", -1), ("learning_rate", 0.0),
+    ])
+    def test_invalid_values_rejected_with_offender(self, field, value):
+        with pytest.raises(ValueError, match=str(value)):
+            PSConfig(**{field: value})
+
+    def test_valid_config_accepted(self):
+        PSConfig(num_servers=1, num_workers=1, epochs=1, batch_size=1,
+                 staleness=0, learning_rate=0.1)
+
+
+class TestRetryablePushPull:
+    def test_transient_pull_faults_absorbed_by_retry(self, od_dataset):
+        trainer = make_trainer(od_dataset, epochs=1)
+        chaos = FaultInjector(seed=0).add(
+            "ps.pull", FaultSpec(error_rate=1.0, max_faults=2)
+        )
+        with use_registry() as registry, use_fault_injector(chaos):
+            stats = trainer.fit()
+        assert len(stats.epoch_losses) == 1
+        assert np.isfinite(stats.epoch_losses).all()
+        assert registry.counter(
+            "resilience.retries", labels={"site": "ps.pull"}
+        ).value == 2
+
+    def test_exhausted_push_is_dropped_not_fatal(self, od_dataset):
+        trainer = make_trainer(od_dataset, epochs=2, num_workers=2)
+        # Exactly max_attempts faults: the first push shard exhausts its
+        # retries and is dropped; everything afterwards is healthy.
+        attempts = trainer.retry_policy.max_attempts
+        chaos = FaultInjector(seed=0).add(
+            "ps.push", FaultSpec(error_rate=1.0, max_faults=attempts)
+        )
+        with use_registry() as registry, use_fault_injector(chaos):
+            stats = trainer.fit()
+        assert stats.dropped_pushes == 1
+        assert len(stats.epoch_losses) == 2
+        assert np.isfinite(stats.epoch_losses).all()
+        assert registry.counter("resilience.dropped_pushes").value == 1
+
+
+class TestWorkerFailures:
+    def test_one_killed_worker_sync_round_uses_survivors(self, od_dataset):
+        trainer = make_trainer(od_dataset, epochs=2)
+        chaos = FaultInjector(seed=0).add(
+            "worker.compute", FaultSpec(error_rate=1.0, max_faults=1)
+        )
+        with use_fault_injector(chaos):
+            stats = trainer.fit()
+        assert stats.worker_failures == 1
+        assert len(stats.epoch_losses) == 2
+        assert np.isfinite(stats.epoch_losses).all()
+        assert stats.epoch_losses[-1] < stats.epoch_losses[0]
+
+    def test_acceptance_scenario_drops_and_dead_worker(self, od_dataset):
+        """Push drops + a killed worker: all epochs complete, final loss
+        finite and below the first-epoch loss."""
+        trainer = make_trainer(od_dataset, epochs=3)
+        chaos = FaultInjector(seed=1)
+        chaos.add("ps.push", FaultSpec(error_rate=0.3))
+        chaos.add("worker.compute", FaultSpec(error_rate=1.0, max_faults=1))
+        with use_fault_injector(chaos):
+            stats = trainer.fit()
+        assert len(stats.epoch_losses) == trainer.config.epochs
+        assert stats.worker_failures == 1
+        assert np.isfinite(stats.epoch_losses[-1])
+        assert stats.epoch_losses[-1] < stats.epoch_losses[0]
+
+    def test_async_mode_survives_worker_faults(self, od_dataset):
+        trainer = make_trainer(od_dataset, epochs=2, mode="async",
+                               staleness=1)
+        chaos = FaultInjector(seed=0).add(
+            "worker.compute", FaultSpec(error_rate=0.3)
+        )
+        with use_fault_injector(chaos):
+            stats = trainer.fit()
+        assert len(stats.epoch_losses) == 2
+        assert np.isfinite(stats.epoch_losses[-1])
+
+
+class TestGradientAliasing:
+    def test_sync_accumulation_does_not_mutate_worker_gradients(
+        self, od_dataset
+    ):
+        """Regression: ``accumulated = gradients`` aliased worker 0's
+        returned dict and ``+=`` mutated it in place."""
+        trainer = make_trainer(od_dataset, epochs=1, num_workers=2)
+        worker = trainer.workers[0]
+        original = worker.compute_gradients
+        snapshots = []
+
+        def spy(batch):
+            gradients, loss = original(batch)
+            snapshots.append(
+                (gradients, {k: v.copy() for k, v in gradients.items()})
+            )
+            return gradients, loss
+
+        worker.compute_gradients = spy
+        trainer.fit()
+        assert snapshots
+        for gradients, snapshot in snapshots:
+            for name, value in snapshot.items():
+                np.testing.assert_array_equal(gradients[name], value)
+
+
+class TestCheckpointRecovery:
+    def test_mid_run_crash_resumes_from_checkpoint(self, od_dataset,
+                                                   tmp_path):
+        path = tmp_path / "ps.npz"
+        trainer = make_trainer(od_dataset, epochs=4, num_workers=2)
+        # Pulls fail hard from the second epoch on: fit crashes, but the
+        # epoch-1 checkpoint survives atomically.
+        config = trainer.config
+        steps = max(1, len(od_dataset.samples("train"))
+                    // (config.batch_size * config.num_workers))
+        pulls_in_epoch_1 = (steps + 1) * config.num_servers  # + checkpoint
+        chaos = FaultInjector(seed=1).add(
+            "ps.pull", FaultSpec(error_rate=1.0, after_calls=pulls_in_epoch_1)
+        )
+        with pytest.raises(RetriesExhausted):
+            with use_fault_injector(chaos):
+                trainer.fit(checkpoint_path=path)
+        assert path.exists()
+
+        resumed = make_trainer(od_dataset, epochs=4, num_workers=2)
+        stats = resumed.fit(checkpoint_path=path)
+        assert 1 <= stats.start_epoch < 4
+        assert stats.start_epoch + len(stats.epoch_losses) == 4
+        assert np.isfinite(stats.epoch_losses).all()
+
+    def test_completed_run_resumes_to_noop(self, od_dataset, tmp_path):
+        path = tmp_path / "ps.npz"
+        trainer = make_trainer(od_dataset, epochs=2, num_workers=2)
+        first = trainer.fit(checkpoint_path=path)
+        assert len(first.epoch_losses) == 2
+
+        again = make_trainer(od_dataset, epochs=2, num_workers=2)
+        stats = again.fit(checkpoint_path=path)
+        assert stats.start_epoch == 2
+        assert stats.epoch_losses == []
+
+    def test_checkpoint_every_validated(self, od_dataset):
+        trainer = make_trainer(od_dataset, epochs=1)
+        with pytest.raises(ValueError):
+            trainer.fit(checkpoint_every=0)
+
+    def test_resumed_model_matches_server_weights(self, od_dataset,
+                                                  tmp_path):
+        path = tmp_path / "ps.npz"
+        trainer = make_trainer(od_dataset, epochs=1, num_workers=2)
+        trainer.fit(checkpoint_path=path)
+        resumed = make_trainer(od_dataset, epochs=1, num_workers=2)
+        resumed.fit(checkpoint_path=path)
+        server_weights = {}
+        for server in resumed.servers:
+            server_weights.update(server.pull())
+        for name, param in resumed.model.named_parameters():
+            np.testing.assert_allclose(param.data, server_weights[name])

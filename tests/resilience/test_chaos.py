@@ -1,0 +1,99 @@
+"""FaultInjector: seeded determinism, arming, healing, activation scope."""
+
+import pytest
+
+from repro.resilience import (
+    NULL_FAULT_INJECTOR,
+    FaultInjector,
+    FaultSpec,
+    InjectedFault,
+    get_fault_injector,
+    use_fault_injector,
+)
+
+
+def outcomes(injector: FaultInjector, site: str, n: int) -> list[bool]:
+    """True where a call to ``site`` raised."""
+    result = []
+    for _ in range(n):
+        try:
+            injector.inject(site)
+        except InjectedFault:
+            result.append(True)
+        else:
+            result.append(False)
+    return result
+
+
+class TestFaultSpec:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            FaultSpec(error_rate=1.5)
+        with pytest.raises(ValueError):
+            FaultSpec(latency_ms=-1.0)
+        with pytest.raises(ValueError):
+            FaultSpec(after_calls=-1)
+
+
+class TestFaultInjector:
+    def test_same_seed_same_fault_stream(self):
+        a = FaultInjector(seed=3).add("x", error_rate=0.5)
+        b = FaultInjector(seed=3).add("x", error_rate=0.5)
+        assert outcomes(a, "x", 50) == outcomes(b, "x", 50)
+
+    def test_error_rate_one_always_raises(self):
+        chaos = FaultInjector(seed=0).add("x", error_rate=1.0)
+        assert outcomes(chaos, "x", 5) == [True] * 5
+        assert chaos.faults("x") == 5
+        assert chaos.calls("x") == 5
+
+    def test_unconfigured_site_is_untouched(self):
+        chaos = FaultInjector(seed=0).add("x", error_rate=1.0)
+        chaos.inject("y")  # no spec, no effect
+        assert chaos.calls("y") == 0
+
+    def test_after_calls_arms_late(self):
+        chaos = FaultInjector(seed=0).add(
+            "x", error_rate=1.0, after_calls=3
+        )
+        assert outcomes(chaos, "x", 5) == [False, False, False, True, True]
+
+    def test_max_faults_heals(self):
+        chaos = FaultInjector(seed=0).add("x", error_rate=1.0, max_faults=2)
+        assert outcomes(chaos, "x", 5) == [True, True, False, False, False]
+
+    def test_latency_injection_counts(self):
+        slept = []
+        chaos = FaultInjector(seed=0, sleep=slept.append)
+        chaos.add("x", latency_ms=7.0, latency_rate=1.0)
+        chaos.inject("x")
+        assert slept == [0.007]
+
+    def test_injected_fault_carries_site(self):
+        chaos = FaultInjector(seed=0).add("ps.push", error_rate=1.0)
+        with pytest.raises(InjectedFault) as excinfo:
+            chaos.inject("ps.push")
+        assert excinfo.value.site == "ps.push"
+
+
+class TestActivation:
+    def test_default_is_null_and_inert(self):
+        assert get_fault_injector() is NULL_FAULT_INJECTOR
+        get_fault_injector().inject("anything")  # never raises
+
+    def test_null_injector_rejects_configuration(self):
+        with pytest.raises(RuntimeError):
+            NULL_FAULT_INJECTOR.add("x", error_rate=1.0)
+
+    def test_use_scopes_activation(self):
+        chaos = FaultInjector(seed=0).add("x", error_rate=1.0)
+        with use_fault_injector(chaos):
+            assert get_fault_injector() is chaos
+            with pytest.raises(InjectedFault):
+                get_fault_injector().inject("x")
+        assert get_fault_injector() is NULL_FAULT_INJECTOR
+
+    def test_spec_and_kwargs_are_exclusive(self):
+        chaos = FaultInjector(seed=0)
+        with pytest.raises(TypeError):
+            chaos.add("x", FaultSpec(error_rate=1.0), error_rate=0.5)

@@ -1,0 +1,70 @@
+"""Deadline budgets, expiry, and per-stage overrun observation."""
+
+import pytest
+
+from repro.obs import use_registry
+from repro.resilience import Deadline, DeadlineExceeded
+
+
+class FakeClock:
+    """A manually advanced monotonic clock (seconds)."""
+
+    def __init__(self):
+        self.now = 100.0
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance_ms(self, ms: float) -> None:
+        self.now += ms / 1000.0
+
+
+class TestDeadline:
+    def test_remaining_counts_down(self):
+        clock = FakeClock()
+        deadline = Deadline(50.0, clock=clock)
+        assert deadline.remaining_ms() == pytest.approx(50.0)
+        clock.advance_ms(20)
+        assert deadline.remaining_ms() == pytest.approx(30.0)
+        assert not deadline.expired
+
+    def test_expiry_and_check(self):
+        clock = FakeClock()
+        deadline = Deadline(10.0, clock=clock)
+        clock.advance_ms(10)
+        assert deadline.expired
+        assert deadline.remaining_ms() == 0.0
+        with pytest.raises(DeadlineExceeded):
+            deadline.check("rank")
+
+    def test_invalid_budget_rejected(self):
+        with pytest.raises(ValueError):
+            Deadline(0.0)
+        with pytest.raises(ValueError):
+            Deadline(-5.0)
+
+    def test_stage_budget_capped_by_remaining(self):
+        clock = FakeClock()
+        deadline = Deadline(100.0, stage_budgets_ms={"rank": 60.0},
+                            clock=clock)
+        assert deadline.stage_budget_ms("rank") == pytest.approx(60.0)
+        clock.advance_ms(70)
+        assert deadline.stage_budget_ms("rank") == pytest.approx(30.0)
+        # Unbudgeted stages get whatever remains.
+        assert deadline.stage_budget_ms("recall") == pytest.approx(30.0)
+
+    def test_observe_stage_records_overrun(self):
+        deadline = Deadline(100.0, stage_budgets_ms={"rank": 10.0})
+        with use_registry() as registry:
+            assert deadline.observe_stage("rank", 25.0) == pytest.approx(15.0)
+            assert deadline.observe_stage("rank", 5.0) == 0.0
+            # Stages without a budget never count as overruns.
+            assert deadline.observe_stage("recall", 500.0) == 0.0
+        histogram = registry.histogram(
+            "resilience.stage_overrun_ms", labels={"stage": "rank"}
+        )
+        assert histogram.count == 1
+        assert histogram.max == pytest.approx(15.0)
+        assert registry.counter(
+            "resilience.deadline_overruns", labels={"stage": "rank"}
+        ).value == 1

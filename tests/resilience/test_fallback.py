@@ -1,0 +1,102 @@
+"""Typed fallback policies and the guarded executor."""
+
+import pytest
+
+from repro.obs import use_registry
+from repro.resilience import (
+    CircuitBreaker,
+    Deadline,
+    FallbackEvent,
+    FallbackPolicy,
+    RetryPolicy,
+    record_fallback,
+    run_with_fallback,
+)
+from tests.resilience.test_deadline import FakeClock
+
+
+def primary_ok():
+    return "primary"
+
+
+def primary_boom():
+    raise ConnectionError("down")
+
+
+def degraded():
+    return "degraded"
+
+
+class TestRecordFallback:
+    def test_counts_aggregate_and_per_site(self):
+        with use_registry() as registry:
+            event = record_fallback("rank", "breaker_open")
+        assert event == FallbackEvent(site="rank", reason="breaker_open")
+        assert str(event) == "rank:breaker_open"
+        assert registry.counter("resilience.fallbacks").value == 1
+        assert registry.counter(
+            "resilience.fallbacks",
+            labels={"site": "rank", "reason": "breaker_open"},
+        ).value == 1
+
+
+class TestRunWithFallback:
+    def test_primary_success_no_event(self):
+        policy = FallbackPolicy(site="rank", fallback=degraded)
+        value, event = run_with_fallback(policy, primary_ok)
+        assert value == "primary"
+        assert event is None
+
+    def test_failure_degrades_with_reason(self):
+        policy = FallbackPolicy(site="rank", fallback=degraded)
+        value, event = run_with_fallback(policy, primary_boom)
+        assert value == "degraded"
+        assert event.reason == "error:ConnectionError"
+
+    def test_retry_reason_names_underlying_error(self):
+        policy = FallbackPolicy(
+            site="rank", fallback=degraded,
+            retry=RetryPolicy(max_attempts=2),
+        )
+        value, event = run_with_fallback(policy, primary_boom)
+        assert value == "degraded"
+        assert event.reason == "error:ConnectionError"
+
+    def test_expired_deadline_short_circuits(self):
+        clock = FakeClock()
+        deadline = Deadline(5.0, clock=clock)
+        clock.advance_ms(6)
+        calls = []
+        policy = FallbackPolicy(site="rank", fallback=degraded)
+        value, event = run_with_fallback(
+            policy, lambda: calls.append(1), deadline=deadline
+        )
+        assert value == "degraded"
+        assert event.reason == "deadline"
+        assert not calls  # the primary never ran
+
+    def test_open_breaker_skips_primary(self):
+        breaker = CircuitBreaker("rank", min_calls=1,
+                                 failure_threshold=0.5, clock=FakeClock())
+        breaker.record_failure()
+        calls = []
+        policy = FallbackPolicy(site="rank", fallback=degraded,
+                                breaker=breaker)
+        value, event = run_with_fallback(policy, lambda: calls.append(1))
+        assert value == "degraded"
+        assert event.reason == "breaker_open"
+        assert not calls
+
+    def test_breaker_sees_post_retry_outcomes(self):
+        breaker = CircuitBreaker("rank", min_calls=2,
+                                 failure_threshold=0.5, clock=FakeClock())
+        policy = FallbackPolicy(
+            site="rank", fallback=degraded,
+            retry=RetryPolicy(max_attempts=2), breaker=breaker,
+        )
+        run_with_fallback(policy, primary_boom)
+        run_with_fallback(policy, primary_boom)
+        assert breaker.state == "open"
+        # Third request skips the primary entirely.
+        value, event = run_with_fallback(policy, primary_boom)
+        assert (value, event.reason) == ("degraded", "breaker_open")

@@ -1,0 +1,117 @@
+"""retry_call: backoff, jitter determinism, deadline interaction."""
+
+import numpy as np
+import pytest
+
+from repro.obs import use_registry
+from repro.resilience import (
+    Deadline,
+    DeadlineExceeded,
+    RetriesExhausted,
+    RetryPolicy,
+    retry_call,
+)
+from tests.resilience.test_deadline import FakeClock
+
+
+class Flaky:
+    """Fails the first ``failures`` calls, then succeeds."""
+
+    def __init__(self, failures: int):
+        self.failures = failures
+        self.calls = 0
+
+    def __call__(self):
+        self.calls += 1
+        if self.calls <= self.failures:
+            raise ConnectionError(f"boom {self.calls}")
+        return "ok"
+
+
+class TestRetryPolicy:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RetryPolicy(max_attempts=0)
+        with pytest.raises(ValueError):
+            RetryPolicy(multiplier=0.5)
+        with pytest.raises(ValueError):
+            RetryPolicy(jitter=1.0)
+
+    def test_backoff_grows_and_caps(self):
+        policy = RetryPolicy(base_delay_ms=10.0, multiplier=2.0,
+                             max_delay_ms=35.0, jitter=0.0)
+        rng = np.random.default_rng(0)
+        delays = [policy.delay_ms(a, rng) for a in (1, 2, 3, 4)]
+        assert delays == [10.0, 20.0, 35.0, 35.0]
+
+    def test_jitter_is_deterministic_per_seed(self):
+        policy = RetryPolicy(base_delay_ms=10.0, jitter=0.5, seed=7)
+        a = [policy.delay_ms(1, np.random.default_rng(7)) for _ in range(3)]
+        assert a[0] == a[1] == a[2]
+        assert a[0] != 10.0  # jitter actually applied
+
+
+class TestRetryCall:
+    def test_succeeds_after_transient_failures(self):
+        flaky = Flaky(failures=2)
+        result = retry_call(flaky, policy=RetryPolicy(max_attempts=3),
+                            sleep=None)
+        assert result == "ok"
+        assert flaky.calls == 3
+
+    def test_exhaustion_raises_with_last_error(self):
+        flaky = Flaky(failures=99)
+        with pytest.raises(RetriesExhausted) as excinfo:
+            retry_call(flaky, policy=RetryPolicy(max_attempts=3),
+                       site="ps.push", sleep=None)
+        assert excinfo.value.attempts == 3
+        assert isinstance(excinfo.value.last, ConnectionError)
+        assert flaky.calls == 3
+
+    def test_non_retryable_error_propagates_immediately(self):
+        calls = []
+
+        def bad():
+            calls.append(1)
+            raise TypeError("not transient")
+
+        with pytest.raises(TypeError):
+            retry_call(bad, retry_on=(ConnectionError,), sleep=None)
+        assert len(calls) == 1
+
+    def test_counters_recorded(self):
+        flaky = Flaky(failures=1)
+        with use_registry() as registry:
+            retry_call(flaky, policy=RetryPolicy(max_attempts=2),
+                       site="demo", sleep=None)
+        assert registry.counter(
+            "resilience.retries", labels={"site": "demo"}
+        ).value == 1
+        assert registry.counter(
+            "resilience.retry_successes", labels={"site": "demo"}
+        ).value == 1
+
+    def test_expired_deadline_stops_retrying(self):
+        clock = FakeClock()
+        deadline = Deadline(10.0, clock=clock)
+        clock.advance_ms(11)
+        flaky = Flaky(failures=0)
+        with pytest.raises(DeadlineExceeded):
+            retry_call(flaky, deadline=deadline, sleep=None)
+        assert flaky.calls == 0
+
+    def test_no_budget_for_backoff_raises(self):
+        clock = FakeClock()
+        deadline = Deadline(5.0, clock=clock)
+        flaky = Flaky(failures=99)
+        # First attempt allowed; backoff (>= 5ms with jitter 0) exceeds
+        # the remaining budget, so the loop stops with DeadlineExceeded.
+        with pytest.raises(DeadlineExceeded):
+            retry_call(
+                flaky,
+                policy=RetryPolicy(max_attempts=5, base_delay_ms=10.0,
+                                   jitter=0.0),
+                deadline=deadline,
+                sleep=None,
+            )
+        assert flaky.calls == 1

@@ -47,9 +47,13 @@ class TestFlightRecommender:
             assert flight.pair.origin != flight.pair.destination
         assert len(set(response.pairs)) == len(response.pairs)
 
-    def test_unknown_user_raises(self, recommender, od_dataset):
-        with pytest.raises(KeyError):
-            recommender.recommend(user_id=10**9, day=720)
+    def test_unknown_user_degrades_to_cold_start(self, recommender):
+        """A user with no behavioural data no longer raises KeyError —
+        they get a degraded, popularity-anchored recommendation."""
+        response = recommender.recommend(user_id=10**9, day=720)
+        assert len(response) > 0
+        assert response.degraded
+        assert [str(e) for e in response.fallbacks] == ["features:cold_start"]
 
     def test_ranked_quality_beats_reversed(self, recommender, trained_odnet,
                                            od_dataset):

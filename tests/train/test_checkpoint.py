@@ -1,10 +1,10 @@
-"""Checkpoint save/load round-trips."""
+"""Checkpoint save/load round-trips, atomicity, and corruption handling."""
 
 import numpy as np
 import pytest
 
 from repro.core import build_odnet
-from repro.train import load_checkpoint, save_checkpoint
+from repro.train import CheckpointError, load_checkpoint, save_checkpoint
 from tests.conftest import TINY_MODEL_CONFIG
 
 
@@ -42,3 +42,51 @@ class TestCheckpoint:
     def test_creates_parent_directories(self, trained_odnet, tmp_path):
         path = save_checkpoint(trained_odnet, tmp_path / "a" / "b" / "model")
         assert path.exists()
+
+
+class TestCheckpointErrors:
+    def test_missing_file_raises_checkpoint_error(self, trained_odnet,
+                                                  tmp_path):
+        with pytest.raises(CheckpointError, match="not found"):
+            load_checkpoint(trained_odnet, tmp_path / "nope.npz")
+
+    def test_truncated_archive_raises_checkpoint_error(self, trained_odnet,
+                                                       od_dataset, tmp_path):
+        path = save_checkpoint(trained_odnet, tmp_path / "model")
+        data = path.read_bytes()
+        path.write_bytes(data[: len(data) // 2])
+        clone = build_odnet(od_dataset, TINY_MODEL_CONFIG)
+        with pytest.raises(CheckpointError, match="truncated or corrupt"):
+            load_checkpoint(clone, path)
+
+    def test_corrupt_garbage_raises_checkpoint_error(self, trained_odnet,
+                                                     tmp_path):
+        path = tmp_path / "garbage.npz"
+        path.write_bytes(b"this is definitely not a zip archive")
+        with pytest.raises(CheckpointError, match="truncated or corrupt"):
+            load_checkpoint(trained_odnet, path)
+
+    def test_empty_file_raises_checkpoint_error(self, trained_odnet,
+                                                tmp_path):
+        path = tmp_path / "empty.npz"
+        path.touch()
+        with pytest.raises(CheckpointError):
+            load_checkpoint(trained_odnet, path)
+
+
+class TestAtomicity:
+    def test_save_leaves_no_temp_files(self, trained_odnet, tmp_path):
+        save_checkpoint(trained_odnet, tmp_path / "model")
+        names = sorted(p.name for p in tmp_path.iterdir())
+        assert names == ["model.npz"]
+
+    def test_overwrite_is_all_or_nothing(self, trained_odnet, od_dataset,
+                                         tmp_path):
+        """Re-saving over an existing checkpoint keeps it loadable."""
+        path = save_checkpoint(trained_odnet, tmp_path / "model",
+                               metadata={"generation": 1})
+        path = save_checkpoint(trained_odnet, path,
+                               metadata={"generation": 2})
+        clone = build_odnet(od_dataset, TINY_MODEL_CONFIG)
+        meta = load_checkpoint(clone, path)
+        assert meta["generation"] == 2
