@@ -1,0 +1,74 @@
+"""Serving fast path — frozen-graph embedding cache vs the cold path.
+
+Times ``score_pairs`` through a frozen :class:`repro.perf.InferenceSession`
+(HSGC node-embedding tables materialised once, invalidated by the model's
+parameter version) against the uncached path that re-propagates the
+hierarchical graph on every call.  The cached path must return bit-identical
+scores — it reuses the exact tensors ``node_embeddings()`` produces — while
+skipping the propagation that dominates per-request latency.
+
+The committed end-to-end numbers live in ``BENCH_serving.json`` (written by
+``python -m repro bench``); this bench keeps the core claim — cache wins and
+stays exact — under pytest-benchmark alongside the paper tables.
+"""
+
+import numpy as np
+
+from repro.core import ODNETConfig, build_odnet
+from repro.data import ODDataset, generate_fliggy_dataset
+from repro.experiments import get_scale
+from repro.serving import CandidateRecall
+
+from conftest import BENCH_SCALE, emit
+
+
+def _serving_batch(dataset: ODDataset):
+    recall = CandidateRecall(dataset.source.world, dataset.route_popularity)
+    point = dataset.source.test_points[0]
+    return dataset.batch_for_candidates(
+        point, recall.candidate_pairs(point.history)
+    )
+
+
+def test_fast_path_cached_scoring(benchmark, capsys, results_dir):
+    scale = get_scale(BENCH_SCALE)
+    dataset = ODDataset(generate_fliggy_dataset(scale.fliggy_config()))
+    model = build_odnet(dataset, ODNETConfig())
+    batch = _serving_batch(dataset)
+
+    uncached = np.asarray(model.score_pairs(batch))
+    session = model.freeze()
+    session.score_pairs(batch)  # miss: materialise the tables once
+
+    cached = np.asarray(
+        benchmark.pedantic(
+            session.score_pairs, args=(batch,), rounds=5, iterations=2
+        )
+    )
+
+    # The cache serves the same tensors the cold path computes.
+    np.testing.assert_array_equal(uncached, cached)
+    # Every benchmarked call was a hit — the tables were built exactly once.
+    assert session.misses == 1 and session.hits >= 10
+
+    import time
+
+    start = time.perf_counter()
+    for _ in range(5):
+        model.score_pairs(batch)
+    cold_ms = (time.perf_counter() - start) / 5 * 1e3
+
+    start = time.perf_counter()
+    for _ in range(5):
+        session.score_pairs(batch)
+    warm_ms = (time.perf_counter() - start) / 5 * 1e3
+
+    header = f"{'Path':<24}{'per call (ms)':>16}"
+    lines = [header, "-" * len(header),
+             f"{'uncached (cold graph)':<24}{cold_ms:>16.2f}",
+             f"{'frozen session (warm)':<24}{warm_ms:>16.2f}",
+             f"{'speedup':<24}{cold_ms / warm_ms:>15.2f}x"]
+    emit(capsys, results_dir, "fast_path_cached_scoring", "\n".join(lines))
+
+    # The frozen session skips HSGC propagation — the dominant cost.
+    assert warm_ms < cold_ms

@@ -39,6 +39,8 @@ _EXPERIMENTS = {
     "fig7": "simulated online A/B test (Figure 7)",
     "obs": "observability summary (live demo run, or --input snapshot.jsonl)",
     "chaos": "seeded fault-injection demo (degraded serving + PS training)",
+    "bench": "perf baseline: serving p50/p99 + rps and training examples/sec "
+             "-> BENCH_serving.json / BENCH_training.json",
 }
 
 
@@ -64,6 +66,12 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--input", default=None, metavar="SNAPSHOT",
                         help="for 'obs': render an existing JSONL snapshot "
                              "instead of running the live demo")
+    parser.add_argument("--quick", action="store_true",
+                        help="for 'bench': CI-smoke sizes (seconds, not "
+                             "minutes)")
+    parser.add_argument("--output-dir", default=".", metavar="DIR",
+                        help="for 'bench': where BENCH_*.json are written "
+                             "(default: current directory)")
     return parser
 
 
@@ -226,12 +234,50 @@ def _chaos(args) -> str:
     return "\n".join(lines)
 
 
+def _bench(args) -> str:
+    """Run the perf baseline and report where the JSON landed."""
+    import json
+
+    from .perf import quick_bench_config, run_bench
+
+    config = quick_bench_config(seed=args.seed) if args.quick else None
+    written = run_bench(config, output_dir=args.output_dir)
+    lines = []
+    for name, path in sorted(written.items()):
+        report = json.loads(path.read_text())
+        if name == "serving":
+            lines.append(
+                f"serving: uncached {report['uncached']['mean_ms']:.1f}ms "
+                f"({report['uncached']['requests_per_sec']:.1f} rps)  "
+                f"cached {report['cached']['mean_ms']:.1f}ms "
+                f"({report['cached']['requests_per_sec']:.1f} rps, "
+                f"{report['cached']['speedup_vs_uncached']:.2f}x)  "
+                f"microbatched {report['microbatched']['requests_per_sec']:.1f} rps "
+                f"({report['microbatched']['speedup_vs_concurrent_direct']:.2f}x "
+                f"vs direct, occupancy "
+                f"{report['microbatched']['occupancy_mean']:.1f})  "
+                f"microbatched-uncached "
+                f"{report['microbatched_uncached']['requests_per_sec']:.1f} rps "
+                f"({report['microbatched_uncached']['speedup_vs_uncached']:.2f}x "
+                f"vs uncached)"
+            )
+        else:
+            lines.append(
+                f"training: {report['examples_per_sec']:.1f} examples/sec "
+                f"over {report['epochs']} epoch(s)"
+            )
+        lines.append(f"  -> {path}")
+    return "\n".join(lines)
+
+
 def run_experiment(args) -> str:
     """Dispatch one experiment and return its printable report."""
     if args.experiment == "obs":
         return _obs(args)
     if args.experiment == "chaos":
         return _chaos(args)
+    if args.experiment == "bench":
+        return _bench(args)
     if args.experiment == "table1":
         return _table1(args)
     if args.experiment == "table2":

@@ -65,11 +65,14 @@ class NeuralRanker(Module, Ranker):
     def loss(self, batch: ODBatch):
         """Training loss tensor for one batch."""
 
-    def predict(self, batch: ODBatch) -> tuple[np.ndarray, np.ndarray]:
-        self.eval()
-        with no_grad():
-            p_o, p_d = self.forward(batch)
-        self.train()
+    def predict(self, batch: ODBatch, **forward_kwargs) -> tuple[np.ndarray, np.ndarray]:
+        """Inference forward pass; restores the prior training/eval mode.
+
+        Extra keyword arguments are forwarded to :meth:`forward` (e.g.
+        ODNET's precomputed ``tables`` on the serving fast path).
+        """
+        with self.eval_mode(), no_grad():
+            p_o, p_d = self.forward(batch, **forward_kwargs)
         return np.asarray(p_o.data, dtype=np.float64), np.asarray(
             p_d.data, dtype=np.float64
         )

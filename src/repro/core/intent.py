@@ -70,9 +70,9 @@ class IntentAwareODNET(ODNET):
         self._intent_tensor: Tensor | None = None
 
     # ------------------------------------------------------------------
-    def _joint_query(self, batch: ODBatch) -> Tensor:
-        q_o = self._branch(batch, "o")
-        q_d = self._branch(batch, "d")
+    def _joint_query(self, batch: ODBatch, tables=None) -> Tensor:
+        q_o = self._branch(batch, "o", tables=tables)
+        q_d = self._branch(batch, "d", tables=tables)
         intent = self.intent_head(q_d).softmax(axis=-1)
         self._intent_tensor = intent
         return concat(
@@ -98,11 +98,9 @@ class IntentAwareODNET(ODNET):
     # ------------------------------------------------------------------
     def intent_distribution(self, batch: ODBatch) -> np.ndarray:
         """Per-sample latent intent probabilities ``(B, num_intents)``."""
-        self.eval()
-        with no_grad():
+        with self.eval_mode(), no_grad():
             q_d = self._branch(batch, "d")
             intent = self.intent_head(q_d).softmax(axis=-1)
-        self.train()
         return np.asarray(intent.data)
 
     def dominant_intent(self, batch: ODBatch) -> np.ndarray:

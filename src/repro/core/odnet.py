@@ -109,9 +109,17 @@ class ODNET(NeuralRanker):
         return float(1.0 / (1.0 + np.exp(-self.theta_logit.data)))
 
     def _branch(
-        self, batch: ODBatch, side: str
+        self,
+        batch: ODBatch,
+        side: str,
+        tables: dict[str, tuple[Tensor, Tensor]] | None = None,
     ) -> Tensor:
-        """Compute q^O (side='o') or q^D (side='d') for a batch."""
+        """Compute q^O (side='o') or q^D (side='d') for a batch.
+
+        ``tables`` optionally supplies precomputed HSGC node-embedding
+        tables per side (the serving fast path); without it the full
+        Algorithm 1 propagation runs.
+        """
         if side == "o":
             hsgc, pec = self.origin_hsgc, self.origin_pec
             long_ids, short_ids = batch.long_origins, batch.short_origins
@@ -121,7 +129,10 @@ class ODNET(NeuralRanker):
             long_ids, short_ids = batch.long_destinations, batch.short_destinations
             candidate, xst = batch.candidate_destination, batch.xst_d
 
-        users, cities = hsgc.node_embeddings()
+        if tables is not None:
+            users, cities = tables[side]
+        else:
+            users, cities = hsgc.node_embeddings()
         user_emb = users[batch.user_ids]
         current_emb = cities[batch.current_city]
         candidate_emb = cities[candidate]
@@ -131,15 +142,47 @@ class ODNET(NeuralRanker):
         return pec.build_query(v_l, v_s, user_emb, current_emb,
                                candidate_emb, xst)
 
-    def _joint_query(self, batch: ODBatch) -> Tensor:
-        q_o = self._branch(batch, "o")
-        q_d = self._branch(batch, "d")
+    def _joint_query(
+        self,
+        batch: ODBatch,
+        tables: dict[str, tuple[Tensor, Tensor]] | None = None,
+    ) -> Tensor:
+        q_o = self._branch(batch, "o", tables=tables)
+        q_d = self._branch(batch, "d", tables=tables)
         return concat([q_o, q_d, Tensor(batch.pair_features)], axis=-1)
 
-    def forward(self, batch: ODBatch) -> tuple[Tensor, Tensor]:
+    def forward(
+        self,
+        batch: ODBatch,
+        tables: dict[str, tuple[Tensor, Tensor]] | None = None,
+    ) -> tuple[Tensor, Tensor]:
         """Return (p^O, p^D) probability tensors for a batch."""
-        p_o, p_d = self.joint(self._joint_query(batch))
+        p_o, p_d = self.joint(self._joint_query(batch, tables=tables))
         return p_o, p_d
+
+    # ------------------------------------------------------------------
+    def embedding_tables(self) -> dict[str, tuple[Tensor, Tensor]]:
+        """Materialise both HSGC propagations once (frozen-graph serving).
+
+        Runs Algorithm 1 for the origin-aware and destination-aware
+        components under ``no_grad`` and returns ``{"o": (users, cities),
+        "d": (users, cities)}`` — the tables :meth:`score_pairs` gathers
+        from when passed back via ``tables``.  At inference time the
+        parameters are frozen, so the tables stay valid until the next
+        weight mutation (tracked by :attr:`Module.param_version`);
+        :class:`repro.perf.InferenceSession` owns that invalidation.
+        """
+        with no_grad():
+            return {
+                "o": self.origin_hsgc.node_embeddings(),
+                "d": self.dest_hsgc.node_embeddings(),
+            }
+
+    def freeze(self):
+        """Return a :class:`repro.perf.InferenceSession` over this model."""
+        from ..perf import InferenceSession  # local import avoids cycle
+
+        return InferenceSession(self)
 
     # ------------------------------------------------------------------
     def loss(self, batch: ODBatch) -> Tensor:
@@ -153,20 +196,26 @@ class ODNET(NeuralRanker):
             joint = joint + self.config.theta_prior * (theta - 0.5) ** 2
         return joint
 
-    def score_pairs(self, batch: ODBatch) -> np.ndarray:
-        """Serving score of Eq. 11: theta*p^O + (1-theta)*p^D."""
-        p_o, p_d = self.predict(batch)
+    def score_pairs(
+        self,
+        batch: ODBatch,
+        tables: dict[str, tuple[Tensor, Tensor]] | None = None,
+    ) -> np.ndarray:
+        """Serving score of Eq. 11: theta*p^O + (1-theta)*p^D.
+
+        With ``tables`` (from :meth:`embedding_tables`) the HSGC
+        propagation is skipped and per-candidate work reduces to gathers
+        + PEC + MMoE; the scores are bit-identical to the uncached path.
+        """
+        p_o, p_d = self.predict(batch, tables=tables)
         theta = self.theta
         return theta * p_o + (1.0 - theta) * p_d
 
     # ------------------------------------------------------------------
     def gate_mixtures(self, batch: ODBatch) -> np.ndarray:
         """Inspection helper: MMoE gate mixtures for a batch (tasks, B, E)."""
-        self.eval()
-        with no_grad():
-            mixtures = self.joint.gate_mixtures(self._joint_query(batch))
-        self.train()
-        return mixtures
+        with self.eval_mode(), no_grad():
+            return self.joint.gate_mixtures(self._joint_query(batch))
 
 
 def build_odnet(

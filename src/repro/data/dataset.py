@@ -363,14 +363,27 @@ class ODDataset:
         self, point: DecisionPoint, candidates: list[ODPair]
     ) -> ODBatch:
         """Encode one decision point against a list of candidate OD pairs."""
-        if point.key not in self._encoded:
-            self.register_point(point)
+        return self.batch_for_requests([(point, candidates)])
+
+    def batch_for_requests(
+        self, requests: list[tuple[DecisionPoint, list[ODPair]]]
+    ) -> ODBatch:
+        """Encode several (decision point, candidates) requests as ONE batch.
+
+        The serving micro-batching layer coalesces concurrent requests
+        into a single model forward; rows are laid out request by request
+        in order, so the caller can split the score vector back with the
+        per-request candidate counts.
+        """
         rows = []
-        for pair in candidates:
-            label_o = int(pair.origin == point.target.origin)
-            label_d = int(pair.destination == point.target.destination)
-            rows.append((None, point.key, pair.origin, pair.destination,
-                         label_o, label_d))
+        for point, candidates in requests:
+            if point.key not in self._encoded:
+                self.register_point(point)
+            for pair in candidates:
+                label_o = int(pair.origin == point.target.origin)
+                label_d = int(pair.destination == point.target.destination)
+                rows.append((None, point.key, pair.origin, pair.destination,
+                             label_o, label_d))
         return self._batch_from_rows(rows)
 
     # ------------------------------------------------------------------

@@ -193,6 +193,7 @@ class Worker:
         params = dict(self.model.named_parameters())
         for name, value in weights.items():
             params[name].data = value
+            params[name].bump_version()
 
     def compute_gradients(self, batch) -> tuple[dict[str, np.ndarray], float]:
         """One forward/backward pass; returns (gradients, loss).
@@ -325,6 +326,7 @@ class ParameterServerTrainer:
         params = dict(self.model.named_parameters())
         for name, value in weights.items():
             params[name].data = value
+            params[name].bump_version()
 
     def _resume_from(self, path: pathlib.Path) -> int:
         """Restore server weights from a checkpoint; returns the number of

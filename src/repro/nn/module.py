@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import contextlib
 from typing import Iterator
 
 import numpy as np
@@ -12,10 +13,21 @@ __all__ = ["Parameter", "Module"]
 
 
 class Parameter(Tensor):
-    """A trainable tensor: always requires grad and is tracked by modules."""
+    """A trainable tensor: always requires grad and is tracked by modules.
+
+    Every mutation of the weights (optimizer steps, ``load_state_dict``,
+    parameter-server write-backs) bumps :attr:`version`; serving-time
+    caches key their frozen state on the aggregate
+    :attr:`Module.param_version` and drop it when any parameter moved.
+    """
 
     def __init__(self, data, name: str | None = None):
         super().__init__(data, requires_grad=True, name=name)
+        self.version = 0
+
+    def bump_version(self) -> None:
+        """Record that :attr:`data` was mutated (invalidates caches)."""
+        self.version += 1
 
 
 class Module:
@@ -72,6 +84,20 @@ class Module:
         """Total scalar parameter count (useful for capacity reporting)."""
         return sum(p.size for p in self.parameters())
 
+    @property
+    def param_version(self) -> int:
+        """Monotone counter over all weight mutations (recursively).
+
+        Optimizer steps, :meth:`load_state_dict`, and parameter-server
+        write-backs bump the per-parameter versions, so this sum changes
+        whenever *any* weight changed through a sanctioned mutation path.
+        Serving caches (``repro.perf.InferenceSession``) compare it to
+        decide whether their frozen tables are still valid; code that
+        writes ``param.data`` directly must call
+        :meth:`Parameter.bump_version` itself.
+        """
+        return sum(p.version for p in self.parameters())
+
     def zero_grad(self) -> None:
         for param in self.parameters():
             param.grad = None
@@ -88,6 +114,22 @@ class Module:
         for module in self._modules.values():
             module._set_training(mode)
         return self
+
+    @contextlib.contextmanager
+    def eval_mode(self):
+        """Temporarily switch to eval mode, restoring the prior flag.
+
+        Inference helpers must not assume the model was training before
+        they ran — unconditionally calling ``train()`` afterwards silently
+        flips a model that was already serving in eval mode back to
+        training mode.  This context manager saves and restores the flag.
+        """
+        was_training = self.training
+        self.eval()
+        try:
+            yield self
+        finally:
+            self._set_training(was_training)
 
     # ------------------------------------------------------------------
     def state_dict(self) -> dict[str, np.ndarray]:
@@ -109,6 +151,7 @@ class Module:
                     f"{param.data.shape} vs {state[name].shape}"
                 )
             param.data = state[name].astype(np.float64).copy()
+            param.bump_version()
 
     # ------------------------------------------------------------------
     def __call__(self, *args, **kwargs):

@@ -65,3 +65,4 @@ class Adam:
             m_hat = self._m[i] / bias1
             v_hat = self._v[i] / bias2
             param.data = param.data - self.lr * m_hat / (np.sqrt(v_hat) + self.eps)
+            param.bump_version()

@@ -44,3 +44,4 @@ class SGD:
                 self._velocity[i] = self.momentum * self._velocity[i] + grad
                 grad = self._velocity[i]
             param.data = param.data - self.lr * grad
+            param.bump_version()

@@ -1,0 +1,35 @@
+"""Serving/training performance: frozen-graph cache, micro-batching, bench.
+
+``repro.perf`` is the fast-path subsystem the ROADMAP's "as fast as the
+hardware allows" north star calls for:
+
+- :class:`InferenceSession` — the serving-time HSGC embedding cache,
+  invalidated by the parameter-version counter (``Module.param_version``);
+- :class:`MicroBatcher` — coalesces concurrent requests into one model
+  forward with per-request deadline awareness;
+- :func:`run_bench` — the reproducible perf baseline, writing
+  ``BENCH_serving.json`` / ``BENCH_training.json``
+  (``python -m repro bench``).
+"""
+
+from .bench import (
+    BenchConfig,
+    quick_bench_config,
+    run_bench,
+    run_serving_bench,
+    run_training_bench,
+)
+from .microbatch import MicroBatchConfig, MicroBatcher
+from .session import InferenceSession, supports_fast_path
+
+__all__ = [
+    "InferenceSession",
+    "supports_fast_path",
+    "MicroBatchConfig",
+    "MicroBatcher",
+    "BenchConfig",
+    "quick_bench_config",
+    "run_bench",
+    "run_serving_bench",
+    "run_training_bench",
+]

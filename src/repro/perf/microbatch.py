@@ -1,0 +1,153 @@
+"""Micro-batching: coalesce concurrent requests into one model forward.
+
+Scoring one candidate set per forward pass wastes the vectorised width of
+the model — the per-call overhead (python dispatch, small-matrix numpy
+ops) dominates.  :class:`MicroBatcher` lets concurrent callers pool their
+items: the first arrivals wait up to ``max_wait_ms`` for company, a full
+batch flushes immediately, and the flushing thread runs the supplied
+``execute`` callable over every queued item in one go, handing each
+caller its own slice of the result.
+
+Deadline awareness: a caller may attach a
+:class:`~repro.resilience.Deadline`; its wait budget is capped by the
+deadline's remaining time, so a nearly-expired request never idles in the
+queue — it flushes whatever is pooled and takes the batch with it.
+
+Occupancy is observable through :mod:`repro.obs`: the
+``perf.microbatch.batches`` / ``perf.microbatch.requests`` counters and
+the ``perf.microbatch.occupancy`` histogram say how full the batches ran.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+from ..obs.registry import get_registry
+from ..resilience import Deadline
+
+__all__ = ["MicroBatchConfig", "MicroBatcher"]
+
+
+@dataclass(frozen=True)
+class MicroBatchConfig:
+    """Coalescing knobs.
+
+    ``max_batch`` caps how many requests one forward may carry;
+    ``max_wait_ms`` is the longest a lone request waits for company
+    (``0`` disables pooling — every request flushes immediately, which is
+    the right setting for single-threaded callers).
+    """
+
+    max_batch: int = 8
+    max_wait_ms: float = 2.0
+
+    def __post_init__(self):
+        if self.max_batch < 1:
+            raise ValueError(f"max_batch must be >= 1, got {self.max_batch}")
+        if self.max_wait_ms < 0:
+            raise ValueError(
+                f"max_wait_ms must be >= 0, got {self.max_wait_ms}"
+            )
+
+
+class _Pending:
+    """One queued request: its item, deadline, and completion plumbing."""
+
+    __slots__ = ("item", "deadline", "done", "claimed", "result", "error")
+
+    def __init__(self, item, deadline: Deadline | None):
+        self.item = item
+        self.deadline = deadline
+        self.done = threading.Event()
+        self.claimed = False
+        self.result = None
+        self.error: BaseException | None = None
+
+
+class MicroBatcher:
+    """Pools concurrent :meth:`submit` calls into ``execute`` batches.
+
+    ``execute`` receives the list of queued items (in arrival order) and
+    must return one result per item, in order.  If it raises, every
+    caller in the batch sees the exception — the serving platform's
+    per-request fallback ladder then degrades each request individually.
+    """
+
+    def __init__(
+        self,
+        execute: Callable[[list], Sequence],
+        config: MicroBatchConfig | None = None,
+    ):
+        self._execute = execute
+        self.config = config or MicroBatchConfig()
+        self._lock = threading.Lock()
+        self._queue: list[_Pending] = []
+        self.batches = 0
+        self.batched_requests = 0
+
+    # ------------------------------------------------------------------
+    def _drain(self) -> list[_Pending]:
+        """Claim the current queue (caller must hold the lock)."""
+        batch, self._queue = self._queue, []
+        for pending in batch:
+            pending.claimed = True
+        return batch
+
+    def _wait_budget_s(self, pending: _Pending) -> float:
+        wait_ms = self.config.max_wait_ms
+        if pending.deadline is not None:
+            wait_ms = min(wait_ms, pending.deadline.remaining_ms())
+        return max(0.0, wait_ms) / 1000.0
+
+    def _run(self, batch: list[_Pending]) -> None:
+        try:
+            results = self._execute([pending.item for pending in batch])
+            if len(results) != len(batch):
+                raise RuntimeError(
+                    f"micro-batch execute returned {len(results)} results "
+                    f"for {len(batch)} items"
+                )
+            for pending, result in zip(batch, results):
+                pending.result = result
+        except BaseException as exc:
+            for pending in batch:
+                pending.error = exc
+        finally:
+            for pending in batch:
+                pending.done.set()
+        self.batches += 1
+        self.batched_requests += len(batch)
+        registry = get_registry()
+        if registry.enabled:
+            registry.counter("perf.microbatch.batches").inc()
+            registry.counter("perf.microbatch.requests").inc(len(batch))
+            registry.histogram("perf.microbatch.occupancy").observe(len(batch))
+
+    # ------------------------------------------------------------------
+    def submit(self, item, deadline: Deadline | None = None):
+        """Queue ``item`` and return its result once a batch carries it."""
+        pending = _Pending(item, deadline)
+        batch: list[_Pending] | None = None
+        with self._lock:
+            self._queue.append(pending)
+            if len(self._queue) >= self.config.max_batch:
+                batch = self._drain()
+        if batch is None:
+            # Wait for company — another thread may flush us meanwhile.
+            budget = self._wait_budget_s(pending)
+            if budget > 0:
+                pending.done.wait(budget)
+            if not pending.done.is_set():
+                with self._lock:
+                    if not pending.claimed:
+                        batch = self._drain()
+        if batch is not None:
+            self._run(batch)
+        # Either we ran our own batch (done is now set) or another thread
+        # claimed us and is mid-execute — wait for it to deliver.
+        pending.done.wait()
+        if pending.error is not None:
+            raise pending.error
+        return pending.result

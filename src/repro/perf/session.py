@@ -1,0 +1,113 @@
+"""Frozen-graph inference session: the serving-time HSGC embedding cache.
+
+At inference time ODNET's parameters are frozen, yet the naive serving
+path re-runs the full K-step HSGC propagation (Algorithm 1) for *both*
+aware sides on every ``score_pairs`` call — work whose result cannot
+change between requests.  :class:`InferenceSession` materialises the
+origin/destination user/city embedding tables once and reuses them until
+the model's weights actually move, the same precompute-then-serve split
+used by production OD systems (Fliggy's deep matching; STP-UDGAT's static
+graph attention).
+
+Invalidation contract
+---------------------
+The session keys its tables on :attr:`repro.nn.Module.param_version`, a
+monotone counter bumped by every sanctioned weight mutation: optimizer
+steps (:class:`~repro.optim.Adam`, :class:`~repro.optim.SGD`),
+``Module.load_state_dict`` (and therefore
+:func:`~repro.train.load_checkpoint` resumes), and parameter-server
+write-backs.
+A stale version triggers one recompute on the next request — training and
+serving can interleave and serving never sees stale embeddings.  Code
+that assigns ``param.data`` directly bypasses the counter and must call
+``Parameter.bump_version()`` (or :meth:`InferenceSession.invalidate`).
+
+Cache traffic is observable: ``perf.cache_hits`` / ``perf.cache_misses``
+counters through the active :mod:`repro.obs` registry, mirrored on the
+session itself as :attr:`hits` / :attr:`misses`.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import numpy as np
+
+from ..obs.registry import get_registry
+
+__all__ = ["InferenceSession", "supports_fast_path"]
+
+
+def supports_fast_path(model) -> bool:
+    """True when ``model`` exposes the frozen-table protocol.
+
+    The protocol is ``embedding_tables()`` plus a ``score_pairs(batch,
+    tables=...)`` that consumes its result — ODNET and its subclasses;
+    baselines without an HSGC fall back to the plain path.
+    """
+    return hasattr(model, "embedding_tables")
+
+
+class InferenceSession:
+    """Serve ``score_pairs`` through cached HSGC node-embedding tables.
+
+    >>> session = InferenceSession(model)        # doctest: +SKIP
+    >>> session.score_pairs(batch)               # doctest: +SKIP
+
+    Scores are bit-identical to ``model.score_pairs(batch)``: the cached
+    tables are the exact tensors the uncached path would recompute, and
+    every downstream op (gathers, PEC, MMoE, Eq. 11 blend) is shared.
+    """
+
+    def __init__(self, model):
+        if not supports_fast_path(model):
+            raise TypeError(
+                f"{type(model).__name__} does not expose embedding_tables(); "
+                "the frozen-graph fast path needs an HSGC-style model"
+            )
+        self.model = model
+        self.hits = 0
+        self.misses = 0
+        self._lock = threading.Lock()
+        self._tables = None
+        self._version: int | None = None
+
+    # ------------------------------------------------------------------
+    @property
+    def cached_version(self) -> int | None:
+        """The ``param_version`` the cached tables were computed at."""
+        return self._version
+
+    def invalidate(self) -> None:
+        """Drop the cached tables (next call recomputes)."""
+        with self._lock:
+            self._tables = None
+            self._version = None
+
+    def tables(self):
+        """Return fresh-or-cached embedding tables for the current weights."""
+        version = self.model.param_version
+        with self._lock:
+            if self._tables is not None and version == self._version:
+                self.hits += 1
+                registry = get_registry()
+                if registry.enabled:
+                    registry.counter("perf.cache_hits").inc()
+                return self._tables
+        # Recompute outside the lock: propagation is the expensive part
+        # and concurrent first requests may both compute (both results
+        # are identical; last writer wins).
+        tables = self.model.embedding_tables()
+        with self._lock:
+            self._tables = tables
+            self._version = version
+            self.misses += 1
+        registry = get_registry()
+        if registry.enabled:
+            registry.counter("perf.cache_misses").inc()
+        return tables
+
+    # ------------------------------------------------------------------
+    def score_pairs(self, batch) -> np.ndarray:
+        """Eq. 11 scores through the cached tables (bit-identical)."""
+        return self.model.score_pairs(batch, tables=self.tables())

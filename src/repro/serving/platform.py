@@ -36,6 +36,7 @@ from ..data.schema import ODPair, UserHistory
 from ..obs.profiler import Profiler
 from ..obs.registry import get_registry
 from ..obs.tracing import get_tracer
+from ..perf.microbatch import MicroBatchConfig, MicroBatcher
 from ..resilience import (
     CircuitBreaker,
     Deadline,
@@ -104,6 +105,8 @@ class FlightRecommender:
         recall_config: RecallConfig | None = None,
         profiler: Profiler | None = None,
         resilience: ServingResilienceConfig | None = None,
+        use_cache: bool = True,
+        microbatch: MicroBatchConfig | None = None,
     ):
         self.dataset = dataset
         self.features = RealTimeFeatureService(dataset.source.bookings_by_user)
@@ -112,7 +115,7 @@ class FlightRecommender:
             dataset.route_popularity,
             recall_config,
         )
-        self.ranking = RankingService(model, dataset)
+        self.ranking = RankingService(model, dataset, use_cache=use_cache)
         self.profiler = profiler
         self.resilience = resilience or ServingResilienceConfig()
         self.rank_breaker = CircuitBreaker(
@@ -122,6 +125,29 @@ class FlightRecommender:
             min_calls=self.resilience.breaker_min_calls,
             recovery_s=self.resilience.breaker_recovery_s,
         )
+        # Optional micro-batching: concurrent recommend() calls pool
+        # their rank stage into one score_pairs forward.
+        self.batcher: MicroBatcher | None = None
+        if microbatch is not None:
+            self.batcher = MicroBatcher(self._execute_rank_batch, microbatch)
+
+    def _execute_rank_batch(
+        self, items: list[tuple[UserHistory, list[ODPair], int, int]]
+    ) -> list[list[ScoredPair]]:
+        """Micro-batch executor: one rank_many forward for pooled items.
+
+        Every pooled request is ranked to its own ``k``; ``rank_many``
+        scores the union in one forward, so the per-request cut happens
+        after the shared model pass.
+        """
+        max_k = max(k for _, _, _, k in items)
+        ranked = self.ranking.rank_many(
+            [(history, candidates, day) for history, candidates, day, _ in items],
+            k=max_k,
+        )
+        return [
+            flights[:k] for flights, (_, _, _, k) in zip(ranked, items)
+        ]
 
     # ------------------------------------------------------------------
     # Fallback producers (the degradation ladder)
@@ -222,7 +248,21 @@ class FlightRecommender:
                 self._observe_stage(deadline, "recall", stage_start)
 
             # Stage 3 — rank: retry + breaker + deadline; degrade to
-            # popularity ordering when the model cannot score.
+            # popularity ordering when the model cannot score.  With a
+            # micro-batcher the forward is shared with concurrent
+            # requests; a failed batch degrades each caller individually.
+            if self.batcher is not None:
+                request_deadline = deadline
+
+                def _rank():
+                    return self.batcher.submit(
+                        (history, candidates, day, k),
+                        deadline=request_deadline,
+                    )
+            else:
+                def _rank():
+                    return self.ranking.rank(history, candidates, day=day, k=k)
+
             with tracer.span("rank") as rank_span:
                 stage_start = time.perf_counter()
                 ranked, event = run_with_fallback(
@@ -232,9 +272,7 @@ class FlightRecommender:
                         retry=self.resilience.retry,
                         breaker=self.rank_breaker,
                     ),
-                    lambda: self.ranking.rank(
-                        history, candidates, day=day, k=k
-                    ),
+                    _rank,
                     deadline=deadline,
                 )
                 if event is not None:
@@ -265,6 +303,74 @@ class FlightRecommender:
             degraded=bool(events),
             fallbacks=events,
         )
+
+    # ------------------------------------------------------------------
+    def recommend_many(
+        self,
+        requests: list[tuple[int, int]],
+        k: int = 10,
+    ) -> list[RecommendationResponse]:
+        """Serve several ``(user_id, day)`` requests with ONE rank forward.
+
+        The synchronous batch API: features and recall run per request
+        (they are per-user work), then every candidate set is scored in a
+        single micro-batched ``rank_many`` pass.  Results match
+        :meth:`recommend` called request by request; a failing batch
+        degrades every request to popularity ordering.
+        """
+        if not requests:
+            return []
+        prepared = []
+        for user_id, day in requests:
+            events: list[FallbackEvent] = []
+            try:
+                history = self.features.user_history(user_id, day)
+            except Exception:
+                events.append(record_fallback("features", "cold_start"))
+                history = self.cold_start_history(user_id)
+            candidates, event = run_with_fallback(
+                FallbackPolicy(
+                    site="recall",
+                    fallback=lambda: self.recall.popular_pairs(),
+                ),
+                lambda: self.recall.candidate_pairs(history),
+            )
+            if event is None and not candidates:
+                event = record_fallback("recall", "empty")
+                candidates = self.recall.popular_pairs()
+            if event is not None:
+                events.append(event)
+            prepared.append((user_id, day, history, candidates, events))
+
+        try:
+            ranked_lists = self.ranking.rank_many(
+                [(history, candidates, day)
+                 for _, day, history, candidates, _ in prepared],
+                k=k,
+            )
+        except Exception:
+            ranked_lists = []
+            for _, _, _, candidates, events in prepared:
+                events.append(record_fallback("rank", "batch_error"))
+                ranked_lists.append(self.popularity_rank(candidates, k))
+
+        registry = get_registry()
+        responses = []
+        for (user_id, day, _, candidates, events), flights in zip(
+            prepared, ranked_lists
+        ):
+            registry.counter("serving.requests").inc()
+            registry.counter("serving.candidates").inc(len(candidates))
+            if events:
+                registry.counter("serving.degraded_requests").inc()
+            responses.append(RecommendationResponse(
+                user_id=user_id,
+                day=day,
+                flights=flights,
+                degraded=bool(events),
+                fallbacks=events,
+            ))
+        return responses
 
     @staticmethod
     def _observe_stage(

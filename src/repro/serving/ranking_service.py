@@ -2,6 +2,19 @@
 
 RSS holds the trained model and "computes the scores (or probabilities) of
 every candidate OD pair"; the top-k pairs become the recommendation list.
+
+Serving fast path: models exposing the frozen-table protocol (ODNET and
+its subclasses) are scored through a
+:class:`~repro.perf.InferenceSession`, which caches the HSGC
+node-embedding tables across requests and invalidates them when the
+weights move (see :mod:`repro.perf.session` for the contract).  Pass
+``use_cache=False`` to force the naive re-propagating path (the
+benchmark baseline).
+
+Tie determinism: candidates with exactly equal scores are returned in
+candidate order — ``np.argsort(-scores, kind="mergesort")`` is stable,
+and a regression test pins this so future vectorisation of the fast path
+cannot silently reorder ties.
 """
 
 from __future__ import annotations
@@ -15,6 +28,7 @@ from ..data.schema import ODPair, UserHistory
 from ..data.synthetic import DecisionPoint
 from ..obs.registry import get_registry
 from ..obs.tracing import get_tracer
+from ..perf.session import InferenceSession, supports_fast_path
 from ..resilience.chaos import get_fault_injector
 
 __all__ = ["ScoredPair", "RankingService"]
@@ -31,9 +45,30 @@ class ScoredPair:
 class RankingService:
     """Scores candidate OD pairs with a fitted ranker (Eq. 11 for ODNET)."""
 
-    def __init__(self, model, dataset: ODDataset):
+    def __init__(self, model, dataset: ODDataset, use_cache: bool = True):
         self.model = model
         self.dataset = dataset
+        self.session: InferenceSession | None = None
+        if use_cache and supports_fast_path(model):
+            self.session = InferenceSession(model)
+
+    def _score(self, batch) -> np.ndarray:
+        if self.session is not None:
+            scores = self.session.score_pairs(batch)
+        else:
+            scores = self.model.score_pairs(batch)
+        return np.asarray(scores, dtype=np.float64)
+
+    @staticmethod
+    def _top_k(
+        candidates: list[ODPair], scores: np.ndarray, k: int
+    ) -> list[ScoredPair]:
+        # Stable sort: equal scores keep candidate order (tie determinism).
+        order = np.argsort(-scores, kind="mergesort")[:k]
+        return [
+            ScoredPair(pair=candidates[int(i)], score=float(scores[int(i)]))
+            for i in order
+        ]
 
     def rank(
         self,
@@ -57,10 +92,52 @@ class RankingService:
             batch = self.dataset.batch_for_candidates(point, candidates)
         with tracer.span("rank.score"):
             get_fault_injector().inject("rank.score")
-            scores = np.asarray(self.model.score_pairs(batch), dtype=np.float64)
+            scores = self._score(batch)
         get_registry().counter("ranking.scored_pairs").inc(len(candidates))
-        order = np.argsort(-scores, kind="mergesort")[:k]
-        return [
-            ScoredPair(pair=candidates[int(i)], score=float(scores[int(i)]))
-            for i in order
-        ]
+        return self._top_k(candidates, scores, k)
+
+    def rank_many(
+        self,
+        requests: list[tuple[UserHistory, list[ODPair], int]],
+        k: int = 10,
+    ) -> list[list[ScoredPair]]:
+        """Rank several ``(history, candidates, day)`` requests in ONE
+        model forward — the micro-batched scoring path.
+
+        Results are per-request and equivalent to calling :meth:`rank`
+        request by request: same encoding, same stable top-k.  Scores may
+        differ from the one-request path in the last float bits (BLAS
+        picks different summation orders for different batch shapes);
+        ties are still broken by candidate order.
+        """
+        if not requests:
+            return []
+        tracer = get_tracer()
+        encoded = []
+        for history, candidates, day in requests:
+            if candidates:
+                point = DecisionPoint(
+                    history=history, target=candidates[0], day=day
+                )
+                encoded.append((point, candidates))
+        with tracer.span("rank.batch"):
+            batch = (
+                self.dataset.batch_for_requests(encoded) if encoded else None
+            )
+        with tracer.span("rank.score"):
+            get_fault_injector().inject("rank.score")
+            scores = self._score(batch) if batch is not None else None
+        results: list[list[ScoredPair]] = []
+        offset = 0
+        for history, candidates, day in requests:
+            if not candidates:
+                results.append([])
+                continue
+            request_scores = scores[offset:offset + len(candidates)]
+            offset += len(candidates)
+            results.append(self._top_k(candidates, request_scores, k))
+        registry = get_registry()
+        registry.counter("ranking.scored_pairs").inc(
+            sum(len(candidates) for _, candidates, _ in requests)
+        )
+        return results

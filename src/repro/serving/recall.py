@@ -110,20 +110,26 @@ class CandidateRecall:
     # ------------------------------------------------------------------
     def popular_pairs(self, limit: int | None = None) -> list[ODPair]:
         """Globally popular OD pairs by route mass — the personalisation-free
-        candidate set used when per-user recall is unavailable."""
+        candidate set used when per-user recall is unavailable.
+
+        Self-pairs (origin == destination) are masked out *before* the
+        top-``limit`` slice, so a popularity matrix with heavy diagonal
+        mass can never starve the degradation ladder's bottom rung: the
+        result always has exactly ``limit`` pairs (or every off-diagonal
+        pair when fewer exist), ordered by mass with stable row-major tie
+        order.
+        """
         if limit is None:
             limit = self.config.max_pairs
-        flat = np.argsort(-self.route_popularity, axis=None)[: limit + 1]
-        num_cities = self.route_popularity.shape[1]
-        pairs = []
-        for index in flat:
-            origin, destination = divmod(int(index), num_cities)
-            if origin == destination:
-                continue
-            pairs.append(ODPair(origin, destination))
-            if len(pairs) >= limit:
-                break
-        return pairs
+        num_origins, num_cities = self.route_popularity.shape
+        masked = self.route_popularity.copy()
+        np.fill_diagonal(masked, -np.inf)
+        off_diagonal = masked.size - min(num_origins, num_cities)
+        limit = min(limit, off_diagonal)
+        flat = np.argsort(-masked, axis=None, kind="stable")[:limit]
+        return [
+            ODPair(*divmod(int(index), num_cities)) for index in flat
+        ]
 
     def popularity_scores(self, pairs: list[ODPair]) -> np.ndarray:
         """Route-popularity score per pair (the fallback ranking key)."""

@@ -16,6 +16,7 @@ Gradient correctness is verified against central finite differences in
 from __future__ import annotations
 
 import contextlib
+import threading
 from typing import Callable, Iterable, Sequence
 
 import numpy as np
@@ -31,24 +32,27 @@ __all__ = [
     "maximum",
 ]
 
-_GRAD_ENABLED = True
+# Grad mode is per-thread: concurrent serving threads each run under
+# their own no_grad() without clobbering a trainer thread's graph
+# construction (a process-global flag races — the last thread to exit
+# could leave gradients disabled for everyone).
+_GRAD_STATE = threading.local()
 
 
 @contextlib.contextmanager
 def no_grad():
     """Context manager that disables graph construction (inference mode)."""
-    global _GRAD_ENABLED
-    previous = _GRAD_ENABLED
-    _GRAD_ENABLED = False
+    previous = is_grad_enabled()
+    _GRAD_STATE.enabled = False
     try:
         yield
     finally:
-        _GRAD_ENABLED = previous
+        _GRAD_STATE.enabled = previous
 
 
 def is_grad_enabled() -> bool:
     """Return whether operations currently record gradients."""
-    return _GRAD_ENABLED
+    return getattr(_GRAD_STATE, "enabled", True)
 
 
 def _unbroadcast(grad: np.ndarray, shape: tuple[int, ...]) -> np.ndarray:
@@ -158,7 +162,9 @@ class Tensor:
         parents: Sequence["Tensor"],
         backward: Callable[[np.ndarray], None],
     ) -> "Tensor":
-        requires = _GRAD_ENABLED and any(p.requires_grad for p in parents)
+        requires = is_grad_enabled() and any(
+            p.requires_grad for p in parents
+        )
         out = Tensor(data, requires_grad=requires)
         if requires:
             out._parents = tuple(parents)

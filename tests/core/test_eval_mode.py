@@ -1,0 +1,126 @@
+"""Inference helpers must not flip a model's train/eval state.
+
+Regression for a real bug: ``gate_mixtures`` (and friends) called
+``self.eval()`` for a read-only diagnostic and left the model in eval
+mode — a mid-training introspection call would silently corrupt the rest
+of the run.  Every inference-flavoured entry point now saves and
+restores the prior flag via ``Module.eval_mode()``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import build_odnet
+from repro.nn import Linear
+from repro.serving import CandidateRecall
+
+from ..conftest import TINY_MODEL_CONFIG
+
+
+@pytest.fixture()
+def model(od_dataset):
+    return build_odnet(od_dataset, TINY_MODEL_CONFIG)
+
+
+@pytest.fixture()
+def batch(od_dataset):
+    recall = CandidateRecall(
+        od_dataset.source.world, od_dataset.route_popularity
+    )
+    point = od_dataset.source.test_points[0]
+    return od_dataset.batch_for_candidates(
+        point, recall.candidate_pairs(point.history)
+    )
+
+
+class TestEvalModeContextmanager:
+    def test_restores_training(self):
+        module = Linear(4, 2, np.random.default_rng(0))
+        module.train()
+        with module.eval_mode():
+            assert not module.training
+        assert module.training
+
+    def test_restores_eval(self):
+        module = Linear(4, 2, np.random.default_rng(0))
+        module.eval()
+        with module.eval_mode():
+            assert not module.training
+        assert not module.training
+
+    def test_restores_on_exception(self):
+        module = Linear(4, 2, np.random.default_rng(0))
+        module.train()
+        with pytest.raises(RuntimeError):
+            with module.eval_mode():
+                raise RuntimeError("mid-inference failure")
+        assert module.training
+
+    def test_nested(self):
+        module = Linear(4, 2, np.random.default_rng(0))
+        module.train()
+        with module.eval_mode():
+            with module.eval_mode():
+                assert not module.training
+            assert not module.training
+        assert module.training
+
+
+@pytest.mark.parametrize("start_training", [True, False])
+class TestInferenceEntryPoints:
+    """Each read-only entry point leaves the flag exactly as it found it."""
+
+    def _set(self, model, start_training):
+        model.train() if start_training else model.eval()
+
+    def test_gate_mixtures(self, model, batch, start_training):
+        self._set(model, start_training)
+        mixtures = model.gate_mixtures(batch)
+        assert model.training is start_training
+        np.testing.assert_allclose(  # (tasks, B, experts) softmaxes
+            mixtures.sum(axis=-1), 1.0, atol=1e-5
+        )
+
+    def test_predict(self, model, batch, start_training):
+        self._set(model, start_training)
+        model.predict(batch)
+        assert model.training is start_training
+
+    def test_score_pairs(self, model, batch, start_training):
+        self._set(model, start_training)
+        model.score_pairs(batch)
+        assert model.training is start_training
+
+    def test_intent_distribution(self, od_dataset, batch, start_training):
+        from repro.core.intent import IntentAwareODNET
+
+        model = IntentAwareODNET(od_dataset, TINY_MODEL_CONFIG)
+        self._set(model, start_training)
+        model.intent_distribution(batch)
+        assert model.training is start_training
+
+
+class TestNoOtherBareEvalFlips:
+    def test_no_unpaired_eval_calls_in_inference_helpers(self):
+        """Audit: nothing outside ``eval_mode()``'s own implementation
+        (nn/module.py) calls ``self.eval()`` — the save/restore wrapper
+        is the only sanctioned way to flip into eval temporarily."""
+        import pathlib
+        import re
+
+        root = pathlib.Path(__file__).resolve().parents[2] / "src" / "repro"
+        offenders = []
+        for path in root.rglob("*.py"):
+            if path.name == "module.py" and path.parent.name == "nn":
+                continue
+            for lineno, line in enumerate(
+                path.read_text().splitlines(), 1
+            ):
+                if re.search(r"\bself\.eval\(\)", line):
+                    offenders.append(f"{path.name}:{lineno}")
+        assert not offenders, (
+            "bare self.eval() flips model state; use self.eval_mode(): "
+            f"{offenders}"
+        )

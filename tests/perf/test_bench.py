@@ -1,0 +1,143 @@
+"""Bench harness: report shape, JSON artifacts, and the CI validator."""
+
+from __future__ import annotations
+
+import importlib.util
+import json
+import pathlib
+
+import pytest
+
+from repro.perf import (
+    BenchConfig,
+    quick_bench_config,
+    run_bench,
+    run_serving_bench,
+    run_training_bench,
+)
+
+TINY_BENCH = BenchConfig(
+    num_users=60, num_cities=16, requests=4, warmup=1, k=3,
+    microbatch_size=2, concurrency=2, microbatch_wait_ms=5.0, repeats=1,
+    train_users=40, train_cities=12, train_epochs=1, seed=0,
+)
+
+
+def _load_check_bench():
+    path = (
+        pathlib.Path(__file__).resolve().parents[2]
+        / "tools" / "check_bench.py"
+    )
+    spec = importlib.util.spec_from_file_location("check_bench", path)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+class TestConfig:
+    def test_quick_config_is_smaller(self):
+        full, quick = BenchConfig(), quick_bench_config()
+        assert quick.num_users < full.num_users
+        assert quick.requests <= full.requests
+
+    @pytest.mark.parametrize("kwargs", [
+        {"requests": 0}, {"warmup": -1}, {"repeats": 0},
+    ])
+    def test_rejects_bad_sizes(self, kwargs):
+        with pytest.raises(ValueError):
+            BenchConfig(**kwargs)
+
+
+class TestServingBench:
+    @pytest.fixture(scope="class")
+    def report(self):
+        return run_serving_bench(TINY_BENCH)
+
+    def test_sections_present(self, report):
+        for section in (
+            "uncached", "cached", "concurrent_direct", "microbatched",
+            "microbatched_uncached", "cache",
+        ):
+            assert section in report
+
+    def test_latency_stats(self, report):
+        for section in ("uncached", "cached"):
+            stats = report[section]
+            assert stats["requests"] == TINY_BENCH.requests
+            assert 0 < stats["p50_ms"] <= stats["p99_ms"] <= stats["max_ms"]
+            assert stats["requests_per_sec"] > 0
+
+    def test_speedup_recorded(self, report):
+        assert report["cached"]["speedup_vs_uncached"] > 0
+        assert report["microbatched"]["speedup_vs_concurrent_direct"] > 0
+
+    def test_cache_traffic(self, report):
+        # One miss to build the tables, hits for every later request.
+        assert report["cache"]["misses"] == 1
+        assert report["cache"]["hits"] > 0
+        assert report["cache"]["obs_misses"] == report["cache"]["misses"]
+
+    def test_microbatch_occupancy(self, report):
+        micro = report["microbatched"]
+        assert micro["batches"] >= 1
+        assert 1 <= micro["occupancy_mean"] <= TINY_BENCH.microbatch_size
+
+
+class TestTrainingBench:
+    def test_report_shape(self):
+        report = run_training_bench(TINY_BENCH)
+        assert report["benchmark"] == "training"
+        assert report["examples_per_sec"] > 0
+        assert report["elapsed_s"] > 0
+        assert len(report["epoch_losses"]) == TINY_BENCH.train_epochs
+
+
+class TestArtifacts:
+    @pytest.fixture(scope="class")
+    def written(self, tmp_path_factory):
+        return run_bench(TINY_BENCH, tmp_path_factory.mktemp("bench"))
+
+    def test_writes_both_files(self, written):
+        assert sorted(written) == ["serving", "training"]
+        for path in written.values():
+            assert path.exists()
+
+    def test_json_round_trips(self, written):
+        for name, path in written.items():
+            report = json.loads(path.read_text())
+            assert report["benchmark"] == name
+            assert report["schema_version"] >= 1
+            assert "generated_unix" in report
+
+    def test_validator_accepts_real_output(self, written):
+        check_bench = _load_check_bench()
+        for path in written.values():
+            assert "ok" in check_bench.check(str(path))
+
+    def test_validator_rejects_malformed(self, tmp_path):
+        check_bench = _load_check_bench()
+        bad = tmp_path / "BENCH_serving.json"
+
+        bad.write_text("{not json")
+        with pytest.raises(SystemExit, match="not valid JSON"):
+            check_bench.check(str(bad))
+
+        bad.write_text(json.dumps({"benchmark": "serving"}))
+        with pytest.raises(SystemExit, match="missing top-level"):
+            check_bench.check(str(bad))
+
+        bad.write_text(json.dumps({
+            "benchmark": "serving", "schema_version": 1, "config": {},
+        }))
+        with pytest.raises(SystemExit, match="missing section"):
+            check_bench.check(str(bad))
+
+    def test_validator_rejects_nonpositive_throughput(self, written,
+                                                      tmp_path):
+        check_bench = _load_check_bench()
+        report = json.loads(written["serving"].read_text())
+        report["cached"]["requests_per_sec"] = 0.0
+        bad = tmp_path / "BENCH_serving.json"
+        bad.write_text(json.dumps(report))
+        with pytest.raises(SystemExit, match="must be > 0"):
+            check_bench.check(str(bad))

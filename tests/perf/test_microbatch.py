@@ -1,0 +1,175 @@
+"""MicroBatcher: coalescing, deadlines, error fan-out, occupancy metrics."""
+
+from __future__ import annotations
+
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
+
+import pytest
+
+from repro.obs import use_observability
+from repro.perf import MicroBatchConfig, MicroBatcher
+from repro.resilience import Deadline
+
+
+def doubler(items):
+    return [item * 2 for item in items]
+
+
+class TestConfig:
+    def test_defaults(self):
+        config = MicroBatchConfig()
+        assert config.max_batch >= 1 and config.max_wait_ms >= 0
+
+    @pytest.mark.parametrize("kwargs", [
+        {"max_batch": 0}, {"max_batch": -1}, {"max_wait_ms": -0.5},
+    ])
+    def test_rejects_bad_knobs(self, kwargs):
+        with pytest.raises(ValueError):
+            MicroBatchConfig(**kwargs)
+
+
+class TestCoalescing:
+    def test_single_request_flushes_after_wait(self):
+        batcher = MicroBatcher(
+            doubler, MicroBatchConfig(max_batch=8, max_wait_ms=1.0)
+        )
+        assert batcher.submit(21) == 42
+        assert batcher.batches == 1 and batcher.batched_requests == 1
+
+    def test_full_batch_flushes_immediately(self):
+        sizes = []
+
+        def execute(items):
+            sizes.append(len(items))
+            return doubler(items)
+
+        batcher = MicroBatcher(
+            execute, MicroBatchConfig(max_batch=4, max_wait_ms=5000.0)
+        )
+        start = time.perf_counter()
+        with ThreadPoolExecutor(max_workers=4) as pool:
+            futures = [pool.submit(batcher.submit, i) for i in range(4)]
+            results = sorted(f.result() for f in futures)
+        # Did not sit out the 5s wait: the 4th arrival flushed the batch.
+        assert time.perf_counter() - start < 2.0
+        assert results == [0, 2, 4, 6]
+        assert sizes == [4]
+
+    def test_every_caller_gets_its_own_result(self):
+        batcher = MicroBatcher(
+            doubler, MicroBatchConfig(max_batch=8, max_wait_ms=2.0)
+        )
+        with ThreadPoolExecutor(max_workers=8) as pool:
+            futures = {
+                i: pool.submit(batcher.submit, i) for i in range(24)
+            }
+            for i, future in futures.items():
+                assert future.result() == i * 2
+        assert batcher.batched_requests == 24
+
+    def test_zero_wait_disables_pooling(self):
+        batcher = MicroBatcher(
+            doubler, MicroBatchConfig(max_batch=8, max_wait_ms=0.0)
+        )
+        assert batcher.submit(3) == 6
+        assert batcher.batches == 1
+
+
+class TestDeadline:
+    def test_deadline_caps_the_wait(self):
+        batcher = MicroBatcher(
+            doubler, MicroBatchConfig(max_batch=8, max_wait_ms=10_000.0)
+        )
+        start = time.perf_counter()
+        result = batcher.submit(5, deadline=Deadline(budget_ms=30.0))
+        elapsed_ms = (time.perf_counter() - start) * 1000.0
+        assert result == 10
+        assert elapsed_ms < 5_000.0  # nowhere near max_wait_ms
+
+    def test_expired_deadline_flushes_immediately(self):
+        deadline = Deadline(budget_ms=0.001)
+        time.sleep(0.01)
+        batcher = MicroBatcher(
+            doubler, MicroBatchConfig(max_batch=8, max_wait_ms=10_000.0)
+        )
+        assert batcher.submit(1, deadline=deadline) == 2
+
+
+class TestErrors:
+    def test_execute_error_reaches_every_caller(self):
+        def explode(items):
+            raise RuntimeError("scorer down")
+
+        batcher = MicroBatcher(
+            explode, MicroBatchConfig(max_batch=3, max_wait_ms=2.0)
+        )
+        with ThreadPoolExecutor(max_workers=3) as pool:
+            futures = [pool.submit(batcher.submit, i) for i in range(3)]
+            for future in futures:
+                with pytest.raises(RuntimeError, match="scorer down"):
+                    future.result()
+
+    def test_wrong_result_count_is_an_error(self):
+        batcher = MicroBatcher(
+            lambda items: [], MicroBatchConfig(max_batch=1, max_wait_ms=0.0)
+        )
+        with pytest.raises(RuntimeError, match="0 results"):
+            batcher.submit("x")
+
+    def test_batcher_survives_a_failed_batch(self):
+        calls = []
+
+        def flaky(items):
+            calls.append(len(items))
+            if len(calls) == 1:
+                raise ValueError("first batch dies")
+            return doubler(items)
+
+        batcher = MicroBatcher(
+            flaky, MicroBatchConfig(max_batch=1, max_wait_ms=0.0)
+        )
+        with pytest.raises(ValueError):
+            batcher.submit(1)
+        assert batcher.submit(2) == 4
+
+
+class TestObservability:
+    def test_occupancy_counters(self):
+        with use_observability() as (registry, _tracer):
+            batcher = MicroBatcher(
+                doubler, MicroBatchConfig(max_batch=3, max_wait_ms=2.0)
+            )
+            with ThreadPoolExecutor(max_workers=3) as pool:
+                futures = [pool.submit(batcher.submit, i) for i in range(6)]
+                for future in futures:
+                    future.result()
+            assert registry.counter("perf.microbatch.requests").value == 6
+            assert registry.counter("perf.microbatch.batches").value >= 2
+            occupancy = registry.histogram("perf.microbatch.occupancy")
+            assert 1 <= occupancy.max <= 3
+
+
+class TestConcurrencySafety:
+    def test_no_request_lost_under_contention(self):
+        """Hammer the batcher from many threads; every item must come
+        back exactly once with its own answer."""
+        barrier = threading.Barrier(8)
+
+        def execute(items):
+            return [item + 1000 for item in items]
+
+        batcher = MicroBatcher(
+            execute, MicroBatchConfig(max_batch=4, max_wait_ms=1.0)
+        )
+
+        def client(value):
+            barrier.wait()
+            return batcher.submit(value)
+
+        with ThreadPoolExecutor(max_workers=8) as pool:
+            futures = {i: pool.submit(client, i) for i in range(8)}
+            results = {i: f.result() for i, f in futures.items()}
+        assert results == {i: i + 1000 for i in range(8)}
+        assert batcher.batched_requests == 8

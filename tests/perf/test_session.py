@@ -1,0 +1,164 @@
+"""InferenceSession: bit-identity, hit/miss accounting, invalidation."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import ODNETConfig, build_odnet
+from repro.obs import use_observability
+from repro.optim import Adam
+from repro.perf import InferenceSession, supports_fast_path
+from repro.serving import CandidateRecall
+from repro.train import TrainConfig, Trainer, load_checkpoint, save_checkpoint
+
+from ..conftest import TINY_MODEL_CONFIG
+
+
+@pytest.fixture()
+def model(od_dataset):
+    return build_odnet(od_dataset, TINY_MODEL_CONFIG)
+
+
+@pytest.fixture()
+def batch(od_dataset):
+    recall = CandidateRecall(
+        od_dataset.source.world, od_dataset.route_popularity
+    )
+    point = od_dataset.source.test_points[0]
+    return od_dataset.batch_for_candidates(
+        point, recall.candidate_pairs(point.history)
+    )
+
+
+class TestProtocol:
+    def test_odnet_supports_fast_path(self, model):
+        assert supports_fast_path(model)
+
+    def test_freeze_returns_session(self, model):
+        assert isinstance(model.freeze(), InferenceSession)
+
+    def test_rejects_model_without_tables(self):
+        with pytest.raises(TypeError, match="embedding_tables"):
+            InferenceSession(object())
+
+
+class TestBitIdentity:
+    def test_cached_scores_bit_identical(self, model, batch):
+        uncached = np.asarray(model.score_pairs(batch))
+        session = model.freeze()
+        for _ in range(2):  # miss then hit — both must match exactly
+            cached = np.asarray(session.score_pairs(batch))
+            np.testing.assert_array_equal(uncached, cached)
+
+    def test_trained_model_bit_identical(self, trained_odnet, batch):
+        session = InferenceSession(trained_odnet)
+        np.testing.assert_array_equal(
+            np.asarray(trained_odnet.score_pairs(batch)),
+            np.asarray(session.score_pairs(batch)),
+        )
+
+
+class TestAccounting:
+    def test_hits_and_misses(self, model, batch):
+        session = model.freeze()
+        session.score_pairs(batch)
+        session.score_pairs(batch)
+        session.score_pairs(batch)
+        assert (session.misses, session.hits) == (1, 2)
+
+    def test_obs_counters(self, model, batch):
+        with use_observability() as (registry, _tracer):
+            session = model.freeze()
+            session.score_pairs(batch)
+            session.score_pairs(batch)
+            assert registry.counter("perf.cache_misses").value == 1
+            assert registry.counter("perf.cache_hits").value == 1
+
+    def test_explicit_invalidate(self, model, batch):
+        session = model.freeze()
+        session.score_pairs(batch)
+        session.invalidate()
+        assert session.cached_version is None
+        session.score_pairs(batch)
+        assert session.misses == 2
+
+
+class TestInvalidation:
+    def test_optimizer_step_bumps_version(self, model, batch):
+        session = model.freeze()
+        before = np.asarray(session.score_pairs(batch))
+        version = model.param_version
+
+        optimizer = Adam(model.parameters(), lr=0.05)
+        loss = model.loss(batch)
+        loss.backward()
+        optimizer.step()
+
+        assert model.param_version > version
+        after = np.asarray(session.score_pairs(batch))
+        assert session.misses == 2  # recomputed, not served stale
+        assert not np.array_equal(before, after)
+        np.testing.assert_array_equal(
+            np.asarray(model.score_pairs(batch)), after
+        )
+
+    def test_trainer_fit_invalidate(self, od_dataset, model, batch):
+        session = model.freeze()
+        session.score_pairs(batch)
+        Trainer(TrainConfig(epochs=1, seed=0)).fit(model, od_dataset)
+        after = np.asarray(session.score_pairs(batch))
+        assert session.misses == 2
+        np.testing.assert_array_equal(
+            np.asarray(model.score_pairs(batch)), after
+        )
+
+    def test_ps_fit_checkpoint_resume_invalidates(
+        self, od_dataset, model, batch, tmp_path
+    ):
+        """``ParameterServerTrainer.fit(checkpoint_path=...)`` resume
+        writes weights back into the model; the session must recompute."""
+        from repro.distributed import ParameterServerTrainer, PSConfig
+
+        session = model.freeze()
+        session.score_pairs(batch)
+        path = tmp_path / "ps_ckpt.npz"
+
+        ParameterServerTrainer(
+            model, od_dataset,
+            PSConfig(num_servers=2, num_workers=2, epochs=1,
+                     batch_size=64, seed=0),
+        ).fit(checkpoint_path=path)
+        assert path.exists()
+        session.score_pairs(batch)
+        assert session.misses == 2
+
+        # Resume: epochs=2 continues from the epoch-1 checkpoint.
+        ParameterServerTrainer(
+            model, od_dataset,
+            PSConfig(num_servers=2, num_workers=2, epochs=2,
+                     batch_size=64, seed=0),
+        ).fit(checkpoint_path=path)
+        resumed = np.asarray(session.score_pairs(batch))
+        assert session.misses == 3
+        np.testing.assert_array_equal(
+            np.asarray(model.score_pairs(batch)), resumed
+        )
+
+    def test_checkpoint_resume_invalidates(
+        self, od_dataset, model, batch, tmp_path
+    ):
+        """Loading a checkpoint must not serve embeddings of the old
+        weights — the load_state_dict path bumps every parameter."""
+        path = save_checkpoint(model, tmp_path / "ckpt.npz")
+        initial = np.asarray(model.score_pairs(batch))
+
+        Trainer(TrainConfig(epochs=1, seed=0)).fit(model, od_dataset)
+        session = model.freeze()
+        trained = np.asarray(session.score_pairs(batch))
+        assert not np.array_equal(initial, trained)
+
+        load_checkpoint(model, path)
+        restored = np.asarray(session.score_pairs(batch))
+        assert session.misses == 2
+        np.testing.assert_array_equal(initial, restored)

@@ -101,3 +101,52 @@ class TestPairs:
             if point.target in pairs:
                 hits += 1
         assert hits / len(points) > 0.5
+
+
+class TestPopularPairs:
+    """Regression: the diagonal must be masked BEFORE capping to ``limit``.
+
+    The old code sliced the top-``limit`` flat indices first and dropped
+    self-pairs afterwards, so a popularity matrix with hot diagonal
+    entries silently returned fewer than ``limit`` routes.
+    """
+
+    @pytest.mark.parametrize("limit", [1, 5, 20, 100])
+    def test_exactly_limit_pairs(self, recall, limit):
+        pairs = recall.popular_pairs(limit)
+        assert len(pairs) == limit
+        assert all(p.origin != p.destination for p in pairs)
+        assert len(set(pairs)) == limit
+
+    def test_diagonal_heavy_matrix_still_fills_limit(self, od_dataset):
+        """Even when every diagonal entry dominates every real route."""
+        world = od_dataset.source.world
+        n = od_dataset.num_cities
+        popularity = np.arange(n * n, dtype=np.float64).reshape(n, n)
+        np.fill_diagonal(popularity, 1e12)
+        recall = CandidateRecall(world, popularity)
+        limit = 2 * n  # old behaviour: top-2n flat slots were all-diagonal
+                       # plus the next n, yielding < 2n pairs
+        pairs = recall.popular_pairs(limit)
+        assert len(pairs) == limit
+        assert all(p.origin != p.destination for p in pairs)
+
+    def test_orders_by_popularity(self, od_dataset):
+        world = od_dataset.source.world
+        n = od_dataset.num_cities
+        popularity = np.zeros((n, n))
+        popularity[0, 1] = 5.0
+        popularity[2, 3] = 9.0
+        popularity[1, 0] = 7.0
+        recall = CandidateRecall(world, popularity)
+        top = recall.popular_pairs(3)
+        assert [(p.origin, p.destination) for p in top] == [
+            (2, 3), (1, 0), (0, 1)
+        ]
+
+    def test_limit_larger_than_offdiagonal(self, od_dataset):
+        world = od_dataset.source.world
+        n = od_dataset.num_cities
+        recall = CandidateRecall(world, np.ones((n, n)))
+        pairs = recall.popular_pairs(n * n * 2)
+        assert len(pairs) == n * (n - 1)  # every off-diagonal pair, once

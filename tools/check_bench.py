@@ -1,0 +1,92 @@
+#!/usr/bin/env python
+"""Validate BENCH_*.json files produced by ``python -m repro bench``.
+
+CI runs this after the bench smoke; a malformed or structurally
+incomplete report fails the build.  Usage::
+
+    python tools/check_bench.py BENCH_serving.json BENCH_training.json
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import sys
+
+REQUIRED = {
+    "serving": {
+        "uncached": ("mean_ms", "p50_ms", "p99_ms", "requests_per_sec"),
+        "cached": ("mean_ms", "p50_ms", "p99_ms", "requests_per_sec",
+                   "speedup_vs_uncached"),
+        "concurrent_direct": ("requests_per_sec",),
+        "microbatched": ("requests_per_sec", "speedup_vs_uncached",
+                         "speedup_vs_concurrent_direct",
+                         "batches", "occupancy_mean"),
+        "microbatched_uncached": ("requests_per_sec",
+                                  "speedup_vs_uncached", "batches"),
+        "cache": ("hits", "misses"),
+    },
+    "training": {},
+}
+TOP_LEVEL = ("benchmark", "schema_version", "config")
+TRAINING_SCALARS = ("examples_per_sec", "elapsed_s", "epochs")
+
+
+def _fail(path: str, message: str) -> None:
+    raise SystemExit(f"check_bench: {path}: {message}")
+
+
+def _positive(path: str, where: str, value) -> None:
+    if not isinstance(value, (int, float)) or isinstance(value, bool):
+        _fail(path, f"{where} is not a number: {value!r}")
+    if math.isnan(value) or value <= 0:
+        _fail(path, f"{where} must be > 0, got {value}")
+
+
+def check(path: str) -> str:
+    try:
+        report = json.loads(open(path).read())
+    except OSError as exc:
+        _fail(path, f"cannot read: {exc}")
+    except json.JSONDecodeError as exc:
+        _fail(path, f"not valid JSON: {exc}")
+    for key in TOP_LEVEL:
+        if key not in report:
+            _fail(path, f"missing top-level key {key!r}")
+    kind = report["benchmark"]
+    if kind not in REQUIRED:
+        _fail(path, f"unknown benchmark kind {kind!r}")
+    for section, keys in REQUIRED[kind].items():
+        if section not in report:
+            _fail(path, f"missing section {section!r}")
+        for key in keys:
+            if key not in report[section]:
+                _fail(path, f"missing {section}.{key}")
+    if kind == "serving":
+        for section in ("uncached", "cached", "concurrent_direct",
+                        "microbatched", "microbatched_uncached"):
+            _positive(path, f"{section}.requests_per_sec",
+                      report[section]["requests_per_sec"])
+        _positive(path, "cache.misses", report["cache"]["misses"])
+    else:
+        for key in TRAINING_SCALARS:
+            if key not in report:
+                _fail(path, f"missing {key!r}")
+            _positive(path, key, report[key])
+    return (
+        f"{path}: ok ({kind}, schema v{report['schema_version']})"
+    )
+
+
+def main(argv: list[str]) -> int:
+    if not argv:
+        raise SystemExit(
+            "usage: check_bench.py BENCH_serving.json [BENCH_training.json ...]"
+        )
+    for path in argv:
+        print(check(path))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))
