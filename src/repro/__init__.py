@@ -8,8 +8,9 @@ simulators (:mod:`repro.data`), the ODNET model and its ablation variants
 (:mod:`repro.core`), all seven baselines (:mod:`repro.baselines`), the
 training/evaluation harness (:mod:`repro.train`, :mod:`repro.metrics`),
 the Figure 9 serving stack and A/B simulator (:mod:`repro.serving`), the
-metrics/tracing/profiling layer (:mod:`repro.obs`), and runners for every
-table and figure (:mod:`repro.experiments`).
+metrics/tracing/profiling layer (:mod:`repro.obs`), the overload-protection
+guard (:mod:`repro.guard`), and runners for every table and figure
+(:mod:`repro.experiments`).
 
 Quickstart::
 
@@ -50,6 +51,13 @@ from .data import (
     generate_fliggy_dataset,
     generate_lbsn_dataset,
     gowalla_config,
+)
+from .guard import (
+    AdmissionController,
+    AdmissionRejected,
+    GuardConfig,
+    Priority,
+    ServerLifecycle,
 )
 from .graph import (
     EdgeType,
@@ -129,6 +137,12 @@ __all__ = [
     "RankingService",
     "ABTestSimulator",
     "ABTestConfig",
+    # overload protection
+    "AdmissionController",
+    "AdmissionRejected",
+    "GuardConfig",
+    "Priority",
+    "ServerLifecycle",
     # observability
     "MetricsRegistry",
     "Tracer",

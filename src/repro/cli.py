@@ -8,6 +8,7 @@ Usage::
     python -m repro obs --scale tiny
     python -m repro obs --input benchmarks/results/obs_snapshot.jsonl
     python -m repro chaos --seed 0
+    python -m repro chaos --overload
     python -m repro list
 """
 
@@ -38,9 +39,11 @@ _EXPERIMENTS = {
     "fig6b": "exploration-depth sweep (Figure 6b)",
     "fig7": "simulated online A/B test (Figure 7)",
     "obs": "observability summary (live demo run, or --input snapshot.jsonl)",
-    "chaos": "seeded fault-injection demo (degraded serving + PS training)",
-    "bench": "perf baseline: serving p50/p99 + rps and training examples/sec "
-             "-> BENCH_serving.json / BENCH_training.json",
+    "chaos": "seeded fault-injection demo (degraded serving + PS training); "
+             "--overload runs the admission-control overload scenario",
+    "bench": "perf baseline: serving p50/p99 + rps, training examples/sec, "
+             "and the overload phase -> BENCH_serving.json / "
+             "BENCH_training.json / BENCH_overload.json",
 }
 
 
@@ -69,6 +72,10 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--quick", action="store_true",
                         help="for 'bench': CI-smoke sizes (seconds, not "
                              "minutes)")
+    parser.add_argument("--overload", action="store_true",
+                        help="for 'chaos': run the overload scenario "
+                             "(4x capacity, mixed priorities, graceful "
+                             "drain) instead of the fault-injection demo")
     parser.add_argument("--output-dir", default=".", metavar="DIR",
                         help="for 'bench': where BENCH_*.json are written "
                              "(default: current directory)")
@@ -146,6 +153,55 @@ def _obs(args) -> str:
         return render_summary(registry, tracer)
 
 
+def _chaos_overload(args) -> str:
+    """The overload scenario: 4x capacity offered with mixed priorities.
+
+    A guarded recommender with a deliberately tiny concurrency limit is
+    hammered by four times its capacity in concurrent clients (priorities
+    cycling interactive/batch/background) while the chaos injector slows
+    every ``rank.score`` call.  The report shows what was admitted vs
+    shed per priority, that admitted traffic kept a bounded p99, and
+    that the final graceful drain completed every in-flight request.
+    """
+    from .guard.overload import OverloadConfig, run_overload
+    from .obs import render_summary, use_observability
+
+    with use_observability() as (registry, tracer):
+        report = run_overload(OverloadConfig(seed=args.seed))
+        summary = render_summary(registry, tracer)
+    lines = [
+        "== overload (admission control at "
+        f"{report['offered_multiplier']}x capacity) ==",
+        f"offered={report['offered']}  admitted={report['admitted']}  "
+        f"shed={report['shed']}  empty_responses={report['empty_responses']}",
+    ]
+    for name, entry in sorted(report["per_priority"].items()):
+        lines.append(
+            f"  {name:<12} offered={entry['offered']:<4} "
+            f"shed={entry['shed']:<4} degraded={entry['degraded']:<4} "
+            f"empty={entry['empty']}"
+        )
+    admitted = report["admitted_latency_ms"]
+    shed = report["shed_latency_ms"]
+    lines.append(
+        f"admitted latency: p50={admitted['p50_ms']:.1f}ms "
+        f"p99={admitted['p99_ms']:.1f}ms max={admitted['max_ms']:.1f}ms"
+    )
+    lines.append(
+        f"shed latency:     p50={shed['p50_ms']:.1f}ms "
+        f"p99={shed['p99_ms']:.1f}ms max={shed['max_ms']:.1f}ms"
+    )
+    lines.append(
+        f"drained={report['drained']}  "
+        f"post_drain_degraded={report['post_drain_degraded']}  "
+        f"final_limit={report['final_limit']}  "
+        f"adaptations={report['adaptations']}"
+    )
+    lines.append("")
+    lines.append(summary)
+    return "\n".join(lines)
+
+
 def _chaos(args) -> str:
     """Seeded end-to-end fault-injection demo.
 
@@ -155,6 +211,9 @@ def _chaos(args) -> str:
     fail — and shows that every request still got an answer, what
     degraded, and how the breaker and the obs counters saw it.
     """
+    if args.overload:
+        return _chaos_overload(args)
+
     from .core import ODNETConfig, build_odnet
     from .data import ODDataset, generate_fliggy_dataset
     from .distributed import ParameterServerTrainer, PSConfig
@@ -260,6 +319,16 @@ def _bench(args) -> str:
                 f"{report['microbatched_uncached']['requests_per_sec']:.1f} rps "
                 f"({report['microbatched_uncached']['speedup_vs_uncached']:.2f}x "
                 f"vs uncached)"
+            )
+        elif name == "overload":
+            lines.append(
+                f"overload: offered {report['offered']} at "
+                f"{report['offered_multiplier']}x capacity -> "
+                f"admitted {report['admitted']} "
+                f"(p99 {report['admitted_latency_ms']['p99_ms']:.1f}ms), "
+                f"shed {report['shed']} "
+                f"(p99 {report['shed_latency_ms']['p99_ms']:.1f}ms), "
+                f"drained={report['drained']}"
             )
         else:
             lines.append(

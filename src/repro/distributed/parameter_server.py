@@ -30,6 +30,8 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from ..data.dataset import ODDataset
+from ..guard.errors import reject
+from ..guard.ratelimit import TokenBucket
 from ..nn.module import Module
 from ..obs.registry import get_registry
 from ..resilience import RetryPolicy, retry_call
@@ -53,6 +55,8 @@ class PSConfig:
     grad_clip: float = 5.0
     mode: str = "sync"          # "sync" or "async"
     staleness: int = 0          # async only: steps of gradient delay
+    push_rate: float | None = None   # pushes/sec the cluster accepts
+    push_burst: float | None = None  # burst size (default: push_rate)
     seed: int = 0
 
     def __post_init__(self):
@@ -68,16 +72,23 @@ class PSConfig:
             )
         if self.mode not in ("sync", "async"):
             raise ValueError(f"unknown mode {self.mode!r}")
+        if self.push_rate is not None and self.push_rate <= 0:
+            raise ValueError(
+                f"push_rate must be > 0 pushes/sec, got {self.push_rate}"
+            )
 
 
 class ParameterServer:
     """Holds one shard of named parameters and its Adam optimizer state."""
 
     def __init__(self, server_id: int, learning_rate: float,
-                 grad_clip: float | None = 5.0):
+                 grad_clip: float | None = 5.0,
+                 push_bucket: TokenBucket | None = None):
         self.server_id = server_id
         self.learning_rate = learning_rate
         self.grad_clip = grad_clip
+        self.push_bucket = push_bucket
+        self.throttled_pushes = 0
         self._store: dict[str, np.ndarray] = {}
         self._m: dict[str, np.ndarray] = {}
         self._v: dict[str, np.ndarray] = {}
@@ -136,9 +147,16 @@ class ParameterServer:
     def push(self, gradients: dict[str, np.ndarray]) -> None:
         """Apply Adam updates for the pushed gradient shard.
 
-        The chaos site ``ps.push`` fires first: an injected fault is a
-        dropped push that never mutated server state (safe to retry).
+        A configured ``push_bucket`` throttles push floods: an
+        over-rate push is refused with a typed ``AdmissionRejected``
+        *before* any state mutates, so the caller's retry/backoff path
+        (which lets the bucket refill) is always safe.  The chaos site
+        ``ps.push`` fires next: an injected fault is a dropped push that
+        never mutated server state (safe to retry).
         """
+        if self.push_bucket is not None and not self.push_bucket.try_acquire():
+            self.throttled_pushes += 1
+            raise reject("ps.push", "rate_limited")
         get_fault_injector().inject("ps.push")
         self.pushes += 1
         registry = get_registry()
@@ -222,6 +240,7 @@ class _TrainStats:
     pulls: int = 0
     start_epoch: int = 0            # > 0 when resumed from a checkpoint
     dropped_pushes: int = 0         # pushes abandoned after retries
+    throttled_pushes: int = 0       # push attempts refused by the rate limit
     worker_failures: int = 0        # worker steps lost to injected faults
     checkpoint_failures: int = 0    # epoch checkpoints that could not save
 
@@ -255,9 +274,17 @@ class ParameterServerTrainer:
             [(name, param.size) for name, param in named.items()],
             self.config.num_servers,
         )
+        # One shared bucket across servers: the throttle models cluster
+        # ingest capacity, not per-shard fairness.
+        push_bucket = None
+        if self.config.push_rate is not None:
+            push_bucket = TokenBucket(
+                self.config.push_rate, self.config.push_burst
+            )
+        self.push_bucket = push_bucket
         self.servers = [
             ParameterServer(i, self.config.learning_rate,
-                            self.config.grad_clip)
+                            self.config.grad_clip, push_bucket=push_bucket)
             for i in range(self.config.num_servers)
         ]
         self._owner: dict[str, ParameterServer] = {}
@@ -457,4 +484,7 @@ class ParameterServerTrainer:
         self._write_back_to_model(self._pull_all())
         stats.pushes = sum(server.pushes for server in self.servers)
         stats.pulls = sum(server.pulls for server in self.servers)
+        stats.throttled_pushes = sum(
+            server.throttled_pushes for server in self.servers
+        )
         return stats

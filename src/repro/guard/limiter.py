@@ -1,0 +1,234 @@
+"""Concurrency limiting with a bounded wait queue and an AIMD limit.
+
+:class:`ConcurrencyLimiter` caps how many requests run at once.  Excess
+arrivals wait in a *bounded* queue — the property that turns a traffic
+spike into fast typed rejections instead of unbounded queueing and
+latency collapse.  A waiter that cannot get a slot within its timeout is
+rejected too, so queue time can never exceed the caller's patience.
+
+The limit itself adapts by AIMD (the TCP congestion-control shape):
+every window of observed request latencies is compared against a target;
+a window above target multiplies the limit down, a window at or below
+target adds to it.  The target either is configured explicitly or is
+drawn from the live ``serving.latency_ms`` histogram in the metrics
+registry (a multiple of its median), so the limiter calibrates itself to
+what the hardware actually serves.
+
+Occupancy is exported through :mod:`repro.obs`: the ``guard.limit`` and
+``guard.queue_depth`` gauges plus the ``guard.queue_wait_ms`` histogram.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass
+from typing import Callable
+
+from ..obs.registry import get_registry
+from .errors import reject
+
+__all__ = ["AdaptiveLimitConfig", "ConcurrencyLimiter"]
+
+
+@dataclass(frozen=True)
+class AdaptiveLimitConfig:
+    """AIMD knobs for the adaptive concurrency limit.
+
+    ``target_latency_ms`` pins the target explicitly; when ``None`` the
+    target is ``obs_multiplier`` times the ``obs_percentile``-th
+    percentile of the live ``serving.latency_ms`` histogram (falling back
+    to ``default_target_ms`` until that histogram has
+    ``obs_min_samples`` observations).
+    """
+
+    target_latency_ms: float | None = None
+    obs_percentile: float = 50.0
+    obs_multiplier: float = 4.0
+    obs_min_samples: int = 20
+    default_target_ms: float = 100.0
+    min_limit: int = 1
+    max_limit: int = 64
+    increase: float = 1.0        # additive step per on-target window
+    decrease: float = 0.5        # multiplicative factor per overloaded window
+    window: int = 16             # latency observations per decision
+
+    def __post_init__(self):
+        if self.target_latency_ms is not None and self.target_latency_ms <= 0:
+            raise ValueError(
+                f"target_latency_ms must be > 0, got {self.target_latency_ms}"
+            )
+        if not 0.0 <= self.obs_percentile <= 100.0:
+            raise ValueError(
+                f"obs_percentile must be in [0, 100], got {self.obs_percentile}"
+            )
+        if self.obs_multiplier <= 0 or self.default_target_ms <= 0:
+            raise ValueError("obs_multiplier and default_target_ms must be > 0")
+        if not 1 <= self.min_limit <= self.max_limit:
+            raise ValueError(
+                f"need 1 <= min_limit <= max_limit, got "
+                f"{self.min_limit}..{self.max_limit}"
+            )
+        if self.increase <= 0:
+            raise ValueError(f"increase must be > 0, got {self.increase}")
+        if not 0.0 < self.decrease < 1.0:
+            raise ValueError(f"decrease must be in (0, 1), got {self.decrease}")
+        if self.window < 1:
+            raise ValueError(f"window must be >= 1, got {self.window}")
+
+    def resolve_target_ms(self) -> float:
+        """The latency target in force right now."""
+        if self.target_latency_ms is not None:
+            return self.target_latency_ms
+        registry = get_registry()
+        if registry.enabled:
+            histogram = registry.histogram("serving.latency_ms")
+            if histogram.count >= self.obs_min_samples:
+                return float(
+                    histogram.percentile(self.obs_percentile)
+                    * self.obs_multiplier
+                )
+        return self.default_target_ms
+
+
+class ConcurrencyLimiter:
+    """Bounded-queue concurrency limiter with an optional AIMD limit."""
+
+    def __init__(
+        self,
+        limit: int = 8,
+        max_queue: int = 16,
+        adaptive: AdaptiveLimitConfig | None = None,
+        site: str = "serving.admission",
+        clock: Callable[[], float] = time.monotonic,
+    ):
+        if limit < 1:
+            raise ValueError(f"limit must be >= 1, got {limit}")
+        if max_queue < 0:
+            raise ValueError(f"max_queue must be >= 0, got {max_queue}")
+        self.adaptive = adaptive
+        self.site = site
+        self._clock = clock
+        self._cond = threading.Condition()
+        self._limit_f = float(limit)
+        if adaptive is not None:
+            self._limit_f = float(
+                min(max(limit, adaptive.min_limit), adaptive.max_limit)
+            )
+        self.max_queue = max_queue
+        self._in_flight = 0
+        self._waiting = 0
+        self._window: list[float] = []
+        self.adaptations = 0         # AIMD decisions taken (both directions)
+
+    # ------------------------------------------------------------------
+    @property
+    def limit(self) -> int:
+        return int(self._limit_f)
+
+    @property
+    def in_flight(self) -> int:
+        return self._in_flight
+
+    @property
+    def queue_depth(self) -> int:
+        return self._waiting
+
+    def pressure(self) -> float:
+        """System occupancy in [0, 1]: 0 idle, 1 full slots + full queue.
+
+        The AIMD limit couples latency into this signal: sustained
+        over-target latency shrinks the limit, which raises occupancy at
+        the same offered load, which sheds low-priority traffic sooner.
+        """
+        capacity = self.limit + self.max_queue
+        return min(1.0, (self._in_flight + self._waiting) / capacity)
+
+    # ------------------------------------------------------------------
+    def acquire(self, timeout_s: float | None = None, priority=None) -> None:
+        """Take a slot or raise :class:`AdmissionRejected`.
+
+        Rejects immediately with ``queue_full`` when the wait queue is at
+        capacity, and with ``queue_timeout`` when no slot frees up within
+        ``timeout_s`` (``None`` waits indefinitely — only sensible in
+        tests).
+        """
+        registry = get_registry()
+        start = self._clock()
+        with self._cond:
+            if self._in_flight < self.limit and self._waiting == 0:
+                self._in_flight += 1
+                self._observe_gauges(registry)
+                return
+            if self._waiting >= self.max_queue:
+                raise reject(self.site, "queue_full", priority)
+            self._waiting += 1
+            self._observe_gauges(registry)
+            try:
+                while self._in_flight >= self.limit:
+                    if timeout_s is None:
+                        self._cond.wait()
+                        continue
+                    remaining = timeout_s - (self._clock() - start)
+                    if remaining <= 0 or not self._cond.wait(remaining):
+                        if self._in_flight < self.limit:
+                            break      # a slot freed at the last instant
+                        raise reject(self.site, "queue_timeout", priority)
+                self._in_flight += 1
+            finally:
+                self._waiting -= 1
+                self._observe_gauges(registry)
+        if registry.enabled:
+            registry.histogram("guard.queue_wait_ms").observe(
+                (self._clock() - start) * 1000.0
+            )
+
+    def release(self, latency_ms: float | None = None) -> None:
+        """Free a slot; ``latency_ms`` feeds the AIMD controller."""
+        with self._cond:
+            if self._in_flight <= 0:
+                raise RuntimeError("release() without a matching acquire()")
+            self._in_flight -= 1
+            if latency_ms is not None and self.adaptive is not None:
+                self._observe_locked(float(latency_ms))
+            self._cond.notify()
+            self._observe_gauges(get_registry())
+
+    def observe(self, latency_ms: float) -> None:
+        """Feed one latency sample to the AIMD controller directly."""
+        if self.adaptive is None:
+            return
+        with self._cond:
+            self._observe_locked(float(latency_ms))
+
+    # ------------------------------------------------------------------
+    def _observe_locked(self, latency_ms: float) -> None:
+        adaptive = self.adaptive
+        self._window.append(latency_ms)
+        if len(self._window) < adaptive.window:
+            return
+        mean = sum(self._window) / len(self._window)
+        self._window.clear()
+        target = adaptive.resolve_target_ms()
+        before = self.limit
+        if mean > target:
+            self._limit_f = max(
+                float(adaptive.min_limit), self._limit_f * adaptive.decrease
+            )
+        else:
+            self._limit_f = min(
+                float(adaptive.max_limit), self._limit_f + adaptive.increase
+            )
+        self.adaptations += 1
+        if self.limit > before:
+            self._cond.notify_all()    # wake waiters the wider limit admits
+        registry = get_registry()
+        if registry.enabled:
+            registry.gauge("guard.limit").set(self.limit)
+            registry.gauge("guard.latency_target_ms").set(target)
+
+    def _observe_gauges(self, registry) -> None:
+        if registry.enabled:
+            registry.gauge("guard.queue_depth").set(self._waiting)
+            registry.gauge("guard.in_flight").set(self._in_flight)
+            registry.gauge("guard.limit").set(self.limit)

@@ -1,0 +1,68 @@
+"""Token-bucket rate limiting.
+
+A :class:`TokenBucket` admits sustained traffic at ``rate`` tokens per
+second with bursts up to ``capacity``; refill is lazy (computed from the
+elapsed clock on each acquire), so an idle bucket costs nothing.  The
+clock is injectable for deterministic tests.
+
+Used at two choke points: the serving admission controller (requests per
+second at the front door) and the parameter server's push path (gradient
+floods from runaway workers).
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Callable
+
+__all__ = ["TokenBucket"]
+
+
+class TokenBucket:
+    """Thread-safe token bucket: ``rate`` tokens/sec, burst ``capacity``."""
+
+    def __init__(
+        self,
+        rate: float,
+        capacity: float | None = None,
+        clock: Callable[[], float] = time.monotonic,
+    ):
+        if rate <= 0:
+            raise ValueError(f"rate must be > 0 tokens/sec, got {rate}")
+        capacity = float(rate) if capacity is None else float(capacity)
+        if capacity <= 0:
+            raise ValueError(f"capacity must be > 0, got {capacity}")
+        self.rate = float(rate)
+        self.capacity = capacity
+        self._clock = clock
+        self._tokens = capacity          # start full: allow an initial burst
+        self._last_s = clock()
+        self._lock = threading.Lock()
+
+    # ------------------------------------------------------------------
+    def _refill(self) -> None:
+        """Advance the bucket to now (caller must hold the lock)."""
+        now = self._clock()
+        elapsed = now - self._last_s
+        if elapsed > 0:
+            self._tokens = min(self.capacity, self._tokens + elapsed * self.rate)
+        self._last_s = now
+
+    def try_acquire(self, tokens: float = 1.0) -> bool:
+        """Take ``tokens`` if available right now; never blocks."""
+        if tokens <= 0:
+            raise ValueError(f"tokens must be > 0, got {tokens}")
+        with self._lock:
+            self._refill()
+            if self._tokens >= tokens:
+                self._tokens -= tokens
+                return True
+            return False
+
+    @property
+    def available(self) -> float:
+        """Tokens available at this instant (after a lazy refill)."""
+        with self._lock:
+            self._refill()
+            return self._tokens

@@ -1,0 +1,83 @@
+"""Priority-aware load shedding: drop cheap traffic first.
+
+Production rankers degrade under overload by class of caller: a user
+staring at the app (``INTERACTIVE``) keeps personalised service longest,
+offline re-ranking jobs (``BATCH``) shed earlier, and speculative
+prefetch (``BACKGROUND``) sheds first.  :class:`LoadShedder` encodes the
+thresholds: given the limiter's occupancy pressure in [0, 1], each
+priority class is rejected once pressure crosses its threshold — lowest
+priority first, interactive only when the system is saturated outright.
+
+A shed request costs *nothing* downstream: the rejection happens before
+features, recall, or ranking run, and serving answers it with a
+popularity-ranked degraded response instead.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import IntEnum
+
+from .errors import reject
+
+__all__ = ["Priority", "ShedPolicy", "LoadShedder"]
+
+
+class Priority(IntEnum):
+    """Request priority classes, highest first."""
+
+    INTERACTIVE = 0      # a user waiting on the app
+    BATCH = 1            # bulk/offline recommendation jobs
+    BACKGROUND = 2       # prefetch, cache warming, speculative work
+
+
+@dataclass(frozen=True)
+class ShedPolicy:
+    """Pressure thresholds (fractions of full occupancy) per priority.
+
+    A request is shed when pressure >= its class threshold, so with the
+    defaults ``BACKGROUND`` sheds at half occupancy, ``BATCH`` at
+    three-quarters, and ``INTERACTIVE`` only at complete saturation.
+    """
+
+    background_at: float = 0.5
+    batch_at: float = 0.75
+    interactive_at: float = 1.0
+
+    def __post_init__(self):
+        thresholds = (self.background_at, self.batch_at, self.interactive_at)
+        for value in thresholds:
+            if not 0.0 < value <= 1.0:
+                raise ValueError(
+                    f"shed thresholds must be in (0, 1], got {value}"
+                )
+        if not (self.background_at <= self.batch_at <= self.interactive_at):
+            raise ValueError(
+                "thresholds must not invert the priority order: need "
+                f"background_at <= batch_at <= interactive_at, got {thresholds}"
+            )
+
+    def threshold(self, priority: Priority) -> float:
+        if priority == Priority.BACKGROUND:
+            return self.background_at
+        if priority == Priority.BATCH:
+            return self.batch_at
+        return self.interactive_at
+
+
+class LoadShedder:
+    """Applies a :class:`ShedPolicy` at one admission site."""
+
+    def __init__(self, policy: ShedPolicy | None = None,
+                 site: str = "serving.admission"):
+        self.policy = policy or ShedPolicy()
+        self.site = site
+        self.shed_counts: dict[Priority, int] = {p: 0 for p in Priority}
+
+    def check(self, priority: Priority, pressure: float) -> None:
+        """Raise :class:`AdmissionRejected` when ``pressure`` says shed."""
+        if pressure >= self.policy.threshold(priority):
+            self.shed_counts[priority] += 1
+            raise reject(
+                self.site, f"shed:{priority.name.lower()}", priority
+            )

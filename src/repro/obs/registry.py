@@ -49,19 +49,26 @@ DEFAULT_BUCKETS = (
 
 
 class Counter:
-    """A monotonically increasing count (requests served, bytes pushed)."""
+    """A monotonically increasing count (requests served, bytes pushed).
 
-    __slots__ = ("name", "labels", "value")
+    Updates are locked: ``+=`` is a read-modify-write, and concurrent
+    serving (micro-batching, the guard's overload scenarios) increments
+    shared counters from many threads at once.
+    """
+
+    __slots__ = ("name", "labels", "value", "_lock")
 
     def __init__(self, name: str, labels: dict[str, str] | None = None):
         self.name = name
         self.labels = dict(labels or {})
         self.value = 0.0
+        self._lock = threading.Lock()
 
     def inc(self, amount: float = 1.0) -> None:
         if amount < 0:
             raise ValueError("counters only go up; use a gauge instead")
-        self.value += amount
+        with self._lock:
+            self.value += amount
 
 
 class Gauge:
@@ -82,7 +89,7 @@ class Histogram:
     """Bucketed distribution with exact percentiles over raw samples."""
 
     __slots__ = ("name", "labels", "buckets", "bucket_counts", "_samples",
-                 "_sum", "_min", "_max")
+                 "_sum", "_min", "_max", "_lock")
 
     def __init__(
         self,
@@ -101,17 +108,22 @@ class Histogram:
         self._sum = 0.0
         self._min = float("inf")
         self._max = float("-inf")
+        self._lock = threading.Lock()
 
     # ------------------------------------------------------------------
     def observe(self, value: float) -> None:
+        # Locked for the same reason as Counter.inc: bucket counts, the
+        # running sum, and min/max are read-modify-write state shared
+        # across serving threads.
         v = float(value)
-        self.bucket_counts[bisect.bisect_left(self.buckets, v)] += 1
-        self._samples.append(v)
-        self._sum += v
-        if v < self._min:
-            self._min = v
-        if v > self._max:
-            self._max = v
+        with self._lock:
+            self.bucket_counts[bisect.bisect_left(self.buckets, v)] += 1
+            self._samples.append(v)
+            self._sum += v
+            if v < self._min:
+                self._min = v
+            if v > self._max:
+                self._max = v
 
     # ------------------------------------------------------------------
     @property

@@ -8,14 +8,15 @@ hardware allows" north star calls for:
 - :class:`MicroBatcher` — coalesces concurrent requests into one model
   forward with per-request deadline awareness;
 - :func:`run_bench` — the reproducible perf baseline, writing
-  ``BENCH_serving.json`` / ``BENCH_training.json``
-  (``python -m repro bench``).
+  ``BENCH_serving.json`` / ``BENCH_training.json`` /
+  ``BENCH_overload.json`` (``python -m repro bench``).
 """
 
 from .bench import (
     BenchConfig,
     quick_bench_config,
     run_bench,
+    run_overload_bench,
     run_serving_bench,
     run_training_bench,
 )
@@ -30,6 +31,7 @@ __all__ = [
     "BenchConfig",
     "quick_bench_config",
     "run_bench",
+    "run_overload_bench",
     "run_serving_bench",
     "run_training_bench",
 ]

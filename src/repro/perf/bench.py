@@ -11,9 +11,13 @@ Measures what the fast path actually buys:
   hit/miss and batch-occupancy counters are reported through
   :mod:`repro.obs` and echoed into the JSON output.
 - **Training** — ``Trainer`` examples/sec over a small fixed dataset.
+- **Overload** — the guard's admission-control scenario: offered load at
+  4x a deliberately small concurrency limit, mixed priorities, graceful
+  drain.  The headline numbers are the bounded p99 for *admitted*
+  traffic and the shed count (typed degradations, never errors).
 
-Results land in ``BENCH_serving.json`` / ``BENCH_training.json`` so the
-numbers are diffable across PRs.  The bench dataset is deliberately
+Results land in ``BENCH_serving.json`` / ``BENCH_training.json`` /
+``BENCH_overload.json`` so the numbers are diffable across PRs.  The bench dataset is deliberately
 user-heavy (graph propagation scales with the node count, per-request
 work with the candidate count) — the production shape the cache exists
 for: millions of users, ~a hundred candidates per request.
@@ -41,6 +45,7 @@ __all__ = [
     "quick_bench_config",
     "run_serving_bench",
     "run_training_bench",
+    "run_overload_bench",
     "run_bench",
 ]
 
@@ -66,6 +71,10 @@ class BenchConfig:
     train_users: int = 400
     train_cities: int = 50
     train_epochs: int = 2
+    # --- overload -----------------------------------------------------
+    overload_capacity: int = 2
+    overload_multiplier: int = 4
+    overload_requests_per_client: int = 6
     # --- shared -------------------------------------------------------
     seed: int = 0
 
@@ -84,6 +93,7 @@ def quick_bench_config(seed: int = 0) -> BenchConfig:
         num_users=1200, num_cities=60, requests=10, warmup=2,
         microbatch_size=5, concurrency=5, repeats=2,
         train_users=150, train_cities=30, train_epochs=1,
+        overload_requests_per_client=3,
         seed=seed,
     )
 
@@ -320,11 +330,51 @@ def run_training_bench(config: BenchConfig | None = None) -> dict:
         set_registry(previous)
 
 
+def run_overload_bench(config: BenchConfig | None = None) -> dict:
+    """Run the guard's overload scenario as a diffable bench phase.
+
+    The scenario itself lives in :mod:`repro.guard.overload` (shared with
+    ``python -m repro chaos --overload``); this wrapper runs it under a
+    fresh registry and stamps the bench schema on the report.  The
+    contract the numbers witness: admitted p99 stays bounded at
+    ``overload_multiplier``x capacity because the wait queue is bounded,
+    shed traffic is counted (typed degradations, never raw errors), and
+    the drain completed.
+    """
+    from ..guard.overload import OverloadConfig, run_overload
+
+    config = config or BenchConfig()
+    registry = MetricsRegistry()
+    previous = set_registry(registry)
+    try:
+        report = run_overload(OverloadConfig(
+            num_users=config.num_users,
+            num_cities=config.num_cities,
+            capacity=config.overload_capacity,
+            offered_multiplier=config.overload_multiplier,
+            requests_per_client=config.overload_requests_per_client,
+            seed=config.seed,
+        ))
+        report.update({
+            "benchmark": "overload",
+            "schema_version": SCHEMA_VERSION,
+            "config": dataclasses.asdict(config),
+            "guard_counters": {
+                "admitted": registry.counter("guard.admitted").value,
+                "shed": registry.counter("guard.shed").value,
+                "drains": registry.counter("guard.drains").value,
+            },
+        })
+        return report
+    finally:
+        set_registry(previous)
+
+
 def run_bench(
     config: BenchConfig | None = None,
     output_dir: str | pathlib.Path = ".",
 ) -> dict[str, pathlib.Path]:
-    """Run both benches; write ``BENCH_serving.json`` / ``BENCH_training.json``.
+    """Run all bench phases; write one ``BENCH_<name>.json`` per phase.
 
     Returns the written paths keyed by bench name.
     """
@@ -334,6 +384,7 @@ def run_bench(
     for name, runner in (
         ("serving", run_serving_bench),
         ("training", run_training_bench),
+        ("overload", run_overload_bench),
     ):
         report = runner(config)
         report["generated_unix"] = round(time.time(), 1)

@@ -13,6 +13,14 @@ Deadline awareness: a caller may attach a
 deadline's remaining time, so a nearly-expired request never idles in the
 queue — it flushes whatever is pooled and takes the batch with it.
 
+Overload protection: ``max_queue`` bounds how many requests may be in
+the batcher at once (pooled *plus* executing); a submit beyond the bound
+raises a typed :class:`~repro.guard.AdmissionRejected` (site
+``perf.microbatch``) instead of queueing without limit, and the serving
+platform's fallback ladder degrades that caller individually.  :meth:`MicroBatcher.flush`
+force-drains whatever is pooled — the graceful-drain hook, so shutdown
+never strands a waiting request.
+
 Occupancy is observable through :mod:`repro.obs`: the
 ``perf.microbatch.batches`` / ``perf.microbatch.requests`` counters and
 the ``perf.microbatch.occupancy`` histogram say how full the batches ran.
@@ -24,6 +32,7 @@ import threading
 from dataclasses import dataclass
 from typing import Callable, Sequence
 
+from ..guard.errors import reject
 from ..obs.registry import get_registry
 from ..resilience import Deadline
 
@@ -37,11 +46,17 @@ class MicroBatchConfig:
     ``max_batch`` caps how many requests one forward may carry;
     ``max_wait_ms`` is the longest a lone request waits for company
     (``0`` disables pooling — every request flushes immediately, which is
-    the right setting for single-threaded callers).
+    the right setting for single-threaded callers).  ``max_queue`` bounds
+    the requests inside the batcher at once — pooled or mid-execute
+    (``None`` keeps the pre-guard unbounded behaviour): a submit beyond
+    the bound is rejected with a typed ``AdmissionRejected`` rather than
+    queued indefinitely behind a slow model.  It must admit at least one
+    full batch.
     """
 
     max_batch: int = 8
     max_wait_ms: float = 2.0
+    max_queue: int | None = None
 
     def __post_init__(self):
         if self.max_batch < 1:
@@ -49,6 +64,11 @@ class MicroBatchConfig:
         if self.max_wait_ms < 0:
             raise ValueError(
                 f"max_wait_ms must be >= 0, got {self.max_wait_ms}"
+            )
+        if self.max_queue is not None and self.max_queue < self.max_batch:
+            raise ValueError(
+                f"max_queue must be >= max_batch ({self.max_batch}), "
+                f"got {self.max_queue}"
             )
 
 
@@ -84,6 +104,7 @@ class MicroBatcher:
         self.config = config or MicroBatchConfig()
         self._lock = threading.Lock()
         self._queue: list[_Pending] = []
+        self._pending_total = 0      # pooled + executing, for max_queue
         self.batches = 0
         self.batched_requests = 0
 
@@ -117,8 +138,12 @@ class MicroBatcher:
         finally:
             for pending in batch:
                 pending.done.set()
-        self.batches += 1
-        self.batched_requests += len(batch)
+        # Shared counters mutate under the lock: += on an attribute is a
+        # read-modify-write, and two flushing threads may finish at once.
+        with self._lock:
+            self.batches += 1
+            self.batched_requests += len(batch)
+            self._pending_total -= len(batch)
         registry = get_registry()
         if registry.enabled:
             registry.counter("perf.microbatch.batches").inc()
@@ -126,11 +151,45 @@ class MicroBatcher:
             registry.histogram("perf.microbatch.occupancy").observe(len(batch))
 
     # ------------------------------------------------------------------
+    def flush(self) -> int:
+        """Force-run whatever is pooled right now; returns the batch size.
+
+        The graceful-drain hook: once a server stops admitting, pooled
+        requests would otherwise idle out their full ``max_wait_ms``
+        waiting for company that can no longer arrive.
+        """
+        with self._lock:
+            batch = self._drain() if self._queue else []
+        if batch:
+            self._run(batch)
+        return len(batch)
+
+    @property
+    def queue_depth(self) -> int:
+        """Unclaimed requests pooled right now."""
+        with self._lock:
+            return len(self._queue)
+
+    @property
+    def in_flight(self) -> int:
+        """Requests inside the batcher (pooled or mid-execute) — the
+        quantity ``max_queue`` bounds."""
+        with self._lock:
+            return self._pending_total
+
     def submit(self, item, deadline: Deadline | None = None):
-        """Queue ``item`` and return its result once a batch carries it."""
+        """Queue ``item`` and return its result once a batch carries it.
+
+        Raises ``AdmissionRejected`` (never queues) when ``max_queue``
+        requests are already pooled or executing.
+        """
         pending = _Pending(item, deadline)
         batch: list[_Pending] | None = None
+        max_queue = self.config.max_queue
         with self._lock:
+            if max_queue is not None and self._pending_total >= max_queue:
+                raise reject("perf.microbatch", "queue_full")
+            self._pending_total += 1
             self._queue.append(pending)
             if len(self._queue) >= self.config.max_batch:
                 batch = self._drain()

@@ -17,6 +17,7 @@ pay only a function call when chaos is off.
 
 from __future__ import annotations
 
+import threading
 import time
 from contextlib import contextmanager
 from dataclasses import dataclass
@@ -69,7 +70,12 @@ class FaultSpec:
 
 
 class FaultInjector:
-    """Seeded chaos: per-site error/latency injection with counters."""
+    """Seeded chaos: per-site error/latency injection with counters.
+
+    Thread-safe: the overload scenario injects latency at ``rank.score``
+    from many serving threads at once, so the call/fault counters and the
+    shared RNG stream mutate under a lock (sleeps happen outside it).
+    """
 
     enabled = True
 
@@ -79,6 +85,7 @@ class FaultInjector:
         self._calls: dict[str, int] = {}
         self._faults: dict[str, int] = {}
         self._sleep = sleep
+        self._lock = threading.Lock()
         self.seed = seed
 
     # ------------------------------------------------------------------
@@ -117,15 +124,25 @@ class FaultInjector:
         spec = self._specs.get(site)
         if spec is None:
             return
-        seen = self._calls.get(site, 0)
-        self._calls[site] = seen + 1
-        if seen < spec.after_calls:
-            return
-        if (
-            spec.latency_rate > 0.0
-            and spec.latency_ms > 0.0
-            and self._rng.random() < spec.latency_rate
-        ):
+        add_latency = False
+        fault_count = 0
+        with self._lock:
+            seen = self._calls.get(site, 0)
+            self._calls[site] = seen + 1
+            if seen < spec.after_calls:
+                return
+            if (
+                spec.latency_rate > 0.0
+                and spec.latency_ms > 0.0
+                and self._rng.random() < spec.latency_rate
+            ):
+                add_latency = True
+            if spec.error_rate > 0.0 and self._rng.random() < spec.error_rate:
+                raised = self._faults.get(site, 0)
+                if spec.max_faults is None or raised < spec.max_faults:
+                    self._faults[site] = raised + 1
+                    fault_count = raised + 1
+        if add_latency:
             registry = get_registry()
             if registry.enabled:
                 registry.counter(
@@ -133,17 +150,13 @@ class FaultInjector:
                 ).inc()
             if self._sleep is not None:
                 self._sleep(spec.latency_ms / 1000.0)
-        if spec.error_rate > 0.0 and self._rng.random() < spec.error_rate:
-            raised = self._faults.get(site, 0)
-            if spec.max_faults is not None and raised >= spec.max_faults:
-                return
-            self._faults[site] = raised + 1
+        if fault_count:
             registry = get_registry()
             if registry.enabled:
                 registry.counter(
                     "chaos.injected_errors", labels={"site": site}
                 ).inc()
-            raise InjectedFault(site, raised + 1)
+            raise InjectedFault(site, fault_count)
 
 
 class NullFaultInjector(FaultInjector):

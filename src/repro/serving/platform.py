@@ -24,6 +24,16 @@ scoring), and the rank stage sits behind a retry policy and a circuit
 breaker, so a scoring outage degrades the response instead of erroring —
 the production behaviour of Fliggy's and Grab's rankers.  The response's
 ``degraded``/``fallbacks`` metadata says exactly what happened.
+
+Every request is also *overload protected* (see :mod:`repro.guard`):
+with a guard configured, admission happens before any stage runs —
+draining servers, saturated queues, and low-priority traffic under
+pressure are refused with a typed
+:class:`~repro.guard.AdmissionRejected`, which this facade converts into
+a degraded popularity-ranked response (``admission:*`` fallback events).
+Shed happens *before* work starts; the resilience ladder fires *after*
+work fails.  :meth:`FlightRecommender.drain` is the graceful-shutdown
+path: stop admitting, flush the micro-batcher, finish in-flight.
 """
 
 from __future__ import annotations
@@ -33,6 +43,12 @@ from dataclasses import dataclass, field
 
 from ..data.dataset import ODDataset
 from ..data.schema import ODPair, UserHistory
+from ..guard import (
+    AdmissionController,
+    AdmissionRejected,
+    GuardConfig,
+    Priority,
+)
 from ..obs.profiler import Profiler
 from ..obs.registry import get_registry
 from ..obs.tracing import get_tracer
@@ -107,6 +123,7 @@ class FlightRecommender:
         resilience: ServingResilienceConfig | None = None,
         use_cache: bool = True,
         microbatch: MicroBatchConfig | None = None,
+        guard: GuardConfig | AdmissionController | None = None,
     ):
         self.dataset = dataset
         self.features = RealTimeFeatureService(dataset.source.bookings_by_user)
@@ -130,6 +147,35 @@ class FlightRecommender:
         self.batcher: MicroBatcher | None = None
         if microbatch is not None:
             self.batcher = MicroBatcher(self._execute_rank_batch, microbatch)
+        # Optional overload protection: admission control at the front
+        # door plus the lifecycle that owns graceful drain.
+        self.guard: AdmissionController | None = None
+        if isinstance(guard, AdmissionController):
+            self.guard = guard
+        elif guard is not None:
+            self.guard = AdmissionController(guard)
+        if self.guard is not None and self.batcher is not None:
+            # Drain must not strand requests pooled in the batch queue.
+            self.guard.lifecycle.add_flush_hook(self.batcher.flush)
+
+    @property
+    def lifecycle(self):
+        """The guard's :class:`~repro.guard.ServerLifecycle` (or None)."""
+        return self.guard.lifecycle if self.guard is not None else None
+
+    def drain(self, timeout_s: float | None = None) -> bool:
+        """Gracefully shut down serving: stop admitting, flush the
+        micro-batcher, complete in-flight requests.
+
+        Returns ``True`` once drained.  Without a guard there is no
+        admission to close and no in-flight accounting; the batcher is
+        flushed and the call reports drained immediately.
+        """
+        if self.guard is not None:
+            return self.guard.drain(timeout_s)
+        if self.batcher is not None:
+            self.batcher.flush()
+        return True
 
     def _execute_rank_batch(
         self, items: list[tuple[UserHistory, list[ODPair], int, int]]
@@ -190,6 +236,35 @@ class FlightRecommender:
             )
         return None
 
+    def _shed_response(
+        self, user_id: int, day: int, k: int, rejection: AdmissionRejected
+    ) -> RecommendationResponse:
+        """The degraded answer for a request refused at admission.
+
+        No model work runs — popularity-ranked popular routes are the
+        cheapest useful response (the same MostPop floor as the rank
+        fallback), so shedding stays cheap exactly when the system is
+        overloaded.  The typed rejection surfaces as an ``admission:*``
+        fallback event.
+        """
+        event = record_fallback("admission", rejection.reason)
+        candidates = self.recall.popular_pairs()
+        flights = self.popularity_rank(candidates, k)
+        registry = get_registry()
+        registry.counter("serving.requests").inc()
+        registry.counter("serving.degraded_requests").inc()
+        # Shed responses are near-free; keeping them out of
+        # serving.latency_ms stops them dragging down the percentile the
+        # adaptive limit calibrates against.
+        registry.counter("serving.shed_requests").inc()
+        return RecommendationResponse(
+            user_id=user_id,
+            day=day,
+            flights=flights,
+            degraded=True,
+            fallbacks=[event],
+        )
+
     # ------------------------------------------------------------------
     def recommend(
         self,
@@ -197,18 +272,39 @@ class FlightRecommender:
         day: int,
         k: int = 10,
         deadline: Deadline | float | None = None,
+        priority: Priority = Priority.INTERACTIVE,
     ) -> RecommendationResponse:
         """Serve the top-``k`` flight recommendations for a user.
 
         ``deadline`` is an optional request budget — a
         :class:`~repro.resilience.Deadline` or a number of milliseconds.
-        The request never raises for an unknown user, a failing rank
-        stage, or an expired budget; it degrades and reports how in the
-        response's ``degraded``/``fallbacks`` metadata.
+        ``priority`` matters only with a guard configured: under
+        overload, lower-priority traffic is shed first.  The request
+        never raises for an unknown user, a failing rank stage, an
+        expired budget, or a refused admission; it degrades and reports
+        how in the response's ``degraded``/``fallbacks`` metadata.
         """
         if k < 1:
             raise ValueError(f"k must be >= 1, got {k}")
         deadline = self._resolve_deadline(deadline)
+        if self.guard is None:
+            return self._recommend_inner(user_id, day, k, deadline)
+        try:
+            permit = self.guard.admit(priority=priority, deadline=deadline)
+        except AdmissionRejected as rejection:
+            return self._shed_response(user_id, day, k, rejection)
+        try:
+            return self._recommend_inner(user_id, day, k, deadline)
+        finally:
+            permit.release()
+
+    def _recommend_inner(
+        self,
+        user_id: int,
+        day: int,
+        k: int,
+        deadline: Deadline | None,
+    ) -> RecommendationResponse:
         events: list[FallbackEvent] = []
         tracer = get_tracer()
         start = time.perf_counter()
@@ -309,6 +405,7 @@ class FlightRecommender:
         self,
         requests: list[tuple[int, int]],
         k: int = 10,
+        priority: Priority = Priority.BATCH,
     ) -> list[RecommendationResponse]:
         """Serve several ``(user_id, day)`` requests with ONE rank forward.
 
@@ -316,10 +413,31 @@ class FlightRecommender:
         (they are per-user work), then every candidate set is scored in a
         single micro-batched ``rank_many`` pass.  Results match
         :meth:`recommend` called request by request; a failing batch
-        degrades every request to popularity ordering.
+        degrades every request to popularity ordering.  With a guard
+        configured the whole call takes one admission slot (default
+        priority ``BATCH`` — bulk work sheds before interactive traffic);
+        a refused batch degrades every request to the shed response.
         """
         if not requests:
             return []
+        permit = None
+        if self.guard is not None:
+            try:
+                permit = self.guard.admit(priority=priority)
+            except AdmissionRejected as rejection:
+                return [
+                    self._shed_response(user_id, day, k, rejection)
+                    for user_id, day in requests
+                ]
+        try:
+            return self._recommend_many_inner(requests, k)
+        finally:
+            if permit is not None:
+                permit.release()
+
+    def _recommend_many_inner(
+        self, requests: list[tuple[int, int]], k: int
+    ) -> list[RecommendationResponse]:
         prepared = []
         for user_id, day in requests:
             events: list[FallbackEvent] = []

@@ -355,12 +355,14 @@ class Tensor:
         return Tensor._make(self.data * mask, (self,), backward)
 
     def sigmoid(self) -> "Tensor":
-        # Numerically stable logistic function.
+        # Numerically stable logistic function: exp of a non-positive
+        # argument never overflows, and computing it once covers both
+        # branches (x >= 0: 1/(1+e^-x); x < 0: e^x/(1+e^x)).
+        exp_neg = np.exp(-np.abs(np.clip(self.data, -500, 500)))
         out_data = np.where(
             self.data >= 0,
-            1.0 / (1.0 + np.exp(-np.clip(self.data, -500, 500))),
-            np.exp(np.clip(self.data, -500, 500))
-            / (1.0 + np.exp(np.clip(self.data, -500, 500))),
+            1.0 / (1.0 + exp_neg),
+            exp_neg / (1.0 + exp_neg),
         )
 
         def backward(grad, deposit):

@@ -8,7 +8,7 @@ from .evaluate import (
     evaluate_ranking,
     measure_inference_ms,
 )
-from .trainer import Trainer, TrainHistory
+from .trainer import NonFiniteLossError, Trainer, TrainHistory
 
 __all__ = [
     "TrainConfig",
@@ -17,6 +17,7 @@ __all__ = [
     "load_checkpoint",
     "Trainer",
     "TrainHistory",
+    "NonFiniteLossError",
     "evaluate_auc",
     "evaluate_ranking",
     "evaluate_model",

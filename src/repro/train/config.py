@@ -18,3 +18,6 @@ class TrainConfig:
     weight_decay: float = 0.0
     seed: int = 0
     verbose: bool = False
+    #: abort training after this many *consecutive* NaN/Inf batch losses
+    #: (single bad batches are skipped and counted, not applied).
+    max_nonfinite_batches: int = 3

@@ -22,7 +22,27 @@ from ..obs.registry import get_registry
 from ..optim import Adam
 from .config import TrainConfig
 
-__all__ = ["Trainer", "TrainHistory"]
+__all__ = ["Trainer", "TrainHistory", "NonFiniteLossError"]
+
+
+class NonFiniteLossError(RuntimeError):
+    """Training diverged: the batch loss was NaN/Inf too many times in a row.
+
+    A single non-finite loss is recoverable (the batch is skipped before
+    its gradients can poison the parameters); a *run* of them means the
+    parameters are already broken and continuing would silently train
+    garbage.
+    """
+
+    def __init__(self, epoch: int, batch_index: int, consecutive: int):
+        self.epoch = epoch
+        self.batch_index = batch_index
+        self.consecutive = consecutive
+        super().__init__(
+            f"batch loss was non-finite {consecutive} times in a row "
+            f"(last at epoch {epoch}, batch {batch_index}); "
+            f"training has diverged"
+        )
 
 
 @dataclass
@@ -38,6 +58,7 @@ class TrainHistory:
     grad_norms: list[float] = field(default_factory=list)
     thetas: list[float] = field(default_factory=list)
     examples_per_sec: list[float] = field(default_factory=list)
+    nonfinite_batches: int = 0
 
     @property
     def final_loss(self) -> float:
@@ -79,6 +100,7 @@ class Trainer:
         # only computed when someone is listening.
         observing = registry.enabled or profiler is not None
         model.train()
+        consecutive_nonfinite = 0
         for epoch in range(config.epochs):
             epoch_start = time.perf_counter()
             losses = []
@@ -89,8 +111,21 @@ class Trainer:
             )):
                 optimizer.zero_grad()
                 loss = model.loss(batch)
-                loss.backward()
+                # The loss value is checked BEFORE backward: a NaN/Inf
+                # loss would propagate NaN into every parameter gradient,
+                # and the optimizer step after it would destroy the model.
                 loss_value = loss.item()
+                if not math.isfinite(loss_value):
+                    history.nonfinite_batches += 1
+                    consecutive_nonfinite += 1
+                    registry.counter("train.nonfinite_batches").inc()
+                    if consecutive_nonfinite >= config.max_nonfinite_batches:
+                        raise NonFiniteLossError(
+                            epoch, batch_index, consecutive_nonfinite
+                        )
+                    continue
+                consecutive_nonfinite = 0
+                loss.backward()
                 if observing:
                     grad_norm = _global_grad_norm(model)
                     batch_norms.append(grad_norm)

@@ -124,3 +124,74 @@ class TestTrainer:
         stats = trainer.fit()
         assert np.isfinite(stats.epoch_losses).all()
         assert stats.epoch_losses[-1] < stats.epoch_losses[0]
+
+
+class TestPushThrottle:
+    """The guard's token bucket on the push path (gradient floods)."""
+
+    class FakeClock:
+        def __init__(self):
+            self.now = 0.0
+
+        def __call__(self):
+            return self.now
+
+        def advance(self, seconds):
+            self.now += seconds
+
+    def make_server(self, rate, burst):
+        from repro.guard import TokenBucket
+
+        clock = self.FakeClock()
+        bucket = TokenBucket(rate, burst, clock=clock)
+        server = ParameterServer(0, learning_rate=0.1, push_bucket=bucket)
+        server.register("w", np.zeros(3))
+        return server, clock
+
+    def test_over_rate_push_is_typed_and_state_free(self):
+        from repro.guard import AdmissionRejected
+
+        server, _clock = self.make_server(rate=10.0, burst=1.0)
+        server.push({"w": np.ones(3)})
+        before = server.pull()["w"].copy()
+        with pytest.raises(AdmissionRejected) as excinfo:
+            server.push({"w": np.ones(3)})
+        assert excinfo.value.site == "ps.push"
+        assert excinfo.value.reason == "rate_limited"
+        # The throttled push mutated nothing, so a later retry is safe.
+        assert server.pushes == 1
+        assert server.throttled_pushes == 1
+        np.testing.assert_allclose(server.pull()["w"], before)
+
+    def test_bucket_refill_readmits_pushes(self):
+        from repro.guard import AdmissionRejected
+
+        server, clock = self.make_server(rate=10.0, burst=1.0)
+        server.push({"w": np.ones(3)})
+        with pytest.raises(AdmissionRejected):
+            server.push({"w": np.ones(3)})
+        clock.advance(0.1)                      # one token back
+        server.push({"w": np.ones(3)})
+        assert server.pushes == 2
+
+    def test_trainer_counts_throttled_pushes(self, od_dataset):
+        """An absurdly low push_rate throttles most pushes; training
+        still completes (throttled pushes retry, then drop)."""
+        model = build_odnet(od_dataset, TINY_MODEL_CONFIG)
+        trainer = ParameterServerTrainer(
+            model, od_dataset,
+            PSConfig(num_servers=2, num_workers=2, epochs=1, seed=0,
+                     push_rate=0.5, push_burst=2.0),
+        )
+        assert trainer.push_bucket is not None
+        stats = trainer.fit()
+        assert stats.throttled_pushes > 0
+        assert np.isfinite(stats.epoch_losses).all()
+
+    def test_no_bucket_without_push_rate(self, od_dataset):
+        model = build_odnet(od_dataset, TINY_MODEL_CONFIG)
+        trainer = ParameterServerTrainer(
+            model, od_dataset,
+            PSConfig(num_servers=1, num_workers=1, epochs=1, seed=0),
+        )
+        assert trainer.push_bucket is None

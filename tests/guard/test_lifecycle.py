@@ -1,0 +1,115 @@
+"""ServerLifecycle: readiness gating, flush hooks, graceful drain."""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.guard import (
+    DRAINED,
+    DRAINING,
+    READY,
+    STARTING,
+    AdmissionRejected,
+    ServerLifecycle,
+)
+
+
+class TestReadiness:
+    def test_starts_not_ready(self):
+        lifecycle = ServerLifecycle()
+        assert lifecycle.state == STARTING
+        assert not lifecycle.ready
+        with pytest.raises(AdmissionRejected) as excinfo:
+            lifecycle.request_started()
+        assert excinfo.value.reason == "not_ready"
+
+    def test_mark_ready_opens_admission(self):
+        lifecycle = ServerLifecycle()
+        lifecycle.mark_ready()
+        assert lifecycle.state == READY and lifecycle.ready
+        lifecycle.request_started()
+        assert lifecycle.in_flight == 1
+        lifecycle.request_finished()
+
+    def test_cannot_revive_a_draining_server(self):
+        lifecycle = ServerLifecycle()
+        lifecycle.mark_ready()
+        lifecycle.drain()
+        with pytest.raises(RuntimeError, match="drained"):
+            lifecycle.mark_ready()
+
+    def test_health_payload(self):
+        lifecycle = ServerLifecycle()
+        lifecycle.mark_ready()
+        health = lifecycle.health()
+        assert health["state"] == READY and health["ready"]
+        assert health["in_flight"] == 0 and health["uptime_s"] >= 0
+
+    def test_finish_without_start_is_a_bug(self):
+        lifecycle = ServerLifecycle()
+        lifecycle.mark_ready()
+        with pytest.raises(RuntimeError, match="without a matching"):
+            lifecycle.request_finished()
+
+
+class TestDrain:
+    def test_drain_refuses_new_requests(self):
+        lifecycle = ServerLifecycle()
+        lifecycle.mark_ready()
+        assert lifecycle.drain() is True
+        assert lifecycle.state == DRAINED
+        with pytest.raises(AdmissionRejected) as excinfo:
+            lifecycle.request_started()
+        assert excinfo.value.reason == "draining"
+
+    def test_drain_runs_flush_hooks(self):
+        flushed = []
+        lifecycle = ServerLifecycle()
+        lifecycle.mark_ready()
+        lifecycle.add_flush_hook(lambda: flushed.append("batcher"))
+        lifecycle.add_flush_hook(lambda: flushed.append("cache"))
+        lifecycle.drain()
+        assert flushed == ["batcher", "cache"]
+
+    def test_drain_waits_for_in_flight(self):
+        """drain() must not report drained while a request is running."""
+        lifecycle = ServerLifecycle()
+        lifecycle.mark_ready()
+        lifecycle.request_started()
+        drained = threading.Event()
+
+        def drainer():
+            assert lifecycle.drain(timeout_s=10.0) is True
+            drained.set()
+
+        thread = threading.Thread(target=drainer)
+        thread.start()
+        # The drainer is blocked on the in-flight request...
+        assert not drained.wait(0.05)
+        assert lifecycle.state == DRAINING
+        # ...and completes only once the request finishes.
+        lifecycle.request_finished()
+        assert drained.wait(5.0)
+        thread.join()
+        assert lifecycle.state == DRAINED
+
+    def test_drain_timeout_reports_false_and_stays_draining(self):
+        lifecycle = ServerLifecycle()
+        lifecycle.mark_ready()
+        lifecycle.request_started()
+        assert lifecycle.drain(timeout_s=0.02) is False
+        assert lifecycle.state == DRAINING      # admission stays closed
+        with pytest.raises(AdmissionRejected):
+            lifecycle.request_started()
+        # A later drain() resumes waiting and can still complete.
+        lifecycle.request_finished()
+        assert lifecycle.drain(timeout_s=1.0) is True
+        assert lifecycle.state == DRAINED
+
+    def test_double_drain_is_idempotent(self):
+        lifecycle = ServerLifecycle()
+        lifecycle.mark_ready()
+        assert lifecycle.drain() is True
+        assert lifecycle.drain() is True

@@ -1,0 +1,179 @@
+"""ConcurrencyLimiter: bounded queue, typed rejections, AIMD adaptation."""
+
+from __future__ import annotations
+
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
+
+import pytest
+
+from repro.guard import (
+    AdaptiveLimitConfig,
+    AdmissionRejected,
+    ConcurrencyLimiter,
+)
+from repro.obs import use_registry
+
+
+class TestConfig:
+    @pytest.mark.parametrize("kwargs", [
+        {"target_latency_ms": 0.0},
+        {"obs_percentile": 101.0},
+        {"obs_multiplier": 0.0},
+        {"min_limit": 0},
+        {"min_limit": 8, "max_limit": 4},
+        {"increase": 0.0},
+        {"decrease": 1.0},
+        {"decrease": 0.0},
+        {"window": 0},
+    ])
+    def test_rejects_bad_knobs(self, kwargs):
+        with pytest.raises(ValueError):
+            AdaptiveLimitConfig(**kwargs)
+
+    def test_explicit_target_wins(self):
+        config = AdaptiveLimitConfig(target_latency_ms=42.0)
+        assert config.resolve_target_ms() == 42.0
+
+    def test_obs_target_needs_enough_samples(self):
+        config = AdaptiveLimitConfig(
+            obs_min_samples=5, default_target_ms=99.0,
+            obs_percentile=50, obs_multiplier=2,
+        )
+        with use_registry() as registry:
+            histogram = registry.histogram("serving.latency_ms")
+            for _ in range(4):
+                histogram.observe(10.0)
+            assert config.resolve_target_ms() == 99.0   # not enough yet
+            histogram.observe(10.0)
+            assert config.resolve_target_ms() == pytest.approx(20.0)
+
+
+class TestAcquireRelease:
+    def test_serial_acquire_release(self):
+        limiter = ConcurrencyLimiter(limit=2, max_queue=0)
+        limiter.acquire(timeout_s=0.0)
+        limiter.acquire(timeout_s=0.0)
+        assert limiter.in_flight == 2
+        limiter.release()
+        limiter.release()
+        assert limiter.in_flight == 0
+
+    def test_release_without_acquire_is_a_bug(self):
+        with pytest.raises(RuntimeError, match="without a matching"):
+            ConcurrencyLimiter(limit=1).release()
+
+    def test_queue_full_rejects_immediately(self):
+        limiter = ConcurrencyLimiter(limit=1, max_queue=0)
+        limiter.acquire(timeout_s=0.0)
+        with pytest.raises(AdmissionRejected) as excinfo:
+            limiter.acquire(timeout_s=10.0)
+        assert excinfo.value.reason == "queue_full"
+
+    def test_queue_timeout_rejects_after_waiting(self):
+        limiter = ConcurrencyLimiter(limit=1, max_queue=2)
+        limiter.acquire(timeout_s=0.0)
+        with pytest.raises(AdmissionRejected) as excinfo:
+            limiter.acquire(timeout_s=0.02)
+        assert excinfo.value.reason == "queue_timeout"
+        assert limiter.queue_depth == 0       # the waiter cleaned up
+
+    def test_waiter_gets_the_freed_slot(self):
+        limiter = ConcurrencyLimiter(limit=1, max_queue=2)
+        limiter.acquire(timeout_s=0.0)
+        acquired = threading.Event()
+
+        def waiter():
+            limiter.acquire(timeout_s=5.0)
+            acquired.set()
+
+        thread = threading.Thread(target=waiter)
+        thread.start()
+        while limiter.queue_depth == 0:       # waiter has queued up
+            time.sleep(0.001)
+        limiter.release()
+        assert acquired.wait(5.0)
+        thread.join()
+        assert limiter.in_flight == 1
+
+    def test_no_slot_lost_under_contention(self):
+        limiter = ConcurrencyLimiter(limit=3, max_queue=32)
+        peak = []
+        lock = threading.Lock()
+        active = [0]
+
+        def client(_):
+            limiter.acquire(timeout_s=10.0)
+            with lock:
+                active[0] += 1
+                peak.append(active[0])
+            with lock:
+                active[0] -= 1
+            limiter.release()
+
+        with ThreadPoolExecutor(max_workers=12) as pool:
+            list(pool.map(client, range(24)))
+        assert max(peak) <= 3
+        assert limiter.in_flight == 0 and limiter.queue_depth == 0
+
+
+class TestPressure:
+    def test_pressure_tracks_occupancy(self):
+        limiter = ConcurrencyLimiter(limit=2, max_queue=2)
+        assert limiter.pressure() == 0.0
+        limiter.acquire(timeout_s=0.0)
+        assert limiter.pressure() == pytest.approx(0.25)
+        limiter.acquire(timeout_s=0.0)
+        assert limiter.pressure() == pytest.approx(0.5)
+        limiter.release()
+        limiter.release()
+
+
+class TestAIMD:
+    def config(self, **kwargs):
+        defaults = dict(
+            target_latency_ms=100.0, min_limit=1, max_limit=8, window=4
+        )
+        defaults.update(kwargs)
+        return AdaptiveLimitConfig(**defaults)
+
+    def test_over_target_window_halves_the_limit(self):
+        limiter = ConcurrencyLimiter(limit=4, adaptive=self.config())
+        for _ in range(4):
+            limiter.observe(400.0)
+        assert limiter.limit == 2
+        assert limiter.adaptations == 1
+
+    def test_on_target_window_adds_to_the_limit(self):
+        limiter = ConcurrencyLimiter(limit=4, adaptive=self.config())
+        for _ in range(4):
+            limiter.observe(10.0)
+        assert limiter.limit == 5
+
+    def test_limit_stays_within_bounds(self):
+        limiter = ConcurrencyLimiter(
+            limit=2, adaptive=self.config(min_limit=2, max_limit=3)
+        )
+        for _ in range(20):
+            limiter.observe(500.0)
+        assert limiter.limit == 2
+        for _ in range(20):
+            limiter.observe(1.0)
+        assert limiter.limit == 3
+
+    def test_release_latency_feeds_the_controller(self):
+        limiter = ConcurrencyLimiter(limit=4, adaptive=self.config())
+        for _ in range(4):
+            limiter.acquire(timeout_s=0.0)
+        for _ in range(4):
+            limiter.release(latency_ms=400.0)
+        assert limiter.limit == 2
+
+    def test_gauges_exported(self):
+        with use_registry() as registry:
+            limiter = ConcurrencyLimiter(limit=4, adaptive=self.config())
+            limiter.acquire(timeout_s=0.0)
+            limiter.release(latency_ms=5.0)
+            assert registry.gauge("guard.in_flight").value == 0
+            assert registry.gauge("guard.limit").value == 4

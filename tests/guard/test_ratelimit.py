@@ -1,0 +1,66 @@
+"""TokenBucket: lazy refill, bursts, deterministic via injected clock."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.guard import TokenBucket
+
+
+class FakeClock:
+    def __init__(self, start: float = 0.0):
+        self.now = start
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
+class TestConstruction:
+    @pytest.mark.parametrize("kwargs", [
+        {"rate": 0.0}, {"rate": -1.0}, {"rate": 5.0, "capacity": 0.0},
+        {"rate": 5.0, "capacity": -2.0},
+    ])
+    def test_rejects_bad_knobs(self, kwargs):
+        with pytest.raises(ValueError):
+            TokenBucket(**kwargs)
+
+    def test_capacity_defaults_to_rate(self):
+        assert TokenBucket(rate=7.0).capacity == 7.0
+
+
+class TestAcquire:
+    def test_starts_full_and_allows_a_burst(self):
+        clock = FakeClock()
+        bucket = TokenBucket(rate=1.0, capacity=3.0, clock=clock)
+        assert [bucket.try_acquire() for _ in range(4)] == [
+            True, True, True, False
+        ]
+
+    def test_refills_at_rate(self):
+        clock = FakeClock()
+        bucket = TokenBucket(rate=2.0, capacity=2.0, clock=clock)
+        assert bucket.try_acquire(2.0)
+        assert not bucket.try_acquire()
+        clock.advance(0.5)           # 0.5s * 2 tokens/s = 1 token back
+        assert bucket.try_acquire()
+        assert not bucket.try_acquire()
+
+    def test_refill_caps_at_capacity(self):
+        clock = FakeClock()
+        bucket = TokenBucket(rate=10.0, capacity=2.0, clock=clock)
+        clock.advance(100.0)
+        assert bucket.available == 2.0
+
+    def test_rejects_nonpositive_token_request(self):
+        with pytest.raises(ValueError):
+            TokenBucket(rate=1.0).try_acquire(0.0)
+
+    def test_fractional_tokens(self):
+        clock = FakeClock()
+        bucket = TokenBucket(rate=1.0, capacity=1.0, clock=clock)
+        assert bucket.try_acquire(0.75)
+        assert not bucket.try_acquire(0.5)
+        assert bucket.try_acquire(0.25)

@@ -1,0 +1,66 @@
+"""LoadShedder: priority thresholds, shed ordering, typed rejections."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.guard import AdmissionRejected, LoadShedder, Priority, ShedPolicy
+from repro.obs import use_registry
+
+
+class TestPolicy:
+    @pytest.mark.parametrize("kwargs", [
+        {"background_at": 0.0},
+        {"background_at": 1.5},
+        {"background_at": 0.9, "batch_at": 0.5},       # inverted order
+        {"batch_at": 0.9, "interactive_at": 0.5},
+    ])
+    def test_rejects_bad_thresholds(self, kwargs):
+        with pytest.raises(ValueError):
+            ShedPolicy(**kwargs)
+
+    def test_default_ordering(self):
+        policy = ShedPolicy()
+        assert (
+            policy.threshold(Priority.BACKGROUND)
+            < policy.threshold(Priority.BATCH)
+            < policy.threshold(Priority.INTERACTIVE)
+        )
+
+
+class TestShedding:
+    def test_idle_system_sheds_nothing(self):
+        shedder = LoadShedder()
+        for priority in Priority:
+            shedder.check(priority, pressure=0.0)
+
+    def test_sheds_lowest_priority_first(self):
+        shedder = LoadShedder(ShedPolicy(
+            background_at=0.5, batch_at=0.75, interactive_at=1.0
+        ))
+        # At 60% pressure only background sheds.
+        shedder.check(Priority.INTERACTIVE, 0.6)
+        shedder.check(Priority.BATCH, 0.6)
+        with pytest.raises(AdmissionRejected):
+            shedder.check(Priority.BACKGROUND, 0.6)
+        # At 80% batch sheds too; interactive still admitted.
+        shedder.check(Priority.INTERACTIVE, 0.8)
+        with pytest.raises(AdmissionRejected):
+            shedder.check(Priority.BATCH, 0.8)
+        # Only complete saturation sheds interactive.
+        with pytest.raises(AdmissionRejected):
+            shedder.check(Priority.INTERACTIVE, 1.0)
+        assert shedder.shed_counts == {
+            Priority.INTERACTIVE: 1, Priority.BATCH: 1,
+            Priority.BACKGROUND: 1,
+        }
+
+    def test_rejection_is_typed_and_labelled(self):
+        shedder = LoadShedder(site="serving.admission")
+        with use_registry() as registry:
+            with pytest.raises(AdmissionRejected) as excinfo:
+                shedder.check(Priority.BACKGROUND, 1.0)
+            assert excinfo.value.reason == "shed:background"
+            assert excinfo.value.priority is Priority.BACKGROUND
+            assert excinfo.value.site == "serving.admission"
+            assert registry.counter("guard.shed").value == 1

@@ -97,8 +97,8 @@ class TestArtifacts:
     def written(self, tmp_path_factory):
         return run_bench(TINY_BENCH, tmp_path_factory.mktemp("bench"))
 
-    def test_writes_both_files(self, written):
-        assert sorted(written) == ["serving", "training"]
+    def test_writes_all_three_files(self, written):
+        assert sorted(written) == ["overload", "serving", "training"]
         for path in written.values():
             assert path.exists()
 

@@ -8,6 +8,7 @@ from concurrent.futures import ThreadPoolExecutor
 
 import pytest
 
+from repro.guard import AdmissionRejected
 from repro.obs import use_observability
 from repro.perf import MicroBatchConfig, MicroBatcher
 from repro.resilience import Deadline
@@ -24,6 +25,7 @@ class TestConfig:
 
     @pytest.mark.parametrize("kwargs", [
         {"max_batch": 0}, {"max_batch": -1}, {"max_wait_ms": -0.5},
+        {"max_batch": 4, "max_queue": 3},
     ])
     def test_rejects_bad_knobs(self, kwargs):
         with pytest.raises(ValueError):
@@ -96,6 +98,22 @@ class TestDeadline:
         )
         assert batcher.submit(1, deadline=deadline) == 2
 
+    def test_expired_deadline_never_waits(self):
+        """An already-expired deadline must flush on the spot — with a
+        10-minute max_wait the only way this test passes quickly is a
+        zero wait budget."""
+        expired = Deadline(budget_ms=1.0)
+        while not expired.expired:
+            time.sleep(0.001)
+        batcher = MicroBatcher(
+            doubler, MicroBatchConfig(max_batch=64, max_wait_ms=600_000.0)
+        )
+        start = time.perf_counter()
+        assert batcher.submit(7, deadline=expired) == 14
+        elapsed_ms = (time.perf_counter() - start) * 1000.0
+        assert elapsed_ms < 1_000.0
+        assert batcher.batches == 1
+
 
 class TestErrors:
     def test_execute_error_reaches_every_caller(self):
@@ -151,7 +169,73 @@ class TestObservability:
             assert 1 <= occupancy.max <= 3
 
 
+class TestBoundedQueue:
+    def test_full_batcher_rejects_with_typed_error(self):
+        release = threading.Event()
+        entered = threading.Event()
+
+        def blocking_execute(items):
+            entered.set()
+            release.wait(5.0)
+            return doubler(items)
+
+        batcher = MicroBatcher(
+            blocking_execute,
+            MicroBatchConfig(max_batch=2, max_wait_ms=10_000.0, max_queue=2),
+        )
+        with ThreadPoolExecutor(max_workers=2) as pool:
+            # A full batch flushes and blocks inside the slow model —
+            # those two requests still occupy the bounded capacity.
+            first = [pool.submit(batcher.submit, i) for i in range(2)]
+            assert entered.wait(5.0)
+            assert batcher.in_flight == 2
+            with pytest.raises(AdmissionRejected) as excinfo:
+                batcher.submit(99)
+            assert excinfo.value.site == "perf.microbatch"
+            assert excinfo.value.reason == "queue_full"
+            release.set()
+            assert sorted(f.result() for f in first) == [0, 2]
+        assert batcher.in_flight == 0        # capacity freed on completion
+
+    def test_unbounded_by_default(self):
+        batcher = MicroBatcher(
+            doubler, MicroBatchConfig(max_batch=4, max_wait_ms=1.0)
+        )
+        with ThreadPoolExecutor(max_workers=8) as pool:
+            futures = [pool.submit(batcher.submit, i) for i in range(32)]
+            assert sorted(f.result() for f in futures) == [
+                i * 2 for i in range(32)
+            ]
+
+    def test_flush_drains_the_pool(self):
+        batcher = MicroBatcher(
+            doubler, MicroBatchConfig(max_batch=8, max_wait_ms=10_000.0)
+        )
+        with ThreadPoolExecutor(max_workers=2) as pool:
+            futures = [pool.submit(batcher.submit, i) for i in (1, 2)]
+            while batcher.queue_depth < 2:
+                time.sleep(0.001)
+            # Without the flush these two would idle out the 10s wait.
+            assert batcher.flush() == 2
+            assert sorted(f.result() for f in futures) == [2, 4]
+        assert batcher.flush() == 0          # empty pool is a no-op
+
+
 class TestConcurrencySafety:
+    def test_stats_exact_under_concurrent_flushes(self):
+        """Satellite regression: ``batches``/``batched_requests`` used to
+        be updated outside the lock, so concurrent flushing threads lost
+        increments.  With max_wait 0 every submit flushes its own batch
+        — the counters must come out exact, not approximately right."""
+        batcher = MicroBatcher(
+            doubler, MicroBatchConfig(max_batch=1, max_wait_ms=0.0)
+        )
+        total = 400
+        with ThreadPoolExecutor(max_workers=16) as pool:
+            list(pool.map(batcher.submit, range(total)))
+        assert batcher.batches == total
+        assert batcher.batched_requests == total
+
     def test_no_request_lost_under_contention(self):
         """Hammer the batcher from many threads; every item must come
         back exactly once with its own answer."""

@@ -1,0 +1,37 @@
+"""Sigmoid: numerical stability and the single-exponential rewrite."""
+
+import numpy as np
+
+from repro.tensor import Tensor
+
+
+class TestSigmoid:
+    def test_matches_reference_on_moderate_inputs(self):
+        x = np.linspace(-20.0, 20.0, 401)
+        out = Tensor(x).sigmoid()
+        np.testing.assert_allclose(out.data, 1.0 / (1.0 + np.exp(-x)),
+                                   rtol=1e-12, atol=0.0)
+
+    def test_extreme_inputs_saturate_without_warnings(self):
+        x = np.array([-1e9, -1000.0, -600.0, 600.0, 1000.0, 1e9])
+        with np.errstate(over="raise", invalid="raise"):
+            out = Tensor(x).sigmoid().data
+        assert np.all(np.isfinite(out))
+        np.testing.assert_allclose(out[:3], 0.0, atol=1e-200)
+        np.testing.assert_allclose(out[3:], 1.0)
+
+    def test_symmetry(self):
+        # sigmoid(-x) == 1 - sigmoid(x): the two np.where branches must
+        # agree exactly since they share the same exponential.
+        x = np.linspace(0.0, 30.0, 301)
+        pos = Tensor(x).sigmoid().data
+        neg = Tensor(-x).sigmoid().data
+        np.testing.assert_allclose(neg, 1.0 - pos, rtol=0.0, atol=1e-15)
+
+    def test_gradient(self):
+        x = Tensor(np.array([-3.0, -0.5, 0.0, 0.5, 3.0]),
+                   requires_grad=True)
+        out = x.sigmoid()
+        out.sum().backward()
+        s = out.data
+        np.testing.assert_allclose(x.grad, s * (1.0 - s), rtol=1e-12)

@@ -27,9 +27,17 @@ REQUIRED = {
         "cache": ("hits", "misses"),
     },
     "training": {},
+    "overload": {
+        "admitted_latency_ms": ("count", "p50_ms", "p99_ms", "max_ms"),
+        "shed_latency_ms": ("count", "p50_ms", "p99_ms", "max_ms"),
+        "per_priority": (),
+        "guard_counters": ("admitted", "shed", "drains"),
+    },
 }
 TOP_LEVEL = ("benchmark", "schema_version", "config")
 TRAINING_SCALARS = ("examples_per_sec", "elapsed_s", "epochs")
+OVERLOAD_SCALARS = ("offered", "admitted", "shed", "drained",
+                    "empty_responses")
 
 
 def _fail(path: str, message: str) -> None:
@@ -68,6 +76,20 @@ def check(path: str) -> str:
             _positive(path, f"{section}.requests_per_sec",
                       report[section]["requests_per_sec"])
         _positive(path, "cache.misses", report["cache"]["misses"])
+    elif kind == "overload":
+        for key in OVERLOAD_SCALARS:
+            if key not in report:
+                _fail(path, f"missing {key!r}")
+        _positive(path, "offered", report["offered"])
+        _positive(path, "admitted", report["admitted"])
+        _positive(path, "admitted_latency_ms.p99_ms",
+                  report["admitted_latency_ms"]["p99_ms"])
+        if report["drained"] is not True:
+            _fail(path, f"drain did not complete: drained="
+                        f"{report['drained']!r}")
+        if report["empty_responses"] != 0:
+            _fail(path, f"overload run produced "
+                        f"{report['empty_responses']} empty responses")
     else:
         for key in TRAINING_SCALARS:
             if key not in report:
