@@ -42,8 +42,13 @@ _EXPERIMENTS = {
     "chaos": "seeded fault-injection demo (degraded serving + PS training); "
              "--overload runs the admission-control overload scenario",
     "bench": "perf baseline: serving p50/p99 + rps, training examples/sec, "
-             "and the overload phase -> BENCH_serving.json / "
-             "BENCH_training.json / BENCH_overload.json",
+             "overload, and the multi-process cluster phase -> "
+             "BENCH_serving.json / BENCH_training.json / "
+             "BENCH_overload.json / BENCH_cluster.json "
+             "(--phase selects a subset)",
+    "cluster": "multi-process serving demo: N workers behind the routing "
+               "gateway, then a rolling zero-downtime drain of one worker "
+               "under live traffic",
 }
 
 
@@ -79,6 +84,18 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--output-dir", default=".", metavar="DIR",
                         help="for 'bench': where BENCH_*.json are written "
                              "(default: current directory)")
+    parser.add_argument("--phase", action="append", default=None,
+                        choices=("serving", "training", "overload",
+                                 "cluster"),
+                        help="for 'bench': run only this phase (repeatable; "
+                             "default: all phases)")
+    parser.add_argument("--workers", type=int, default=2, metavar="N",
+                        help="for 'cluster': number of worker processes "
+                             "(default: 2)")
+    parser.add_argument("--requests", type=int, default=24, metavar="R",
+                        help="for 'cluster': requests to serve through the "
+                             "gateway before and during the rolling drain "
+                             "(default: 24)")
     return parser
 
 
@@ -293,6 +310,88 @@ def _chaos(args) -> str:
     return "\n".join(lines)
 
 
+def _cluster(args) -> str:
+    """Live multi-process demo: serve through the gateway, then roll a
+    worker under traffic and show that nothing was lost.
+
+    Exits non-zero if any request failed or the drain did not complete —
+    this is the CI cluster-smoke contract.
+    """
+    from concurrent.futures import ThreadPoolExecutor
+
+    from .cluster import ServingCluster, quick_cluster_config
+    from .obs import MetricsRegistry, use_registry
+
+    if args.workers < 2:
+        raise SystemExit("repro cluster: --workers must be >= 2 "
+                         "(a rolling drain needs a replica to absorb)")
+    config = quick_cluster_config(num_workers=args.workers, seed=args.seed)
+    lines = []
+    with use_registry(
+        MetricsRegistry(default_labels={"process": "gateway"})
+    ), ServingCluster(config) as cluster:
+        client = cluster.client()
+        requests = [
+            {"user_id": (index * 17 + 1) % config.num_users,
+             "day": 720, "k": 5}
+            for index in range(max(1, args.requests))
+        ]
+        with ThreadPoolExecutor(max_workers=4) as pool:
+            responses = list(pool.map(client.recommend, requests))
+        routed: dict[int, int] = {}
+        for response in responses:
+            routed[response["routed_worker"]] = (
+                routed.get(response["routed_worker"], 0) + 1
+            )
+        health = cluster.gateway.cluster_health()
+        lines.append(
+            f"== cluster ({config.num_workers} workers behind "
+            f"{cluster.gateway_address[0]}:{cluster.gateway_address[1]}) =="
+        )
+        lines.append(
+            f"served={len(responses)}  routed=" + "  ".join(
+                f"w{worker}:{count}" for worker, count in sorted(routed.items())
+            )
+        )
+        lines.append(
+            f"ready={health['ready']}/{health['workers']}  "
+            f"gateway_routed={health['gateway']['routed']:.0f}  "
+            f"retried={health['gateway']['retried']:.0f}"
+        )
+
+        # Rolling drain of worker 0 while traffic keeps flowing.
+        failures = []
+        with ThreadPoolExecutor(max_workers=4) as pool:
+            futures = [
+                pool.submit(client.recommend, item) for item in requests
+            ]
+            reports = cluster.rolling_restart(worker_ids=[0])
+            for future in futures:
+                try:
+                    future.result()
+                except Exception as exc:  # noqa: BLE001 - counted, reported
+                    failures.append(f"{type(exc).__name__}: {exc}")
+        after = cluster.gateway.cluster_health()
+        lines.append(
+            f"rolling drain: worker=0 drained={reports[0]['drained']}  "
+            f"model_version={reports[0]['model_version']}  "
+            f"in_flight_requests={len(requests)}  failed={len(failures)}"
+        )
+        lines.append(
+            f"post-drain ready={after['ready']}/{after['workers']}  "
+            f"retried={after['gateway']['retried']:.0f}  "
+            f"rejected={after['gateway']['rejected']:.0f}"
+        )
+    if failures:
+        raise SystemExit(
+            "repro cluster: requests failed during the rolling drain:\n  "
+            + "\n  ".join(failures[:5])
+        )
+    if not reports[0]["drained"]:
+        raise SystemExit("repro cluster: worker 0 did not drain cleanly")
+    return "\n".join(lines)
+
+
 def _bench(args) -> str:
     """Run the perf baseline and report where the JSON landed."""
     import json
@@ -300,7 +399,8 @@ def _bench(args) -> str:
     from .perf import quick_bench_config, run_bench
 
     config = quick_bench_config(seed=args.seed) if args.quick else None
-    written = run_bench(config, output_dir=args.output_dir)
+    written = run_bench(config, output_dir=args.output_dir,
+                        phases=args.phase)
     lines = []
     for name, path in sorted(written.items()):
         report = json.loads(path.read_text())
@@ -319,6 +419,19 @@ def _bench(args) -> str:
                 f"{report['microbatched_uncached']['requests_per_sec']:.1f} rps "
                 f"({report['microbatched_uncached']['speedup_vs_uncached']:.2f}x "
                 f"vs uncached)"
+            )
+        elif name == "cluster":
+            lines.append(
+                f"cluster: {report['workers']} workers "
+                f"{report['cluster']['requests_per_sec']:.1f} rps vs "
+                f"concurrent-direct "
+                f"{report['concurrent_direct']['requests_per_sec']:.1f} rps "
+                f"({report['cluster']['speedup_vs_concurrent_direct']:.2f}x, "
+                f"efficiency "
+                f"{report['cluster']['scaling_efficiency']:.2f}/worker)  "
+                f"rolling drain: {report['rolling_drain']['requests']} reqs, "
+                f"{report['rolling_drain']['failed']} failed, "
+                f"drained={report['rolling_drain']['drained']}"
             )
         elif name == "overload":
             lines.append(
@@ -347,6 +460,8 @@ def run_experiment(args) -> str:
         return _chaos(args)
     if args.experiment == "bench":
         return _bench(args)
+    if args.experiment == "cluster":
+        return _cluster(args)
     if args.experiment == "table1":
         return _table1(args)
     if args.experiment == "table2":

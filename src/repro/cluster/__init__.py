@@ -1,0 +1,48 @@
+"""``repro.cluster`` — multi-process serving with a routing gateway.
+
+The scale-out layer over the single-process serving stack: N worker
+processes (each its own :class:`~repro.serving.FlightRecommender` +
+frozen-graph cache on its own GIL) behind a stdlib HTTP gateway that
+
+- routes by consistent hash on the user id (stable placement) with
+  least-loaded replicas as fallbacks,
+- retries against a replica when a worker is draining, not ready, or its
+  circuit breaker is open,
+- aggregates per-worker health and worker-labelled metrics, and
+- performs rolling zero-downtime drains: exclude -> drain -> reload
+  (model-version bump behind a fresh lifecycle) -> readmit.
+
+Everything is stdlib (``multiprocessing`` + ``http.server`` +
+``http.client``); see ``python -m repro cluster`` for the live demo and
+the ``cluster`` bench phase for the scale-out numbers.
+"""
+
+from .client import (
+    ClusterProtocolError,
+    WorkerClient,
+    WorkerUnavailable,
+    http_request_json,
+)
+from .config import ClusterConfig, quick_cluster_config
+from .gateway import Gateway, GatewayError, GatewayServer, WorkerHandle
+from .hashring import ConsistentHashRing
+from .manager import ClusterStartupError, ServingCluster
+from .worker import WorkerRuntime, worker_main
+
+__all__ = [
+    "ClusterConfig",
+    "quick_cluster_config",
+    "ConsistentHashRing",
+    "WorkerClient",
+    "WorkerUnavailable",
+    "ClusterProtocolError",
+    "http_request_json",
+    "Gateway",
+    "GatewayError",
+    "GatewayServer",
+    "WorkerHandle",
+    "WorkerRuntime",
+    "worker_main",
+    "ServingCluster",
+    "ClusterStartupError",
+]

@@ -1,0 +1,195 @@
+"""Stdlib HTTP/JSON plumbing for the cluster (no third-party clients).
+
+:class:`WorkerClient` is the gateway's handle on one worker: keep-alive
+connections (one per calling thread — gateway handler threads each hold
+their own socket, so no lock contention on the wire), JSON in/out, and a
+single typed failure, :class:`WorkerUnavailable`, covering everything the
+gateway should *retry against a replica*: connection refused/reset, a
+timeout, or an explicit 503 from a draining / not-yet-ready worker.
+
+Anything else (a 4xx, a worker-side 500 with a JSON body) surfaces as
+:class:`ClusterProtocolError` — a bug, not a routing event.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import socket
+import threading
+
+__all__ = [
+    "ClusterProtocolError",
+    "WorkerUnavailable",
+    "WorkerClient",
+    "http_request_json",
+]
+
+
+class ClusterProtocolError(RuntimeError):
+    """A malformed exchange — not retryable, somebody has a bug."""
+
+
+class _NoDelayHTTPConnection(http.client.HTTPConnection):
+    """An HTTPConnection with Nagle disabled — request/response bodies
+    here are tiny, and coalescing delays would dominate the latency."""
+
+    def connect(self):
+        super().connect()
+        self.sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+
+
+class WorkerUnavailable(RuntimeError):
+    """The endpoint cannot take this request now; retry a replica."""
+
+    def __init__(self, endpoint: str, reason: str):
+        super().__init__(f"worker {endpoint} unavailable: {reason}")
+        self.endpoint = endpoint
+        self.reason = reason
+
+
+def http_request_json(
+    host: str,
+    port: int,
+    method: str,
+    path: str,
+    payload: dict | None = None,
+    timeout_s: float = 10.0,
+) -> tuple[int, dict]:
+    """One-shot request (own connection); returns ``(status, body)``."""
+    connection = _NoDelayHTTPConnection(host, port, timeout=timeout_s)
+    try:
+        body = None if payload is None else json.dumps(payload)
+        headers = {"Content-Type": "application/json"} if body else {}
+        connection.request(method, path, body=body, headers=headers)
+        response = connection.getresponse()
+        raw = response.read()
+        return response.status, _decode(raw)
+    finally:
+        connection.close()
+
+
+def _decode(raw: bytes) -> dict:
+    if not raw:
+        return {}
+    try:
+        decoded = json.loads(raw)
+    except json.JSONDecodeError as exc:
+        raise ClusterProtocolError(f"non-JSON response body: {raw[:200]!r}") from exc
+    if not isinstance(decoded, dict):
+        raise ClusterProtocolError(f"expected a JSON object, got {decoded!r}")
+    return decoded
+
+
+class WorkerClient:
+    """Thread-local keep-alive JSON client for one worker endpoint."""
+
+    def __init__(self, host: str, port: int, timeout_s: float = 10.0):
+        self.host = host
+        self.port = port
+        self.timeout_s = timeout_s
+        self._local = threading.local()
+
+    @property
+    def endpoint(self) -> str:
+        return f"{self.host}:{self.port}"
+
+    # ------------------------------------------------------------------
+    def _connection(self) -> http.client.HTTPConnection:
+        connection = getattr(self._local, "connection", None)
+        if connection is None:
+            connection = _NoDelayHTTPConnection(
+                self.host, self.port, timeout=self.timeout_s
+            )
+            self._local.connection = connection
+        return connection
+
+    def _drop_connection(self) -> None:
+        connection = getattr(self._local, "connection", None)
+        if connection is not None:
+            connection.close()
+            self._local.connection = None
+
+    def request(
+        self,
+        method: str,
+        path: str,
+        payload: dict | None = None,
+        timeout_s: float | None = None,
+    ) -> tuple[int, dict]:
+        """JSON request over the thread's keep-alive connection.
+
+        One silent reconnect covers a server-closed keep-alive socket;
+        a fresh-connection failure is the real signal and raises
+        :class:`WorkerUnavailable`.
+        """
+        body = None if payload is None else json.dumps(payload)
+        headers = {"Content-Type": "application/json"} if body else {}
+        for attempt in (0, 1):
+            connection = self._connection()
+            if timeout_s is not None:
+                connection.timeout = timeout_s
+            try:
+                connection.request(method, path, body=body, headers=headers)
+                response = connection.getresponse()
+                raw = response.read()
+                return response.status, _decode(raw)
+            except (ConnectionError, http.client.HTTPException,
+                    socket.timeout, OSError) as exc:
+                self._drop_connection()
+                if attempt == 1 or isinstance(exc, socket.timeout):
+                    raise WorkerUnavailable(
+                        self.endpoint, f"{type(exc).__name__}: {exc}"
+                    ) from exc
+        raise AssertionError("unreachable")
+
+    # ------------------------------------------------------------------
+    def recommend(self, payload: dict, timeout_s: float | None = None) -> dict:
+        status, body = self.request(
+            "POST", "/recommend", payload, timeout_s=timeout_s
+        )
+        if status == 503:
+            raise WorkerUnavailable(
+                self.endpoint, body.get("error", "unavailable")
+            )
+        if status != 200:
+            raise ClusterProtocolError(
+                f"worker {self.endpoint} /recommend -> {status}: {body}"
+            )
+        return body
+
+    def health(self, timeout_s: float | None = None) -> dict:
+        status, body = self.request("GET", "/health", timeout_s=timeout_s)
+        if status != 200:
+            raise WorkerUnavailable(self.endpoint, f"health -> {status}")
+        return body
+
+    def drain(self, timeout_s: float | None = None) -> dict:
+        status, body = self.request(
+            "POST", "/admin/drain",
+            {} if timeout_s is None else {"timeout_s": timeout_s},
+            timeout_s=None if timeout_s is None else timeout_s + 5.0,
+        )
+        if status != 200:
+            raise ClusterProtocolError(
+                f"worker {self.endpoint} /admin/drain -> {status}: {body}"
+            )
+        return body
+
+    def reload(self, timeout_s: float | None = None) -> dict:
+        status, body = self.request(
+            "POST", "/admin/reload", {}, timeout_s=timeout_s
+        )
+        if status != 200:
+            raise ClusterProtocolError(
+                f"worker {self.endpoint} /admin/reload -> {status}: {body}"
+            )
+        return body
+
+    def shutdown(self) -> None:
+        try:
+            self.request("POST", "/admin/shutdown", {}, timeout_s=5.0)
+        except WorkerUnavailable:
+            pass  # already gone is the goal state
+        finally:
+            self._drop_connection()

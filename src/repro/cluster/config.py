@@ -1,0 +1,86 @@
+"""Configuration for the multi-process serving cluster.
+
+One :class:`ClusterConfig` describes the whole deployment: how many
+worker processes to launch, the (deterministic) dataset/model every
+replica builds from the shared seed, the per-worker guard knobs, and the
+gateway's routing/retry policy.  The dataclass is frozen and picklable —
+it crosses the ``multiprocessing`` boundary as the single source of
+truth for a worker's construction, which is what makes replicas
+identical: same seed, same world, same weights.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+from dataclasses import dataclass
+
+__all__ = ["ClusterConfig", "quick_cluster_config"]
+
+
+@dataclass(frozen=True)
+class ClusterConfig:
+    """Knobs for one gateway + N-worker serving cluster."""
+
+    # --- topology -----------------------------------------------------
+    num_workers: int = 2
+    host: str = "127.0.0.1"
+    start_method: str | None = None   # None -> fork when available
+
+    # --- the model every replica builds (deterministic from seed) -----
+    num_users: int = 1200
+    num_cities: int = 60
+    seed: int = 0
+    use_cache: bool = True
+
+    # --- per-worker guard (admission + lifecycle/drain) ---------------
+    max_concurrent: int = 8
+    max_queue: int = 32
+    queue_timeout_ms: float = 250.0
+
+    # --- gateway routing ----------------------------------------------
+    vnodes: int = 64                  # virtual nodes per worker on the ring
+    request_timeout_s: float = 15.0
+    health_timeout_s: float = 5.0
+    breaker_window: int = 8
+    breaker_threshold: float = 0.5
+    breaker_min_calls: int = 4
+    breaker_recovery_s: float = 1.0
+
+    # --- lifecycle ----------------------------------------------------
+    startup_timeout_s: float = 120.0
+    drain_timeout_s: float = 30.0
+    default_k: int = 5
+
+    def __post_init__(self):
+        if self.num_workers < 1:
+            raise ValueError(
+                f"num_workers must be >= 1, got {self.num_workers}"
+            )
+        if self.vnodes < 1:
+            raise ValueError(f"vnodes must be >= 1, got {self.vnodes}")
+        if self.start_method is not None and \
+                self.start_method not in multiprocessing.get_all_start_methods():
+            raise ValueError(
+                f"start_method {self.start_method!r} not available "
+                f"(have {multiprocessing.get_all_start_methods()})"
+            )
+
+    def resolved_start_method(self) -> str:
+        """``fork`` when the platform offers it (no re-import tax per
+        worker), else ``spawn`` — overridable for tests/CI."""
+        if self.start_method is not None:
+            return self.start_method
+        methods = multiprocessing.get_all_start_methods()
+        return "fork" if "fork" in methods else "spawn"
+
+
+def quick_cluster_config(
+    num_workers: int = 2, seed: int = 0
+) -> ClusterConfig:
+    """A smoke-test sized cluster (seconds to boot, not minutes)."""
+    return ClusterConfig(
+        num_workers=num_workers,
+        num_users=300,
+        num_cities=30,
+        seed=seed,
+    )

@@ -1,0 +1,261 @@
+"""The cluster's front door: route, retry, aggregate health, drain-aware.
+
+The :class:`Gateway` owns a :class:`~repro.cluster.hashring.ConsistentHashRing`
+mapping user ids to a *preferred* worker, with the remaining replicas as
+least-loaded fallbacks.  A request is retried down that candidate list
+whenever a worker is excluded (being rolled), its circuit breaker is
+open, or the call comes back unavailable (connection failure, timeout,
+or a 503 from a draining/not-ready worker).  Because every replica is
+model-identical, a retry is invisible to the caller — this is what makes
+the rolling drain zero-downtime.
+
+Observability (all in the gateway process's registry):
+
+- ``gateway.routed`` — successful proxies, aggregate and per-``worker``;
+- ``gateway.retried`` — attempts after the first;
+- ``gateway.worker_unready`` — candidates skipped or failed, labelled by
+  ``worker`` and ``reason`` (``excluded`` / ``breaker_open`` /
+  ``unavailable``);
+- ``gateway.rejected`` — requests no replica could take;
+- ``gateway.inflight`` (gauge) — requests currently inside the gateway.
+
+:class:`GatewayServer` exposes the gateway over the same stdlib HTTP
+dialect the workers speak: ``POST /recommend`` and ``GET /health``.
+"""
+
+from __future__ import annotations
+
+import threading
+
+from ..obs.registry import get_registry
+from ..resilience import CircuitBreaker
+from .client import WorkerClient, WorkerUnavailable
+from .config import ClusterConfig
+from .hashring import ConsistentHashRing
+from .httpd import JsonHttpServer
+
+__all__ = ["GatewayError", "WorkerHandle", "Gateway", "GatewayServer"]
+
+
+class GatewayError(RuntimeError):
+    """Every replica refused or failed this request."""
+
+
+class WorkerHandle:
+    """Gateway-side view of one worker: client, breaker, live load."""
+
+    def __init__(self, worker_id: int, client, config: ClusterConfig):
+        self.worker_id = worker_id
+        self.name = f"w{worker_id}"
+        self.client = client
+        self.config = config
+        self.excluded = False
+        self.breaker = self._fresh_breaker()
+        self._lock = threading.Lock()
+        self._in_flight = 0
+
+    def _fresh_breaker(self) -> CircuitBreaker:
+        return CircuitBreaker(
+            f"gateway.{self.name}",
+            window=self.config.breaker_window,
+            failure_threshold=self.config.breaker_threshold,
+            min_calls=self.config.breaker_min_calls,
+            recovery_s=self.config.breaker_recovery_s,
+        )
+
+    def reset_breaker(self) -> None:
+        """Forget accumulated failures (a readmitted worker starts clean)."""
+        self.breaker = self._fresh_breaker()
+
+    # ------------------------------------------------------------------
+    @property
+    def in_flight(self) -> int:
+        return self._in_flight
+
+    def begin(self) -> None:
+        with self._lock:
+            self._in_flight += 1
+
+    def end(self) -> None:
+        with self._lock:
+            self._in_flight -= 1
+
+
+class Gateway:
+    """Routes requests across worker replicas; owns exclude/readmit."""
+
+    def __init__(self, handles: list[WorkerHandle], config: ClusterConfig):
+        if not handles:
+            raise ValueError("gateway needs at least one worker handle")
+        self.config = config
+        self.handles = list(handles)
+        self._by_name = {handle.name: handle for handle in self.handles}
+        self.ring = ConsistentHashRing(
+            [handle.name for handle in self.handles], vnodes=config.vnodes
+        )
+        self._inflight = 0
+        self._inflight_lock = threading.Lock()
+
+    # ------------------------------------------------------------------
+    def worker(self, worker_id: int) -> WorkerHandle:
+        handle = self._by_name.get(f"w{worker_id}")
+        if handle is None:
+            raise KeyError(f"no worker w{worker_id}")
+        return handle
+
+    def route_order(self, user_id) -> list[WorkerHandle]:
+        """Preferred owner by consistent hash, then replicas least-loaded
+        first — the fallback order a retry walks."""
+        names = self.ring.preference(
+            user_id, [handle.name for handle in self.handles]
+        )
+        ordered = [self._by_name[name] for name in names]
+        return [ordered[0]] + sorted(
+            ordered[1:], key=lambda handle: handle.in_flight
+        )
+
+    # ------------------------------------------------------------------
+    def recommend(self, payload: dict) -> dict:
+        """Proxy one ranking request; raises :class:`GatewayError` only
+        when every replica is unavailable."""
+        if "user_id" not in payload:
+            raise ValueError("payload needs a user_id")
+        registry = get_registry()
+        with self._inflight_lock:
+            self._inflight += 1
+            registry.gauge("gateway.inflight").set(self._inflight)
+        try:
+            return self._recommend_with_retries(payload, registry)
+        finally:
+            with self._inflight_lock:
+                self._inflight -= 1
+                registry.gauge("gateway.inflight").set(self._inflight)
+
+    def _recommend_with_retries(self, payload: dict, registry) -> dict:
+        attempts = 0
+        last_reason = "no_candidates"
+        for handle in self.route_order(payload["user_id"]):
+            if handle.excluded:
+                self._skip(registry, handle, "excluded")
+                last_reason = "excluded"
+                continue
+            if not handle.breaker.allow():
+                self._skip(registry, handle, "breaker_open")
+                last_reason = "breaker_open"
+                continue
+            attempts += 1
+            if attempts > 1:
+                registry.counter("gateway.retried").inc()
+            handle.begin()
+            try:
+                response = handle.client.recommend(
+                    payload, timeout_s=self.config.request_timeout_s
+                )
+            except WorkerUnavailable as exc:
+                handle.breaker.record_failure()
+                self._skip(registry, handle, "unavailable")
+                last_reason = exc.reason
+                continue
+            finally:
+                handle.end()
+            handle.breaker.record_success()
+            registry.counter("gateway.routed").inc()
+            registry.counter(
+                "gateway.routed", labels={"worker": handle.name}
+            ).inc()
+            response["routed_worker"] = handle.worker_id
+            response["attempts"] = attempts
+            return response
+        registry.counter("gateway.rejected").inc()
+        raise GatewayError(
+            f"no replica available after {attempts} attempt(s) "
+            f"(last: {last_reason})"
+        )
+
+    @staticmethod
+    def _skip(registry, handle: WorkerHandle, reason: str) -> None:
+        registry.counter("gateway.worker_unready").inc()
+        registry.counter(
+            "gateway.worker_unready",
+            labels={"worker": handle.name, "reason": reason},
+        ).inc()
+
+    # ------------------------------------------------------------------
+    def exclude(self, worker_id: int) -> None:
+        """Route traffic away from a worker (step 1 of a rolling drain)."""
+        self.worker(worker_id).excluded = True
+
+    def readmit(self, worker_id: int) -> None:
+        """Route traffic back after a reload; the breaker starts clean."""
+        handle = self.worker(worker_id)
+        handle.reset_breaker()
+        handle.excluded = False
+
+    # ------------------------------------------------------------------
+    def cluster_health(self) -> dict:
+        """Aggregate per-worker health (live probes) + gateway counters."""
+        registry = get_registry()
+        per_worker: dict[str, dict] = {}
+        ready = 0
+        for handle in self.handles:
+            try:
+                health = handle.client.health(
+                    timeout_s=self.config.health_timeout_s
+                )
+            except Exception as exc:
+                health = {"ready": False, "error": str(exc)}
+            health["excluded"] = handle.excluded
+            health["breaker"] = handle.breaker.state
+            health["gateway_in_flight"] = handle.in_flight
+            if health.get("ready") and not handle.excluded:
+                ready += 1
+            per_worker[handle.name] = health
+        return {
+            "workers": len(self.handles),
+            "ready": ready,
+            "per_worker": per_worker,
+            "gateway": {
+                "routed": registry.counter("gateway.routed").value,
+                "retried": registry.counter("gateway.retried").value,
+                "worker_unready":
+                    registry.counter("gateway.worker_unready").value,
+                "rejected": registry.counter("gateway.rejected").value,
+                "inflight": self._inflight,
+            },
+        }
+
+    def handle_recommend(self, payload: dict) -> tuple[int, dict]:
+        try:
+            return 200, self.recommend(payload)
+        except ValueError as exc:
+            return 400, {"error": str(exc)}
+        except GatewayError as exc:
+            return 503, {"error": str(exc)}
+
+    def handle_health(self, payload: dict) -> tuple[int, dict]:
+        return 200, self.cluster_health()
+
+
+class GatewayServer:
+    """The gateway's own HTTP front (same dialect as the workers)."""
+
+    def __init__(self, gateway: Gateway, host: str, port: int = 0):
+        self.gateway = gateway
+        self.httpd = JsonHttpServer(host, {
+            ("POST", "/recommend"): gateway.handle_recommend,
+            ("GET", "/health"): gateway.handle_health,
+        }, port=port)
+        self.host, self.port = self.httpd.host, self.httpd.port
+
+    def start(self) -> None:
+        self.httpd.start_in_thread("repro-cluster-gateway")
+
+    def stop(self) -> None:
+        self.httpd.shutdown()
+
+    def client(self) -> WorkerClient:
+        """A keep-alive client pointed at this gateway (same dialect)."""
+        return WorkerClient(
+            self.host, self.port,
+            timeout_s=self.gateway.config.request_timeout_s,
+        )

@@ -1,0 +1,123 @@
+"""Tiny stdlib JSON-over-HTTP server base for workers and the gateway.
+
+Both cluster roles speak the same dialect: JSON request bodies, JSON
+responses with an exact ``Content-Length`` (HTTP/1.1 keep-alive is what
+lets :class:`~repro.cluster.client.WorkerClient` hold one socket per
+thread instead of reconnecting per request).  A role is just a route
+table ``{(method, path): fn(payload) -> (status, body)}`` served by a
+:class:`http.server.ThreadingHTTPServer` — one OS thread per in-flight
+request, which is exactly the concurrency the per-worker guard was built
+to bound.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Callable, Mapping
+
+__all__ = ["JsonRequestHandler", "JsonHttpServer"]
+
+Route = Callable[[dict], "tuple[int, dict]"]
+
+
+class JsonRequestHandler(BaseHTTPRequestHandler):
+    """Dispatches ``(method, path)`` to the server's route table."""
+
+    protocol_version = "HTTP/1.1"
+    routes: Mapping[tuple[str, str], Route] = {}
+
+    # A reply is two small writes (headers, then body); without these a
+    # Nagle/delayed-ACK handshake stalls every response ~40ms per hop.
+    # Buffer the writes into one segment and disable Nagle outright.
+    wbufsize = -1
+    disable_nagle_algorithm = True
+
+    # Never write request lines to stderr from worker processes.
+    def log_message(self, format, *args):  # noqa: A002 - stdlib signature
+        pass
+
+    def _read_payload(self) -> dict | None:
+        length = int(self.headers.get("Content-Length") or 0)
+        raw = self.rfile.read(length) if length > 0 else b""
+        if not raw:
+            return {}
+        try:
+            payload = json.loads(raw)
+        except json.JSONDecodeError:
+            return None
+        return payload if isinstance(payload, dict) else None
+
+    def _dispatch(self, method: str) -> None:
+        route = self.routes.get((method, self.path.partition("?")[0]))
+        if route is None:
+            self._reply(404, {"error": f"no route {method} {self.path}"})
+            return
+        payload = self._read_payload()
+        if payload is None:
+            self._reply(400, {"error": "request body must be a JSON object"})
+            return
+        try:
+            status, body = route(payload)
+        except Exception as exc:  # route bugs become a typed 500, not a hang
+            status, body = 500, {
+                "error": f"{type(exc).__name__}: {exc}"
+            }
+        self._reply(status, body)
+
+    def _reply(self, status: int, body: dict) -> None:
+        data = json.dumps(body).encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(data)))
+        self.end_headers()
+        self.wfile.write(data)
+
+    def do_GET(self):  # noqa: N802 - stdlib casing
+        self._dispatch("GET")
+
+    def do_POST(self):  # noqa: N802 - stdlib casing
+        self._dispatch("POST")
+
+
+class JsonHttpServer:
+    """A routed ThreadingHTTPServer bound to an ephemeral (or fixed) port."""
+
+    def __init__(
+        self,
+        host: str,
+        routes: Mapping[tuple[str, str], Route],
+        port: int = 0,
+    ):
+        handler = type(
+            "BoundJsonRequestHandler", (JsonRequestHandler,),
+            {"routes": dict(routes)},
+        )
+        self.server = ThreadingHTTPServer((host, port), handler)
+        self.host, self.port = self.server.server_address[:2]
+        self._thread: threading.Thread | None = None
+
+    def start_in_thread(self, name: str) -> None:
+        self._thread = threading.Thread(
+            target=self.server.serve_forever,
+            kwargs={"poll_interval": 0.05},
+            name=name,
+            daemon=True,
+        )
+        self._thread.start()
+
+    def serve_forever(self) -> None:
+        self.server.serve_forever(poll_interval=0.05)
+
+    def request_stop(self) -> None:
+        """Stop the serve loop only — the loop's owner closes the socket
+        (closing here would race the selector still polling it)."""
+        self.server.shutdown()
+
+    def shutdown(self) -> None:
+        self.server.shutdown()
+        if self._thread is not None:
+            self._thread.join(timeout=5.0)
+            self._thread = None
+        self.server.server_close()

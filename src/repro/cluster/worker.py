@@ -1,0 +1,230 @@
+"""One serving worker process: a `FlightRecommender` behind HTTP.
+
+:func:`worker_main` is the ``multiprocessing`` entry point.  Each worker
+builds its *own* dataset + model deterministically from the shared
+:class:`~repro.cluster.config.ClusterConfig` seed (replicas are
+identical, so any worker can answer for any user), wraps it in a guarded
+:class:`~repro.serving.FlightRecommender`, and serves:
+
+- ``POST /recommend`` — rank for one user.  Replies **503** when the
+  worker's :class:`~repro.guard.ServerLifecycle` is draining or not yet
+  ready — the signal the gateway retries against a replica — including
+  the race where a drain lands *between* the readiness check and the
+  request (surfaced as an ``admission:draining`` fallback event).
+- ``GET /health`` — lifecycle state + the worker-labelled counter
+  snapshot the gateway aggregates.
+- ``POST /admin/drain`` — graceful drain (stop admitting, flush the
+  micro-batch pool, finish in-flight).
+- ``POST /admin/reload`` — the model-push swap: drain if still
+  admitting, bump the model version, then install a **fresh** guard
+  (a drained lifecycle is terminal by design) and admit again.
+- ``POST /admin/shutdown`` — stop the HTTP loop and exit the process.
+
+Every metric the worker emits carries a ``worker`` label via the
+registry's default labels, so gateway-side aggregation can tell the
+replicas apart.
+"""
+
+from __future__ import annotations
+
+import threading
+
+from ..guard import GuardConfig
+from ..obs.registry import MetricsRegistry, set_registry
+from .config import ClusterConfig
+from .httpd import JsonHttpServer
+
+__all__ = ["WorkerRuntime", "worker_main"]
+
+#: Admission reasons that mean "this replica cannot take traffic now" —
+#: the gateway should retry, not accept a degraded answer.
+_UNROUTABLE = ("admission:draining", "admission:not_ready")
+
+
+def _build_recommender(config: ClusterConfig, worker_id: int):
+    """Deterministic replica construction (same seed -> same weights)."""
+    from ..core import ODNETConfig, build_odnet
+    from ..data import ODDataset, generate_fliggy_dataset
+    from ..data.synthetic import FliggyConfig
+    from ..data.world import WorldConfig
+    from ..serving import FlightRecommender
+
+    dataset = ODDataset(generate_fliggy_dataset(FliggyConfig(
+        num_users=config.num_users,
+        world=WorldConfig(num_cities=config.num_cities),
+        train_points_per_user=1,
+        seed=config.seed,
+    )))
+    model = build_odnet(dataset, ODNETConfig(seed=config.seed))
+    return FlightRecommender(
+        model,
+        dataset,
+        use_cache=config.use_cache,
+        guard=_guard_config(config, worker_id),
+    )
+
+
+def _guard_config(config: ClusterConfig, worker_id: int) -> GuardConfig:
+    return GuardConfig(
+        max_concurrent=config.max_concurrent,
+        max_queue=config.max_queue,
+        queue_timeout_ms=config.queue_timeout_ms,
+        site=f"worker.w{worker_id}.admission",
+    )
+
+
+class WorkerRuntime:
+    """The in-process state one worker serves from (testable sans HTTP)."""
+
+    def __init__(self, config: ClusterConfig, worker_id: int,
+                 registry: MetricsRegistry | None = None):
+        self.config = config
+        self.worker_id = worker_id
+        self.name = f"w{worker_id}"
+        self.model_version = 1
+        self._admin_lock = threading.Lock()
+        self.registry = registry or MetricsRegistry(
+            default_labels={"worker": self.name}
+        )
+        self.recommender = _build_recommender(config, worker_id)
+
+    # ------------------------------------------------------------------
+    @property
+    def lifecycle(self):
+        return self.recommender.lifecycle
+
+    def handle_recommend(self, payload: dict) -> tuple[int, dict]:
+        try:
+            user_id = int(payload["user_id"])
+            day = int(payload.get("day", 0))
+            k = int(payload.get("k", self.config.default_k))
+        except (KeyError, TypeError, ValueError):
+            return 400, {"error": "payload needs integer user_id [, day, k]"}
+        lifecycle = self.lifecycle
+        if lifecycle is not None and not lifecycle.admitting:
+            return 503, {"error": lifecycle.state, "worker_id": self.worker_id}
+        response = self.recommender.recommend(user_id=user_id, day=day, k=k)
+        fallbacks = [str(event) for event in response.fallbacks]
+        if any(reason in _UNROUTABLE for reason in fallbacks):
+            # The drain decision landed after the readiness check above:
+            # refuse so the gateway retries a replica instead of shipping
+            # the popularity floor for a perfectly healthy cluster.
+            return 503, {"error": "draining", "worker_id": self.worker_id}
+        return 200, {
+            "worker_id": self.worker_id,
+            "model_version": self.model_version,
+            "user_id": response.user_id,
+            "day": response.day,
+            "degraded": response.degraded,
+            "fallbacks": fallbacks,
+            "flights": [
+                {
+                    "origin": flight.pair.origin,
+                    "destination": flight.pair.destination,
+                    "score": float(flight.score),
+                }
+                for flight in response.flights
+            ],
+        }
+
+    def handle_health(self, payload: dict) -> tuple[int, dict]:
+        lifecycle = self.lifecycle
+        health = lifecycle.health() if lifecycle is not None else {
+            "state": "ready", "ready": True, "in_flight": 0, "uptime_s": 0.0,
+        }
+        return 200, {
+            "worker_id": self.worker_id,
+            "model_version": self.model_version,
+            **health,
+            "counters": [
+                {
+                    "name": counter.name,
+                    "labels": dict(counter.labels),
+                    "value": counter.value,
+                }
+                for counter in self.registry.counters
+            ],
+        }
+
+    def handle_drain(self, payload: dict) -> tuple[int, dict]:
+        timeout_s = payload.get("timeout_s", self.config.drain_timeout_s)
+        with self._admin_lock:
+            drained = self.recommender.drain(
+                None if timeout_s is None else float(timeout_s)
+            )
+        lifecycle = self.lifecycle
+        return 200, {
+            "worker_id": self.worker_id,
+            "drained": bool(drained),
+            "state": lifecycle.state if lifecycle is not None else "drained",
+        }
+
+    def handle_reload(self, payload: dict) -> tuple[int, dict]:
+        """Drain -> swap -> readmit: the zero-downtime model push."""
+        with self._admin_lock:
+            drained = self.recommender.drain(self.config.drain_timeout_s)
+            if not drained:
+                lifecycle = self.lifecycle
+                return 503, {
+                    "error": "drain_timeout",
+                    "worker_id": self.worker_id,
+                    "state": lifecycle.state if lifecycle is not None
+                    else "unknown",
+                }
+            # The swap: a refreshed model version goes live behind a fresh
+            # lifecycle (a drained one is terminal), and admission reopens.
+            self.model_version += 1
+            self.recommender.install_guard(
+                _guard_config(self.config, self.worker_id)
+            )
+            self.registry.counter("worker.reloads").inc()
+        return 200, {
+            "worker_id": self.worker_id,
+            "drained": True,
+            "state": self.lifecycle.state,
+            "model_version": self.model_version,
+        }
+
+    # ------------------------------------------------------------------
+    def routes(self, server_holder: dict):
+        def handle_shutdown(payload: dict) -> tuple[int, dict]:
+            server = server_holder.get("server")
+            if server is not None:
+                # shutdown() must run off the request thread or it
+                # deadlocks waiting for this very handler to finish.
+                threading.Thread(
+                    target=server.request_stop, daemon=True
+                ).start()
+            return 200, {"worker_id": self.worker_id, "stopping": True}
+
+        return {
+            ("POST", "/recommend"): self.handle_recommend,
+            ("GET", "/health"): self.handle_health,
+            ("POST", "/admin/drain"): self.handle_drain,
+            ("POST", "/admin/reload"): self.handle_reload,
+            ("POST", "/admin/shutdown"): handle_shutdown,
+        }
+
+
+def worker_main(config: ClusterConfig, worker_id: int, ready_queue) -> None:
+    """Process entry point: build the replica, report the port, serve.
+
+    ``ready_queue`` receives exactly one message: ``{"worker_id", "port"}``
+    on success or ``{"worker_id", "error"}`` if construction failed — the
+    manager turns the latter into a startup failure instead of hanging.
+    """
+    try:
+        runtime = WorkerRuntime(config, worker_id)
+        set_registry(runtime.registry)
+        holder: dict = {}
+        httpd = JsonHttpServer(config.host, runtime.routes(holder))
+        holder["server"] = httpd
+    except Exception as exc:
+        ready_queue.put({
+            "worker_id": worker_id,
+            "error": f"{type(exc).__name__}: {exc}",
+        })
+        return
+    ready_queue.put({"worker_id": worker_id, "port": httpd.port})
+    httpd.serve_forever()
+    httpd.server.server_close()

@@ -39,6 +39,7 @@ class ServerLifecycle:
         self._state = STARTING
         self._in_flight = 0
         self._flush_hooks: list[Callable[[], object]] = []
+        self._flushed = False
 
     # ------------------------------------------------------------------
     @property
@@ -113,8 +114,13 @@ class ServerLifecycle:
             if self._state == DRAINED:
                 return True
             self._state = DRAINING
-        for hook in self._flush_hooks:
-            hook()
+            # Concurrent or repeated drain() calls must not flush twice;
+            # the first caller owns the hooks, everyone else just waits.
+            run_hooks = not self._flushed
+            self._flushed = True
+        if run_hooks:
+            for hook in self._flush_hooks:
+                hook()
         deadline_s = None if timeout_s is None else self._clock() + timeout_s
         with self._cond:
             while self._in_flight > 0:

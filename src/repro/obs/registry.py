@@ -191,18 +191,32 @@ class MetricsRegistry:
     Instruments are keyed by ``(kind, name, labels)`` so repeated lookups
     from a hot path return the same object.  Creation is locked; updates
     rely on the GIL (single increments / appends).
+
+    ``default_labels`` are stamped onto every instrument the registry
+    creates (call-site labels win on collision).  A cluster worker passes
+    ``default_labels={"worker": "w3"}`` so every counter it exports —
+    including ones incremented deep inside shared library code — is
+    attributable once the gateway aggregates snapshots across processes.
     """
 
     enabled = True
 
-    def __init__(self) -> None:
+    def __init__(self, default_labels: dict[str, str] | None = None) -> None:
         self._lock = threading.Lock()
         self._instruments: dict[tuple, object] = {}
+        self.default_labels = dict(default_labels or {})
 
     # ------------------------------------------------------------------
     @staticmethod
     def _key(kind: str, name: str, labels: dict[str, str] | None) -> tuple:
         return (kind, name, tuple(sorted((labels or {}).items())))
+
+    def _merge(self, labels: dict[str, str] | None) -> dict[str, str] | None:
+        if not self.default_labels:
+            return labels
+        merged = dict(self.default_labels)
+        merged.update(labels or {})
+        return merged
 
     def _get(self, kind: str, name: str, labels, factory):
         key = self._key(kind, name, labels)
@@ -213,9 +227,11 @@ class MetricsRegistry:
         return instrument
 
     def counter(self, name: str, labels: dict[str, str] | None = None) -> Counter:
+        labels = self._merge(labels)
         return self._get("counter", name, labels, lambda: Counter(name, labels))
 
     def gauge(self, name: str, labels: dict[str, str] | None = None) -> Gauge:
+        labels = self._merge(labels)
         return self._get("gauge", name, labels, lambda: Gauge(name, labels))
 
     def histogram(
@@ -224,6 +240,7 @@ class MetricsRegistry:
         buckets: tuple[float, ...] = DEFAULT_BUCKETS,
         labels: dict[str, str] | None = None,
     ) -> Histogram:
+        labels = self._merge(labels)
         return self._get(
             "histogram", name, labels, lambda: Histogram(name, buckets, labels)
         )

@@ -9,13 +9,16 @@ hardware allows" north star calls for:
   forward with per-request deadline awareness;
 - :func:`run_bench` — the reproducible perf baseline, writing
   ``BENCH_serving.json`` / ``BENCH_training.json`` /
-  ``BENCH_overload.json`` (``python -m repro bench``).
+  ``BENCH_overload.json`` / ``BENCH_cluster.json``
+  (``python -m repro bench``, ``--phase`` to select a subset).
 """
 
 from .bench import (
+    BENCH_PHASES,
     BenchConfig,
     quick_bench_config,
     run_bench,
+    run_cluster_bench,
     run_overload_bench,
     run_serving_bench,
     run_training_bench,
@@ -31,7 +34,9 @@ __all__ = [
     "BenchConfig",
     "quick_bench_config",
     "run_bench",
+    "run_cluster_bench",
     "run_overload_bench",
     "run_serving_bench",
     "run_training_bench",
+    "BENCH_PHASES",
 ]

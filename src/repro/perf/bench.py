@@ -46,7 +46,9 @@ __all__ = [
     "run_serving_bench",
     "run_training_bench",
     "run_overload_bench",
+    "run_cluster_bench",
     "run_bench",
+    "BENCH_PHASES",
 ]
 
 #: bump when the JSON layout changes (CI validates against this).
@@ -75,6 +77,13 @@ class BenchConfig:
     overload_capacity: int = 2
     overload_multiplier: int = 4
     overload_requests_per_client: int = 6
+    # --- cluster ------------------------------------------------------
+    cluster_workers: int = 4
+    cluster_requests: int = 96
+    cluster_concurrency: int = 8
+    cluster_repeats: int = 3
+    cluster_users: int = 1200
+    cluster_cities: int = 60
     # --- shared -------------------------------------------------------
     seed: int = 0
 
@@ -94,6 +103,8 @@ def quick_bench_config(seed: int = 0) -> BenchConfig:
         microbatch_size=5, concurrency=5, repeats=2,
         train_users=150, train_cities=30, train_epochs=1,
         overload_requests_per_client=3,
+        cluster_workers=2, cluster_requests=24, cluster_concurrency=4,
+        cluster_repeats=2, cluster_users=600, cluster_cities=40,
         seed=seed,
     )
 
@@ -370,23 +381,80 @@ def run_overload_bench(config: BenchConfig | None = None) -> dict:
         set_registry(previous)
 
 
+def run_cluster_bench(config: BenchConfig | None = None) -> dict:
+    """Multi-process scale-out vs the single-process GIL-bound baseline.
+
+    Spawns ``cluster_workers`` worker processes behind the
+    :mod:`repro.cluster` gateway, pushes the same offered load through
+    both paths, and rolls one worker mid-traffic.  The two gates the
+    JSON witnesses: aggregate cluster rps beats ``concurrent_direct``
+    (processes escape the GIL even after paying two localhost HTTP hops
+    per request), and the rolling drain loses **zero** requests.
+    """
+    from ..cluster.bench import ClusterBenchConfig, run_cluster_bench_report
+    from ..cluster.config import ClusterConfig
+
+    config = config or BenchConfig()
+    registry = MetricsRegistry()
+    previous = set_registry(registry)
+    try:
+        report = run_cluster_bench_report(ClusterBenchConfig(
+            cluster=ClusterConfig(
+                num_workers=config.cluster_workers,
+                num_users=config.cluster_users,
+                num_cities=config.cluster_cities,
+                max_concurrent=config.cluster_concurrency,
+                seed=config.seed,
+            ),
+            requests=config.cluster_requests,
+            client_concurrency=config.cluster_concurrency,
+            repeats=config.cluster_repeats,
+            k=config.k,
+        ))
+        report.update({
+            "schema_version": SCHEMA_VERSION,
+            "config": dataclasses.asdict(config),
+        })
+        return report
+    finally:
+        set_registry(previous)
+
+
+#: Phase name -> runner, in default execution order.
+BENCH_PHASES = {
+    "serving": run_serving_bench,
+    "training": run_training_bench,
+    "overload": run_overload_bench,
+    "cluster": run_cluster_bench,
+}
+
+
 def run_bench(
     config: BenchConfig | None = None,
     output_dir: str | pathlib.Path = ".",
+    phases: list[str] | None = None,
 ) -> dict[str, pathlib.Path]:
-    """Run all bench phases; write one ``BENCH_<name>.json`` per phase.
+    """Run bench phases; write one ``BENCH_<name>.json`` per phase.
 
-    Returns the written paths keyed by bench name.
+    ``phases`` selects a subset (e.g. ``["cluster"]`` so CI can re-run
+    one phase without paying for the rest); the default runs all of
+    :data:`BENCH_PHASES`.  Returns the written paths keyed by name.
     """
+    if phases is None:
+        selected = list(BENCH_PHASES)
+    else:
+        unknown = [name for name in phases if name not in BENCH_PHASES]
+        if unknown:
+            raise ValueError(
+                f"unknown bench phase(s) {unknown}; "
+                f"choose from {sorted(BENCH_PHASES)}"
+            )
+        selected = [name for name in BENCH_PHASES if name in set(phases)]
     output_dir = pathlib.Path(output_dir)
     output_dir.mkdir(parents=True, exist_ok=True)
     written: dict[str, pathlib.Path] = {}
-    for name, runner in (
-        ("serving", run_serving_bench),
-        ("training", run_training_bench),
-        ("overload", run_overload_bench),
-    ):
-        report = runner(config)
+    for name in selected:
+        report = BENCH_PHASES[name](config)
         report["generated_unix"] = round(time.time(), 1)
         path = output_dir / f"BENCH_{name}.json"
         path.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")

@@ -150,10 +150,24 @@ class FlightRecommender:
         # Optional overload protection: admission control at the front
         # door plus the lifecycle that owns graceful drain.
         self.guard: AdmissionController | None = None
+        self.install_guard(guard)
+
+    def install_guard(
+        self, guard: GuardConfig | AdmissionController | None
+    ) -> None:
+        """Install (or replace) the admission front door.
+
+        A drained :class:`~repro.guard.ServerLifecycle` is terminal, so a
+        worker that was rolled out of a cluster swaps in a *fresh* guard
+        here before marking itself ready again — the zero-downtime model
+        push: drain, reload, ``install_guard``, readmit.
+        """
         if isinstance(guard, AdmissionController):
             self.guard = guard
         elif guard is not None:
             self.guard = AdmissionController(guard)
+        else:
+            self.guard = None
         if self.guard is not None and self.batcher is not None:
             # Drain must not strand requests pooled in the batch queue.
             self.guard.lifecycle.add_flush_hook(self.batcher.flush)

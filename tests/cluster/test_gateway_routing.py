@@ -1,0 +1,183 @@
+"""Gateway routing policy with scripted fake workers (no processes)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cluster import (
+    ClusterConfig,
+    Gateway,
+    GatewayError,
+    WorkerHandle,
+    WorkerUnavailable,
+)
+from repro.obs import MetricsRegistry, use_registry
+
+CONFIG = ClusterConfig(num_workers=3, breaker_min_calls=2,
+                       breaker_window=4, breaker_recovery_s=60.0)
+
+
+class FakeClient:
+    """Scripted worker client: always unavailable (the dead replica)."""
+
+    def __init__(self, worker_id: int, fail_times: int = 0):
+        self.worker_id = worker_id
+        self.fail_times = fail_times
+        self.calls = 0
+
+    def recommend(self, payload, timeout_s=None):
+        self.calls += 1
+        raise WorkerUnavailable(f"fake:{self.worker_id}", "draining")
+
+    def health(self, timeout_s=None):
+        return {"worker_id": self.worker_id, "ready": True,
+                "state": "ready", "in_flight": 0}
+
+
+class AnsweringClient(FakeClient):
+    """Answers after failing the first ``fail_times`` calls."""
+
+    def recommend(self, payload, timeout_s=None):
+        self.calls += 1
+        if self.fail_times > 0:
+            self.fail_times -= 1
+            raise WorkerUnavailable(f"fake:{self.worker_id}", "draining")
+        return {"worker_id": self.worker_id, "user_id": payload["user_id"],
+                "flights": [], "degraded": False, "fallbacks": []}
+
+
+def make_gateway(clients):
+    handles = [
+        WorkerHandle(client.worker_id, client, CONFIG) for client in clients
+    ]
+    return Gateway(handles, CONFIG), handles
+
+
+class TestRouting:
+    def test_prefers_consistent_hash_owner(self):
+        clients = [AnsweringClient(i) for i in range(3)]
+        gateway, _ = make_gateway(clients)
+        for user_id in range(50):
+            expected = gateway.ring.lookup(user_id)
+            order = gateway.route_order(user_id)
+            assert order[0].name == expected
+
+    def test_same_user_sticks_to_same_worker(self):
+        clients = [AnsweringClient(i) for i in range(3)]
+        gateway, _ = make_gateway(clients)
+        first = gateway.recommend({"user_id": 7})["routed_worker"]
+        for _ in range(5):
+            assert gateway.recommend({"user_id": 7})["routed_worker"] == first
+
+    def test_requires_user_id(self):
+        gateway, _ = make_gateway([AnsweringClient(0)])
+        with pytest.raises(ValueError, match="user_id"):
+            gateway.recommend({"day": 1})
+
+    def test_least_loaded_fallback_order(self):
+        clients = [AnsweringClient(i) for i in range(3)]
+        gateway, handles = make_gateway(clients)
+        preferred = gateway.route_order(7)[0]
+        others = [handle for handle in handles if handle is not preferred]
+        # Load up one replica: the idle one must be tried first on retry.
+        others[0].begin()
+        others[0].begin()
+        order = gateway.route_order(7)
+        assert order[0] is preferred
+        assert order[1] is others[1]
+        assert order[2] is others[0]
+        others[0].end()
+        others[0].end()
+
+
+class TestRetries:
+    def test_retries_unavailable_worker_against_replica(self):
+        with use_registry(MetricsRegistry()) as registry:
+            clients = [AnsweringClient(i) for i in range(3)]
+            gateway, _ = make_gateway(clients)
+            preferred = gateway.route_order(7)[0]
+            preferred.client.fail_times = 1
+            response = gateway.recommend({"user_id": 7})
+            assert response["routed_worker"] != preferred.worker_id
+            assert response["attempts"] == 2
+            assert registry.counter("gateway.retried").value == 1
+            assert registry.counter(
+                "gateway.worker_unready",
+                labels={"worker": preferred.name, "reason": "unavailable"},
+            ).value == 1
+
+    def test_excluded_worker_is_skipped_without_an_attempt(self):
+        with use_registry(MetricsRegistry()) as registry:
+            clients = [AnsweringClient(i) for i in range(2)]
+            gateway, _ = make_gateway(clients)
+            preferred = gateway.route_order(3)[0]
+            gateway.exclude(preferred.worker_id)
+            response = gateway.recommend({"user_id": 3})
+            assert response["routed_worker"] != preferred.worker_id
+            assert preferred.client.calls == 0
+            # A skip is not a retry: the first *attempt* succeeded.
+            assert response["attempts"] == 1
+            assert registry.counter("gateway.retried").value == 0
+
+    def test_breaker_opens_after_repeated_failures_then_readmit_resets(self):
+        clients = [AnsweringClient(0, fail_times=99), AnsweringClient(1)]
+        gateway, handles = make_gateway(clients)
+        bad = handles[0]
+        for user_id in range(20):
+            gateway.recommend({"user_id": user_id})
+        assert bad.breaker.state == "open"
+        calls_when_open = bad.client.calls
+        for user_id in range(20):
+            gateway.recommend({"user_id": user_id})
+        # Tripped breaker short-circuits: no further wire calls.
+        assert bad.client.calls == calls_when_open
+        gateway.readmit(0)
+        assert bad.breaker.state == "closed"
+
+    def test_all_replicas_down_raises_gateway_error(self):
+        with use_registry(MetricsRegistry()) as registry:
+            clients = [FakeClient(i) for i in range(2)]
+            gateway, _ = make_gateway(clients)
+            with pytest.raises(GatewayError, match="no replica available"):
+                gateway.recommend({"user_id": 1})
+            assert registry.counter("gateway.rejected").value == 1
+
+    def test_routed_counters_label_the_serving_worker(self):
+        with use_registry(MetricsRegistry()) as registry:
+            clients = [AnsweringClient(i) for i in range(2)]
+            gateway, _ = make_gateway(clients)
+            for user_id in range(10):
+                gateway.recommend({"user_id": user_id})
+            total = registry.counter("gateway.routed").value
+            per_worker = sum(
+                registry.counter(
+                    "gateway.routed", labels={"worker": f"w{i}"}
+                ).value
+                for i in range(2)
+            )
+            assert total == 10 and per_worker == 10
+
+
+class TestHealthAggregation:
+    def test_aggregates_ready_and_marks_excluded(self):
+        clients = [AnsweringClient(i) for i in range(3)]
+        gateway, _ = make_gateway(clients)
+        gateway.exclude(1)
+        health = gateway.cluster_health()
+        assert health["workers"] == 3
+        assert health["ready"] == 2     # excluded workers don't count
+        assert health["per_worker"]["w1"]["excluded"] is True
+        assert set(health["gateway"]) >= {
+            "routed", "retried", "worker_unready", "rejected", "inflight",
+        }
+
+    def test_unreachable_worker_reports_not_ready(self):
+        class DeadClient(FakeClient):
+            def health(self, timeout_s=None):
+                raise WorkerUnavailable("fake:dead", "ConnectionRefused")
+
+        gateway, _ = make_gateway([AnsweringClient(0), DeadClient(1)])
+        health = gateway.cluster_health()
+        assert health["ready"] == 1
+        assert health["per_worker"]["w1"]["ready"] is False
+        assert "error" in health["per_worker"]["w1"]

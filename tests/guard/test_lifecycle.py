@@ -113,3 +113,94 @@ class TestDrain:
         lifecycle.mark_ready()
         assert lifecycle.drain() is True
         assert lifecycle.drain() is True
+
+
+class TestDrainConcurrency:
+    """The races a cluster rolling-restart actually exercises: health
+    probes hammering the lifecycle mid-drain, and drain() called twice
+    concurrently (gateway-initiated roll + an operator's manual drain)."""
+
+    def test_drain_under_concurrent_readiness_probes(self):
+        lifecycle = ServerLifecycle()
+        lifecycle.mark_ready()
+        lifecycle.request_started()
+        stop = threading.Event()
+        snapshots = []
+
+        def probe():
+            while not stop.is_set():
+                health = lifecycle.health()
+                snapshots.append((health["state"], health["ready"],
+                                  health["in_flight"]))
+
+        probes = [threading.Thread(target=probe) for _ in range(3)]
+        for thread in probes:
+            thread.start()
+
+        def finisher():
+            # Let the drain enter its wait loop before finishing.
+            stop.wait(0.05)
+            lifecycle.request_finished()
+
+        finishing = threading.Thread(target=finisher)
+        finishing.start()
+        try:
+            assert lifecycle.drain(timeout_s=10.0) is True
+        finally:
+            stop.set()
+            finishing.join()
+            for thread in probes:
+                thread.join()
+        assert lifecycle.state == DRAINED
+        assert snapshots, "probes must have observed the lifecycle"
+        for state, ready, in_flight in snapshots:
+            # Every snapshot is internally consistent: once the drain
+            # starts, no probe may ever see ready=True again.
+            assert state in (READY, DRAINING, DRAINED)
+            assert ready is (state == READY)
+            assert in_flight >= 0
+        probed_states = {state for state, _, _ in snapshots}
+        assert DRAINING in probed_states or DRAINED in probed_states
+
+    def test_concurrent_drains_both_report_drained(self):
+        lifecycle = ServerLifecycle()
+        lifecycle.mark_ready()
+        lifecycle.request_started()
+        barrier = threading.Barrier(2)
+        results = []
+        lock = threading.Lock()
+
+        def drainer():
+            barrier.wait()
+            outcome = lifecycle.drain(timeout_s=10.0)
+            with lock:
+                results.append(outcome)
+
+        drainers = [threading.Thread(target=drainer) for _ in range(2)]
+        for thread in drainers:
+            thread.start()
+        # Both drains are now blocked on the same in-flight request.
+        lifecycle.request_finished()
+        for thread in drainers:
+            thread.join(timeout=15.0)
+        assert results == [True, True]
+        assert lifecycle.state == DRAINED
+
+    def test_concurrent_drain_runs_flush_hooks_once(self):
+        lifecycle = ServerLifecycle()
+        lifecycle.mark_ready()
+        flushes = []
+        lifecycle.add_flush_hook(lambda: flushes.append(1))
+        barrier = threading.Barrier(2)
+
+        def drainer():
+            barrier.wait()
+            lifecycle.drain(timeout_s=5.0)
+
+        drainers = [threading.Thread(target=drainer) for _ in range(2)]
+        for thread in drainers:
+            thread.start()
+        for thread in drainers:
+            thread.join(timeout=10.0)
+        assert flushes == [1]
+        assert lifecycle.state == DRAINED

@@ -43,6 +43,51 @@ class TestCounterGauge:
         assert values[(("stage", "rank"),)] == 2
 
 
+class TestDefaultLabels:
+    """Registry-level default labels: every instrument a cluster worker
+    creates is stamped with its identity without threading a label
+    through each call site."""
+
+    def test_counter_gets_default_labels(self):
+        registry = MetricsRegistry(default_labels={"worker": "w3"})
+        registry.counter("serving.requests").inc()
+        (counter,) = registry.counters
+        assert counter.labels == {"worker": "w3"}
+
+    def test_call_site_labels_merge_with_defaults(self):
+        registry = MetricsRegistry(default_labels={"worker": "w3"})
+        registry.counter("c", labels={"stage": "recall"}).inc()
+        (counter,) = registry.counters
+        assert counter.labels == {"worker": "w3", "stage": "recall"}
+
+    def test_call_site_wins_on_conflict(self):
+        registry = MetricsRegistry(default_labels={"worker": "w3"})
+        registry.counter("c", labels={"worker": "override"}).inc()
+        (counter,) = registry.counters
+        assert counter.labels == {"worker": "override"}
+
+    def test_applies_to_gauges_and_histograms(self):
+        registry = MetricsRegistry(default_labels={"worker": "w0"})
+        registry.gauge("g").set(1.0)
+        registry.histogram("h").observe(2.0)
+        (histogram,) = registry.histograms
+        assert histogram.labels == {"worker": "w0"}
+
+    def test_no_defaults_means_unlabelled(self):
+        registry = MetricsRegistry()
+        registry.counter("c").inc()
+        (counter,) = registry.counters
+        assert counter.labels == {}
+
+    def test_same_name_different_registries_stay_separate(self):
+        w0 = MetricsRegistry(default_labels={"worker": "w0"})
+        w1 = MetricsRegistry(default_labels={"worker": "w1"})
+        w0.counter("serving.requests").inc(3)
+        w1.counter("serving.requests").inc(5)
+        assert w0.counter("serving.requests").value == 3
+        assert w1.counter("serving.requests").value == 5
+
+
 class TestHistogramPercentiles:
     def test_empty_histogram_is_nan(self):
         histogram = Histogram("h")

@@ -9,6 +9,7 @@ import pathlib
 import pytest
 
 from repro.perf import (
+    BENCH_PHASES,
     BenchConfig,
     quick_bench_config,
     run_bench,
@@ -92,12 +93,39 @@ class TestTrainingBench:
         assert len(report["epoch_losses"]) == TINY_BENCH.train_epochs
 
 
+class TestPhaseSelection:
+    def test_registry_names_every_phase(self):
+        assert sorted(BENCH_PHASES) == [
+            "cluster", "overload", "serving", "training",
+        ]
+
+    def test_single_phase_writes_one_file(self, tmp_path):
+        written = run_bench(TINY_BENCH, tmp_path, phases=["training"])
+        assert sorted(written) == ["training"]
+        assert not (tmp_path / "BENCH_serving.json").exists()
+
+    def test_phase_order_is_canonical_not_request_order(self, tmp_path):
+        written = run_bench(
+            TINY_BENCH, tmp_path, phases=["training", "serving"]
+        )
+        assert list(written) == ["serving", "training"]
+
+    def test_unknown_phase_rejected(self, tmp_path):
+        with pytest.raises(ValueError, match="unknown bench phase"):
+            run_bench(TINY_BENCH, tmp_path, phases=["warp_drive"])
+
+
 class TestArtifacts:
     @pytest.fixture(scope="class")
     def written(self, tmp_path_factory):
-        return run_bench(TINY_BENCH, tmp_path_factory.mktemp("bench"))
+        # The cluster phase spawns real worker processes; it has its own
+        # integration coverage (tests/cluster) and CI smoke.
+        return run_bench(
+            TINY_BENCH, tmp_path_factory.mktemp("bench"),
+            phases=["serving", "training", "overload"],
+        )
 
-    def test_writes_all_three_files(self, written):
+    def test_writes_selected_files(self, written):
         assert sorted(written) == ["overload", "serving", "training"]
         for path in written.values():
             assert path.exists()
@@ -141,3 +169,78 @@ class TestArtifacts:
         bad.write_text(json.dumps(report))
         with pytest.raises(SystemExit, match="must be > 0"):
             check_bench.check(str(bad))
+
+
+class TestClusterValidator:
+    """check_bench's cluster rules against synthetic reports (the real
+    report is exercised by the CI cluster/bench smoke)."""
+
+    @staticmethod
+    def _cluster_report(**overrides):
+        report = {
+            "benchmark": "cluster",
+            "schema_version": 1,
+            "config": {},
+            "workers": 4,
+            "available_cpus": 4,
+            "concurrent_direct": {"requests_per_sec": 40.0},
+            "cluster": {
+                "requests_per_sec": 120.0,
+                "speedup_vs_concurrent_direct": 3.0,
+                "scaling_efficiency": 0.75,
+                "per_worker_served": {"w0": 30, "w1": 30},
+            },
+            "rolling_drain": {
+                "requests": 50, "failed": 0, "drained": True,
+            },
+        }
+        report.update(overrides)
+        return report
+
+    def _check(self, tmp_path, report):
+        check_bench = _load_check_bench()
+        path = tmp_path / "BENCH_cluster.json"
+        path.write_text(json.dumps(report))
+        return check_bench.check(str(path))
+
+    def test_accepts_winning_report(self, tmp_path):
+        assert "ok" in self._check(tmp_path, self._cluster_report())
+
+    def test_rejects_single_worker(self, tmp_path):
+        with pytest.raises(SystemExit, match=">= 2 workers"):
+            self._check(tmp_path, self._cluster_report(workers=1))
+
+    def test_rejects_cluster_slower_than_direct(self, tmp_path):
+        report = self._cluster_report()
+        report["cluster"]["requests_per_sec"] = 39.0
+        with pytest.raises(SystemExit, match="does not beat"):
+            self._check(tmp_path, report)
+
+    def test_report_without_cpu_field_held_to_strict_gate(self, tmp_path):
+        report = self._cluster_report()
+        del report["available_cpus"]
+        report["cluster"]["requests_per_sec"] = 39.0
+        with pytest.raises(SystemExit, match="does not beat"):
+            self._check(tmp_path, report)
+
+    def test_single_cpu_host_skips_throughput_gate_only(self, tmp_path):
+        # One CPU cannot demonstrate scale-out; the throughput gate is
+        # waived (and announced) but the drain invariants still bite.
+        report = self._cluster_report(available_cpus=1)
+        report["cluster"]["requests_per_sec"] = 39.0
+        assert "throughput gate skipped" in self._check(tmp_path, report)
+        report["rolling_drain"]["failed"] = 1
+        with pytest.raises(SystemExit, match="lost 1 request"):
+            self._check(tmp_path, report)
+
+    def test_rejects_lost_requests_during_drain(self, tmp_path):
+        report = self._cluster_report()
+        report["rolling_drain"]["failed"] = 2
+        with pytest.raises(SystemExit, match="lost 2 request"):
+            self._check(tmp_path, report)
+
+    def test_rejects_incomplete_drain(self, tmp_path):
+        report = self._cluster_report()
+        report["rolling_drain"]["drained"] = False
+        with pytest.raises(SystemExit, match="did not complete"):
+            self._check(tmp_path, report)
