@@ -9,6 +9,7 @@ Usage::
     python -m repro obs --input benchmarks/results/obs_snapshot.jsonl
     python -m repro chaos --seed 0
     python -m repro chaos --overload
+    python -m repro chaos --cluster
     python -m repro list
 """
 
@@ -40,7 +41,9 @@ _EXPERIMENTS = {
     "fig7": "simulated online A/B test (Figure 7)",
     "obs": "observability summary (live demo run, or --input snapshot.jsonl)",
     "chaos": "seeded fault-injection demo (degraded serving + PS training); "
-             "--overload runs the admission-control overload scenario",
+             "--overload runs the admission-control overload scenario, "
+             "--cluster the process-level self-healing drill "
+             "(SIGKILL + SIGSTOP under traffic)",
     "bench": "perf baseline: serving p50/p99 + rps, training examples/sec, "
              "overload, and the multi-process cluster phase -> "
              "BENCH_serving.json / BENCH_training.json / "
@@ -81,12 +84,17 @@ def build_parser() -> argparse.ArgumentParser:
                         help="for 'chaos': run the overload scenario "
                              "(4x capacity, mixed priorities, graceful "
                              "drain) instead of the fault-injection demo")
+    parser.add_argument("--cluster", action="store_true",
+                        help="for 'chaos': run the process-level "
+                             "self-healing drill (SIGKILL one worker, "
+                             "SIGSTOP another, under continuous traffic; "
+                             "exits non-zero on any lost request)")
     parser.add_argument("--output-dir", default=".", metavar="DIR",
                         help="for 'bench': where BENCH_*.json are written "
                              "(default: current directory)")
     parser.add_argument("--phase", action="append", default=None,
                         choices=("serving", "training", "overload",
-                                 "cluster"),
+                                 "cluster", "chaos"),
                         help="for 'bench': run only this phase (repeatable; "
                              "default: all phases)")
     parser.add_argument("--workers", type=int, default=2, metavar="N",
@@ -219,6 +227,51 @@ def _chaos_overload(args) -> str:
     return "\n".join(lines)
 
 
+def _chaos_cluster(args) -> str:
+    """The process-level self-healing drill (the CI chaos-smoke contract).
+
+    Under continuous gateway traffic, one worker is SIGKILLed and
+    another SIGSTOP'd; the supervisor must detect both (process liveness
+    for the kill, heartbeat staleness for the freeze) and splice fresh
+    replicas into the ring.  Exits non-zero if any request was lost or
+    no automatic replacement happened.
+    """
+    from .cluster import run_chaos_drill
+    from .cluster.chaos import chaos_cluster_config
+    from .obs import MetricsRegistry, use_registry
+
+    with use_registry(MetricsRegistry(default_labels={"process": "gateway"})):
+        report = run_chaos_drill(chaos_cluster_config(seed=args.seed))
+    traffic = report["traffic"]
+    gateway = report["gateway"]
+    lines = [
+        f"== cluster chaos drill ({report['workers']} workers, "
+        "SIGKILL + SIGSTOP under traffic) ==",
+        f"requests={traffic['requests']}  ok={traffic['ok']}  "
+        f"degraded={traffic['degraded']}  lost={traffic['lost']}",
+        f"deaths={report['deaths']}  "
+        f"worker_restarts={report['worker_restarts']:.0f}  "
+        f"abandoned={report['supervisor']['abandoned']}",
+        f"hedged={gateway['hedged']:.0f}  "
+        f"hedge_wins={gateway['hedge_wins']:.0f}  "
+        f"retried={gateway['retried']:.0f}  "
+        f"rejected={gateway['rejected']:.0f}",
+    ]
+    for event in report["events"]:
+        lines.append(f"  {event}")
+    if traffic["lost"]:
+        raise SystemExit(
+            "repro chaos --cluster: lost requests during the drill:\n  "
+            + "\n  ".join(traffic["errors"][:5])
+        )
+    if report["supervisor"]["restarts"] < 2:
+        raise SystemExit(
+            "repro chaos --cluster: expected both chaos victims to be "
+            f"replaced, got restarts={report['supervisor']['restarts']}"
+        )
+    return "\n".join(lines)
+
+
 def _chaos(args) -> str:
     """Seeded end-to-end fault-injection demo.
 
@@ -230,6 +283,8 @@ def _chaos(args) -> str:
     """
     if args.overload:
         return _chaos_overload(args)
+    if args.cluster:
+        return _chaos_cluster(args)
 
     from .core import ODNETConfig, build_odnet
     from .data import ODDataset, generate_fliggy_dataset
@@ -432,6 +487,15 @@ def _bench(args) -> str:
                 f"rolling drain: {report['rolling_drain']['requests']} reqs, "
                 f"{report['rolling_drain']['failed']} failed, "
                 f"drained={report['rolling_drain']['drained']}"
+            )
+        elif name == "chaos":
+            lines.append(
+                f"chaos: {report['traffic']['requests']} reqs under "
+                f"SIGKILL+SIGSTOP, lost={report['traffic']['lost']}, "
+                f"restarts={report['worker_restarts']:.0f}, "
+                f"deaths={report['deaths']}, "
+                f"hedged={report['gateway']['hedged']:.0f} "
+                f"(wins={report['gateway']['hedge_wins']:.0f})"
             )
         elif name == "overload":
             lines.append(

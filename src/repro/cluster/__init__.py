@@ -8,15 +8,23 @@ frozen-graph cache on its own GIL) behind a stdlib HTTP gateway that
   least-loaded replicas as fallbacks,
 - retries against a replica when a worker is draining, not ready, or its
   circuit breaker is open,
+- hedges slow attempts: after a p95-derived delay it races one extra
+  replica and takes the first success,
+- self-heals: a supervisor thread detects dead/wedged workers (process
+  liveness + heartbeat staleness), respawns identical replicas under an
+  exponential-backoff restart budget, and shrinks the ring when a slot
+  crash-loops its budget away,
 - aggregates per-worker health and worker-labelled metrics, and
 - performs rolling zero-downtime drains: exclude -> drain -> reload
   (model-version bump behind a fresh lifecycle) -> readmit.
 
 Everything is stdlib (``multiprocessing`` + ``http.server`` +
-``http.client``); see ``python -m repro cluster`` for the live demo and
-the ``cluster`` bench phase for the scale-out numbers.
+``http.client``); see ``python -m repro cluster`` for the live demo,
+``python -m repro chaos --cluster`` for the kill/freeze/crash-loop
+drill, and the ``cluster``/``chaos`` bench phases for the numbers.
 """
 
+from .chaos import ChaosDrillReport, ProcessChaos, run_chaos_drill
 from .client import (
     ClusterProtocolError,
     WorkerClient,
@@ -27,6 +35,7 @@ from .config import ClusterConfig, quick_cluster_config
 from .gateway import Gateway, GatewayError, GatewayServer, WorkerHandle
 from .hashring import ConsistentHashRing
 from .manager import ClusterStartupError, ServingCluster
+from .supervisor import ClusterSupervisor, RestartBudget
 from .worker import WorkerRuntime, worker_main
 
 __all__ = [
@@ -45,4 +54,9 @@ __all__ = [
     "worker_main",
     "ServingCluster",
     "ClusterStartupError",
+    "ClusterSupervisor",
+    "RestartBudget",
+    "ProcessChaos",
+    "ChaosDrillReport",
+    "run_chaos_drill",
 ]

@@ -1,11 +1,15 @@
 """Stdlib HTTP/JSON plumbing for the cluster (no third-party clients).
 
-:class:`WorkerClient` is the gateway's handle on one worker: keep-alive
-connections (one per calling thread — gateway handler threads each hold
-their own socket, so no lock contention on the wire), JSON in/out, and a
-single typed failure, :class:`WorkerUnavailable`, covering everything the
-gateway should *retry against a replica*: connection refused/reset, a
-timeout, or an explicit 503 from a draining / not-yet-ready worker.
+:class:`WorkerClient` is the gateway's handle on one worker: a small
+pool of keep-alive connections checked out per request (hedge and
+supervision threads at the gateway are short-lived, so affinity by
+thread would reconnect per attempt), JSON in/out, and a single typed
+failure, :class:`WorkerUnavailable`, covering everything the gateway
+should *retry against a replica*: connection refused/reset, a timeout,
+or an explicit 503 from a draining / not-yet-ready worker.
+
+Every attempt runs under a hard per-attempt connect/read deadline — a
+wedged worker costs bounded time, never a hung gateway thread.
 
 Anything else (a 4xx, a worker-side 500 with a JSON body) surfaces as
 :class:`ClusterProtocolError` — a bug, not a routing event.
@@ -82,33 +86,50 @@ def _decode(raw: bytes) -> dict:
 
 
 class WorkerClient:
-    """Thread-local keep-alive JSON client for one worker endpoint."""
+    """Pooled keep-alive JSON client for one worker endpoint.
 
-    def __init__(self, host: str, port: int, timeout_s: float = 10.0):
+    Any thread may call :meth:`request`; a connection is checked out of
+    the pool for the duration of the exchange, returned on success, and
+    closed on failure.  The pool keeps sockets warm across the gateway's
+    short-lived hedge/retry threads without any thread affinity.
+    """
+
+    def __init__(self, host: str, port: int, timeout_s: float = 10.0,
+                 max_pool: int = 8):
         self.host = host
         self.port = port
         self.timeout_s = timeout_s
-        self._local = threading.local()
+        self.max_pool = max_pool
+        self._pool: list[http.client.HTTPConnection] = []
+        self._pool_lock = threading.Lock()
 
     @property
     def endpoint(self) -> str:
         return f"{self.host}:{self.port}"
 
     # ------------------------------------------------------------------
-    def _connection(self) -> http.client.HTTPConnection:
-        connection = getattr(self._local, "connection", None)
-        if connection is None:
-            connection = _NoDelayHTTPConnection(
-                self.host, self.port, timeout=self.timeout_s
-            )
-            self._local.connection = connection
-        return connection
+    def _acquire(self, fresh: bool = False) -> http.client.HTTPConnection:
+        if not fresh:
+            with self._pool_lock:
+                if self._pool:
+                    return self._pool.pop()
+        return _NoDelayHTTPConnection(
+            self.host, self.port, timeout=self.timeout_s
+        )
 
-    def _drop_connection(self) -> None:
-        connection = getattr(self._local, "connection", None)
-        if connection is not None:
+    def _release(self, connection: http.client.HTTPConnection) -> None:
+        with self._pool_lock:
+            if len(self._pool) < self.max_pool:
+                self._pool.append(connection)
+                return
+        connection.close()
+
+    def close(self) -> None:
+        """Close every pooled connection (the client stays usable)."""
+        with self._pool_lock:
+            pool, self._pool = self._pool, []
+        for connection in pool:
             connection.close()
-            self._local.connection = None
 
     def request(
         self,
@@ -117,30 +138,43 @@ class WorkerClient:
         payload: dict | None = None,
         timeout_s: float | None = None,
     ) -> tuple[int, dict]:
-        """JSON request over the thread's keep-alive connection.
+        """JSON request over a pooled keep-alive connection.
 
-        One silent reconnect covers a server-closed keep-alive socket;
-        a fresh-connection failure is the real signal and raises
-        :class:`WorkerUnavailable`.
+        One silent reconnect — on a guaranteed-fresh socket — covers a
+        server-closed pooled connection; a fresh-connection failure is
+        the real signal and raises :class:`WorkerUnavailable`.
+
+        Every attempt runs under a hard connect/read deadline.
+        ``connection.timeout`` only applies when the socket is created,
+        so the deadline is also pushed onto the *live* pooled socket —
+        without that, a request against a wedged (e.g. SIGSTOP'd)
+        worker would wait out whatever timeout the socket was born with,
+        and a ``timeout_s=None`` call would never return at all.  A
+        ``None`` argument falls back to the client default; there is no
+        unbounded mode.
         """
+        deadline_s = timeout_s if timeout_s is not None else self.timeout_s
         body = None if payload is None else json.dumps(payload)
         headers = {"Content-Type": "application/json"} if body else {}
         for attempt in (0, 1):
-            connection = self._connection()
-            if timeout_s is not None:
-                connection.timeout = timeout_s
+            connection = self._acquire(fresh=attempt == 1)
+            connection.timeout = deadline_s
+            if connection.sock is not None:
+                connection.sock.settimeout(deadline_s)
             try:
                 connection.request(method, path, body=body, headers=headers)
                 response = connection.getresponse()
                 raw = response.read()
-                return response.status, _decode(raw)
             except (ConnectionError, http.client.HTTPException,
                     socket.timeout, OSError) as exc:
-                self._drop_connection()
+                connection.close()
                 if attempt == 1 or isinstance(exc, socket.timeout):
                     raise WorkerUnavailable(
                         self.endpoint, f"{type(exc).__name__}: {exc}"
                     ) from exc
+            else:
+                self._release(connection)
+                return response.status, _decode(raw)
         raise AssertionError("unreachable")
 
     # ------------------------------------------------------------------
@@ -192,4 +226,4 @@ class WorkerClient:
         except WorkerUnavailable:
             pass  # already gone is the goal state
         finally:
-            self._drop_connection()
+            self.close()

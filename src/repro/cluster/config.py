@@ -46,6 +46,34 @@ class ClusterConfig:
     breaker_min_calls: int = 4
     breaker_recovery_s: float = 1.0
 
+    # --- hedged requests ----------------------------------------------
+    # After a hedge delay (p95 of gateway.latency_ms once hedge_min_samples
+    # are in, else hedge_delay_ms) the gateway races one extra replica and
+    # takes the first success — a wedged worker costs one hedge delay, not
+    # a full per-attempt timeout.
+    hedge_enabled: bool = True
+    hedge_delay_ms: float = 75.0      # static delay until p95 is trustworthy
+    hedge_min_delay_ms: float = 20.0  # floor under the p95-derived delay
+    hedge_min_samples: int = 32       # latency samples before trusting p95
+
+    # --- supervision (crash/wedge detection + automatic replacement) --
+    supervise: bool = True
+    supervise_interval_s: float = 0.2
+    heartbeat_interval_s: float = 1.0    # /health probe cadence per worker
+    heartbeat_timeout_s: float = 1.0     # per-probe socket deadline
+    heartbeat_stale_s: float = 3.0       # no good probe for this long = wedged
+    restart_budget: int = 3              # replacements per worker slot
+    restart_backoff_s: float = 0.5       # first respawn delay, doubles each
+    restart_backoff_max_s: float = 8.0   # ...up to this cap
+
+    # --- chaos (worker-side process-level fault site) -----------------
+    # Arms FaultSpec(after_calls=crash_after_requests, exit_code=...) at
+    # the ``cluster.worker.recommend`` site in worker ``crash_worker_id``:
+    # the process dies mid-request on the Nth call, as an OOM-kill or
+    # segfault would — the crash-loop drill for the restart budget.
+    crash_after_requests: int | None = None
+    crash_worker_id: int = 0
+
     # --- lifecycle ----------------------------------------------------
     startup_timeout_s: float = 120.0
     drain_timeout_s: float = 30.0
@@ -58,6 +86,22 @@ class ClusterConfig:
             )
         if self.vnodes < 1:
             raise ValueError(f"vnodes must be >= 1, got {self.vnodes}")
+        for name in ("hedge_delay_ms", "hedge_min_delay_ms",
+                     "supervise_interval_s", "heartbeat_interval_s",
+                     "heartbeat_timeout_s", "heartbeat_stale_s",
+                     "restart_backoff_s", "restart_backoff_max_s"):
+            if getattr(self, name) <= 0:
+                raise ValueError(f"{name} must be > 0, got {getattr(self, name)}")
+        if self.restart_budget < 0:
+            raise ValueError(
+                f"restart_budget must be >= 0, got {self.restart_budget}"
+            )
+        if self.crash_after_requests is not None \
+                and self.crash_after_requests < 1:
+            raise ValueError(
+                f"crash_after_requests must be >= 1, "
+                f"got {self.crash_after_requests}"
+            )
         if self.start_method is not None and \
                 self.start_method not in multiprocessing.get_all_start_methods():
             raise ValueError(

@@ -1,23 +1,45 @@
-"""The cluster's front door: route, retry, aggregate health, drain-aware.
+"""The cluster's front door: route, retry, hedge, heal, aggregate health.
 
 The :class:`Gateway` owns a :class:`~repro.cluster.hashring.ConsistentHashRing`
 mapping user ids to a *preferred* worker, with the remaining replicas as
-least-loaded fallbacks.  A request is retried down that candidate list
+least-loaded fallbacks.  A request walks down that candidate list
 whenever a worker is excluded (being rolled), its circuit breaker is
 open, or the call comes back unavailable (connection failure, timeout,
 or a 503 from a draining/not-ready worker).  Because every replica is
 model-identical, a retry is invisible to the caller — this is what makes
 the rolling drain zero-downtime.
 
+**Hedged requests.** A slow attempt is not waited out: after a hedge
+delay (the p95 of observed gateway latency once enough samples exist,
+else a static default) the gateway races *one* extra replica and takes
+the first success.  A wedged worker therefore costs one hedge delay of
+extra latency, not a full per-attempt timeout — and the per-attempt
+socket deadline in :mod:`repro.cluster.client` bounds the abandoned
+attempt's thread.
+
+**Self-healing membership.** The supervisor splices replacements in
+with :meth:`Gateway.replace_worker` (same ring name → zero remap; the
+breaker starts closed with no failure history) and shrinks the ring
+with :meth:`Gateway.remove_worker` when a crash-looping slot exhausts
+its restart budget.  If every live replica's breaker is open the
+gateway force-probes the preferred one instead of refusing — a total
+lockout heals on the next healthy response, not on a timer.
+
 Observability (all in the gateway process's registry):
 
 - ``gateway.routed`` — successful proxies, aggregate and per-``worker``;
-- ``gateway.retried`` — attempts after the first;
+- ``gateway.retried`` — sequential attempts after a failure;
+- ``gateway.hedged`` / ``gateway.hedge_wins`` — races started after the
+  hedge delay / races the hedge attempt won;
+- ``gateway.breaker_forced`` — probes forced through an all-breakers-open
+  lockout;
 - ``gateway.worker_unready`` — candidates skipped or failed, labelled by
   ``worker`` and ``reason`` (``excluded`` / ``breaker_open`` /
   ``unavailable``);
 - ``gateway.rejected`` — requests no replica could take;
-- ``gateway.inflight`` (gauge) — requests currently inside the gateway.
+- ``gateway.inflight`` (gauge) — requests currently inside the gateway;
+- ``gateway.latency_ms`` (histogram) — successful attempt latency, the
+  source of the p95-derived hedge delay.
 
 :class:`GatewayServer` exposes the gateway over the same stdlib HTTP
 dialect the workers speak: ``POST /recommend`` and ``GET /health``.
@@ -25,7 +47,9 @@ dialect the workers speak: ``POST /recommend`` and ``GET /health``.
 
 from __future__ import annotations
 
+import queue
 import threading
+import time
 
 from ..obs.registry import get_registry
 from ..resilience import CircuitBreaker
@@ -93,12 +117,16 @@ class Gateway:
         self.ring = ConsistentHashRing(
             [handle.name for handle in self.handles], vnodes=config.vnodes
         )
+        # Guards membership (handles / _by_name / ring): the supervisor
+        # splices and removes workers while request threads route.
+        self._members_lock = threading.RLock()
         self._inflight = 0
         self._inflight_lock = threading.Lock()
 
     # ------------------------------------------------------------------
     def worker(self, worker_id: int) -> WorkerHandle:
-        handle = self._by_name.get(f"w{worker_id}")
+        with self._members_lock:
+            handle = self._by_name.get(f"w{worker_id}")
         if handle is None:
             raise KeyError(f"no worker w{worker_id}")
         return handle
@@ -106,10 +134,13 @@ class Gateway:
     def route_order(self, user_id) -> list[WorkerHandle]:
         """Preferred owner by consistent hash, then replicas least-loaded
         first — the fallback order a retry walks."""
-        names = self.ring.preference(
-            user_id, [handle.name for handle in self.handles]
-        )
-        ordered = [self._by_name[name] for name in names]
+        with self._members_lock:
+            names = self.ring.preference(
+                user_id, [handle.name for handle in self.handles]
+            )
+            ordered = [self._by_name[name] for name in names]
+        if not ordered:
+            return []
         return [ordered[0]] + sorted(
             ordered[1:], key=lambda handle: handle.in_flight
         )
@@ -131,45 +162,142 @@ class Gateway:
                 self._inflight -= 1
                 registry.gauge("gateway.inflight").set(self._inflight)
 
+    def _hedge_delay_s(self, registry) -> float | None:
+        """How long the primary attempt gets before a replica is raced:
+        the p95 of observed gateway latency once ``hedge_min_samples``
+        are in (floored at ``hedge_min_delay_ms``), else the static
+        ``hedge_delay_ms``.  ``None`` disables hedging."""
+        if not self.config.hedge_enabled:
+            return None
+        histogram = registry.histogram("gateway.latency_ms")
+        if histogram.count >= self.config.hedge_min_samples:
+            return max(
+                histogram.percentile(95), self.config.hedge_min_delay_ms
+            ) / 1000.0
+        return self.config.hedge_delay_ms / 1000.0
+
     def _recommend_with_retries(self, payload: dict, registry) -> dict:
-        attempts = 0
-        last_reason = "no_candidates"
-        for handle in self.route_order(payload["user_id"]):
-            if handle.excluded:
-                self._skip(registry, handle, "excluded")
-                last_reason = "excluded"
-                continue
-            if not handle.breaker.allow():
-                self._skip(registry, handle, "breaker_open")
-                last_reason = "breaker_open"
-                continue
-            attempts += 1
-            if attempts > 1:
-                registry.counter("gateway.retried").inc()
+        """The hedged attempt ladder.
+
+        Launch the preferred candidate; if it is still pending after the
+        hedge delay, race one replica (``gateway.hedged``) and take the
+        first success.  A *failed* attempt advances down the candidate
+        list immediately (``gateway.retried``).  Skips consume no
+        half-open breaker probes: ``allow()`` is only asked at the
+        moment an attempt actually launches.
+        """
+        order = self.route_order(payload["user_id"])
+        position = 0
+        breaker_skipped: list[WorkerHandle] = []
+        state = {"last_reason": "no_candidates"}
+
+        def next_ready() -> WorkerHandle | None:
+            nonlocal position
+            while position < len(order):
+                handle = order[position]
+                position += 1
+                if handle.excluded:
+                    self._skip(registry, handle, "excluded")
+                    state["last_reason"] = "excluded"
+                    continue
+                if not handle.breaker.allow():
+                    self._skip(registry, handle, "breaker_open")
+                    state["last_reason"] = "breaker_open"
+                    breaker_skipped.append(handle)
+                    continue
+                return handle
+            return None
+
+        results: queue.Queue = queue.Queue()
+
+        def attempt(handle: WorkerHandle, hedged: bool) -> None:
             handle.begin()
+            started = time.perf_counter()
             try:
                 response = handle.client.recommend(
                     payload, timeout_s=self.config.request_timeout_s
                 )
             except WorkerUnavailable as exc:
                 handle.breaker.record_failure()
-                self._skip(registry, handle, "unavailable")
-                last_reason = exc.reason
-                continue
+                results.put((handle, None, exc, hedged))
+            except Exception as exc:  # a protocol bug: deliver, don't drop
+                results.put((handle, None, exc, hedged))
+            else:
+                handle.breaker.record_success()
+                registry.histogram("gateway.latency_ms").observe(
+                    (time.perf_counter() - started) * 1000.0
+                )
+                results.put((handle, response, None, hedged))
             finally:
                 handle.end()
-            handle.breaker.record_success()
-            registry.counter("gateway.routed").inc()
-            registry.counter(
-                "gateway.routed", labels={"worker": handle.name}
-            ).inc()
-            response["routed_worker"] = handle.worker_id
-            response["attempts"] = attempts
-            return response
+
+        launched = 0
+        pending = 0
+        hedges = 0
+
+        def launch(handle: WorkerHandle, hedged: bool) -> None:
+            nonlocal launched, pending
+            launched += 1
+            pending += 1
+            threading.Thread(
+                target=attempt, args=(handle, hedged),
+                name=f"repro-gateway-attempt-{handle.name}", daemon=True,
+            ).start()
+
+        first = next_ready()
+        if first is None and breaker_skipped:
+            # Total lockout: every live replica's breaker is open.
+            # Refusing would turn a transient blip into a standing
+            # outage, so force one probe through the preferred skipped
+            # worker — its breaker records the outcome either way, and
+            # one healthy response starts closing the loop.
+            first = breaker_skipped[0]
+            registry.counter("gateway.breaker_forced").inc()
+        if first is not None:
+            launch(first, hedged=False)
+        while pending:
+            hedge_wait = self._hedge_delay_s(registry) if hedges == 0 \
+                else None
+            try:
+                handle, response, error, hedged = results.get(
+                    timeout=hedge_wait
+                )
+            except queue.Empty:
+                # The attempt in flight is slow: race one replica.
+                backup = next_ready()
+                hedges += 1   # at most one race per request
+                if backup is None:
+                    continue  # nothing to race; wait the attempt out
+                registry.counter("gateway.hedged").inc()
+                registry.counter(
+                    "gateway.hedged", labels={"worker": backup.name}
+                ).inc()
+                launch(backup, hedged=True)
+                continue
+            pending -= 1
+            if error is not None and not isinstance(error, WorkerUnavailable):
+                raise error
+            if response is not None:
+                if hedged:
+                    registry.counter("gateway.hedge_wins").inc()
+                registry.counter("gateway.routed").inc()
+                registry.counter(
+                    "gateway.routed", labels={"worker": handle.name}
+                ).inc()
+                response["routed_worker"] = handle.worker_id
+                response["attempts"] = launched
+                return response
+            self._skip(registry, handle, "unavailable")
+            state["last_reason"] = error.reason
+            if pending == 0:
+                replacement = next_ready()
+                if replacement is not None:
+                    registry.counter("gateway.retried").inc()
+                    launch(replacement, hedged=False)
         registry.counter("gateway.rejected").inc()
         raise GatewayError(
-            f"no replica available after {attempts} attempt(s) "
-            f"(last: {last_reason})"
+            f"no replica available after {launched} attempt(s) "
+            f"(last: {state['last_reason']})"
         )
 
     @staticmethod
@@ -192,12 +320,55 @@ class Gateway:
         handle.excluded = False
 
     # ------------------------------------------------------------------
+    def replace_worker(self, worker_id: int, client) -> None:
+        """Splice a respawned replica into the dead worker's slot.
+
+        The ring name is unchanged, so placement does not move — the
+        replacement inherits exactly the users the dead worker owned.
+        The breaker is rebuilt: a fresh process must not start life
+        half-open because its predecessor died badly.
+        """
+        with self._members_lock:
+            handle = self._by_name.get(f"w{worker_id}")
+            if handle is None:
+                raise KeyError(f"no worker w{worker_id}")
+            old_client = handle.client
+            handle.client = client
+            handle.reset_breaker()
+            handle.excluded = False
+        try:
+            old_client.close()
+        except Exception:
+            pass  # pooled sockets to a dead process; best effort
+
+    def remove_worker(self, worker_id: int) -> None:
+        """Shrink the ring: a slot whose restart budget is exhausted is
+        abandoned and its keyspace remaps to the surviving replicas."""
+        with self._members_lock:
+            handle = self._by_name.pop(f"w{worker_id}", None)
+            if handle is None:
+                raise KeyError(f"no worker w{worker_id}")
+            if len(self.handles) == 1:
+                self._by_name[handle.name] = handle
+                raise RuntimeError(
+                    "refusing to remove the last worker from the ring"
+                )
+            self.handles.remove(handle)
+            self.ring.remove(handle.name)
+        try:
+            handle.client.close()
+        except Exception:
+            pass
+
+    # ------------------------------------------------------------------
     def cluster_health(self) -> dict:
         """Aggregate per-worker health (live probes) + gateway counters."""
         registry = get_registry()
         per_worker: dict[str, dict] = {}
         ready = 0
-        for handle in self.handles:
+        with self._members_lock:
+            handles = list(self.handles)
+        for handle in handles:
             try:
                 health = handle.client.health(
                     timeout_s=self.config.health_timeout_s
@@ -211,12 +382,16 @@ class Gateway:
                 ready += 1
             per_worker[handle.name] = health
         return {
-            "workers": len(self.handles),
+            "workers": len(handles),
             "ready": ready,
             "per_worker": per_worker,
             "gateway": {
                 "routed": registry.counter("gateway.routed").value,
                 "retried": registry.counter("gateway.retried").value,
+                "hedged": registry.counter("gateway.hedged").value,
+                "hedge_wins": registry.counter("gateway.hedge_wins").value,
+                "breaker_forced":
+                    registry.counter("gateway.breaker_forced").value,
                 "worker_unready":
                     registry.counter("gateway.worker_unready").value,
                 "rejected": registry.counter("gateway.rejected").value,

@@ -17,6 +17,13 @@ the worker (in-flight requests finish), *reload* it (model-version bump
 behind a fresh lifecycle), wait until its health probe reports ready,
 then *readmit* it at the gateway.  Traffic keeps flowing the whole time
 because the other replicas absorb the hashed-out users.
+
+With ``config.supervise`` (the default) a
+:class:`~repro.cluster.supervisor.ClusterSupervisor` watches the worker
+processes from a daemon thread and *replaces* the ones that die or
+wedge: :meth:`respawn_worker` spawns a fresh deterministic replica into
+the dead worker's slot and the supervisor splices it into the gateway
+ring under the same name — zero placement remap, fresh breaker.
 """
 
 from __future__ import annotations
@@ -42,10 +49,12 @@ class ServingCluster:
 
     def __init__(self, config: ClusterConfig | None = None):
         self.config = config or ClusterConfig()
-        self.processes: list[multiprocessing.process.BaseProcess] = []
+        self.processes: dict[int, multiprocessing.process.BaseProcess] = {}
         self.handles: list[WorkerHandle] = []
         self.gateway: Gateway | None = None
         self.server: GatewayServer | None = None
+        self.supervisor = None
+        self._context = None
         self._started = False
 
     # ------------------------------------------------------------------
@@ -72,18 +81,15 @@ class ServingCluster:
         if self._started:
             return self
         config = self.config
-        context = multiprocessing.get_context(config.resolved_start_method())
-        ready_queue = context.Queue()
+        self._context = multiprocessing.get_context(
+            config.resolved_start_method()
+        )
+        ready_queue = self._context.Queue()
         try:
             for worker_id in range(config.num_workers):
-                process = context.Process(
-                    target=worker_main,
-                    args=(config, worker_id, ready_queue),
-                    name=f"repro-cluster-w{worker_id}",
-                    daemon=True,
+                self.processes[worker_id] = self._spawn_process(
+                    worker_id, ready_queue
                 )
-                process.start()
-                self.processes.append(process)
             ports = self._collect_ports(ready_queue)
             self.handles = [
                 WorkerHandle(
@@ -97,15 +103,30 @@ class ServingCluster:
                 for worker_id in range(config.num_workers)
             ]
             for handle in self.handles:
-                self._await_ready(handle)
+                self._await_ready(handle.client, handle.name)
             self.gateway = Gateway(self.handles, config)
             self.server = GatewayServer(self.gateway, config.host)
             self.server.start()
+            if config.supervise:
+                from .supervisor import ClusterSupervisor
+
+                self.supervisor = ClusterSupervisor(self)
+                self.supervisor.start()
         except Exception:
             self.shutdown()
             raise
         self._started = True
         return self
+
+    def _spawn_process(self, worker_id: int, ready_queue):
+        process = self._context.Process(
+            target=worker_main,
+            args=(self.config, worker_id, ready_queue),
+            name=f"repro-cluster-w{worker_id}",
+            daemon=True,
+        )
+        process.start()
+        return process
 
     def _collect_ports(self, ready_queue) -> dict[int, int]:
         deadline = time.monotonic() + self.config.startup_timeout_s
@@ -131,14 +152,14 @@ class ServingCluster:
         return ports
 
     def _check_workers_alive(self) -> None:
-        for process in self.processes:
+        for process in self.processes.values():
             if not process.is_alive() and process.exitcode not in (None, 0):
                 raise ClusterStartupError(
                     f"worker process {process.name} exited with "
                     f"code {process.exitcode} during startup"
                 )
 
-    def _await_ready(self, handle: WorkerHandle,
+    def _await_ready(self, client: WorkerClient, name: str,
                      timeout_s: float | None = None) -> dict:
         deadline = time.monotonic() + (
             timeout_s if timeout_s is not None
@@ -147,7 +168,7 @@ class ServingCluster:
         last_error = "never probed"
         while time.monotonic() < deadline:
             try:
-                health = handle.client.health(
+                health = client.health(
                     timeout_s=self.config.health_timeout_s
                 )
                 if health.get("ready"):
@@ -157,8 +178,63 @@ class ServingCluster:
                 last_error = exc.reason
             time.sleep(0.05)
         raise ClusterStartupError(
-            f"worker {handle.name} never became ready ({last_error})"
+            f"worker {name} never became ready ({last_error})"
         )
+
+    # ------------------------------------------------------------------
+    def process_for(self, worker_id: int):
+        """The live :mod:`multiprocessing` handle for one worker slot."""
+        return self.processes.get(worker_id)
+
+    def respawn_worker(self, worker_id: int) -> WorkerClient:
+        """Spawn a fresh deterministic replica into ``worker_id``'s slot.
+
+        Any remnant of the previous process is reaped first (SIGKILL if
+        SIGTERM cannot land — a SIGSTOP'd process ignores everything
+        else).  Blocks until the replacement reports its port and passes
+        a readiness probe, then returns a client pointed at it; splicing
+        that client into the gateway is the caller's (supervisor's) job.
+        """
+        if self._context is None:
+            raise RuntimeError("cluster is not started")
+        old = self.processes.get(worker_id)
+        if old is not None and old.is_alive():
+            old.terminate()
+            old.join(timeout=1.0)
+            if old.is_alive():
+                old.kill()
+                old.join(timeout=1.0)
+        ready_queue = self._context.Queue()
+        process = self._spawn_process(worker_id, ready_queue)
+        self.processes[worker_id] = process
+        deadline = time.monotonic() + self.config.startup_timeout_s
+        while True:
+            remaining = deadline - time.monotonic()
+            if remaining <= 0:
+                raise ClusterStartupError(
+                    f"timed out waiting for respawned worker "
+                    f"w{worker_id}'s port"
+                )
+            try:
+                message = ready_queue.get(timeout=min(remaining, 1.0))
+                break
+            except queue_module.Empty:
+                if not process.is_alive():
+                    raise ClusterStartupError(
+                        f"respawned worker w{worker_id} exited with "
+                        f"code {process.exitcode} during startup"
+                    )
+        if "error" in message:
+            raise ClusterStartupError(
+                f"respawned worker w{worker_id} failed to start: "
+                f"{message['error']}"
+            )
+        client = WorkerClient(
+            self.config.host, message["port"],
+            timeout_s=self.config.request_timeout_s,
+        )
+        self._await_ready(client, f"w{worker_id}")
+        return client
 
     # ------------------------------------------------------------------
     def rolling_restart(
@@ -195,7 +271,9 @@ class ServingCluster:
                 reload_report = handle.client.reload(
                     timeout_s=timeout_s + 5.0
                 )
-                self._await_ready(handle, timeout_s=timeout_s)
+                self._await_ready(
+                    handle.client, handle.name, timeout_s=timeout_s
+                )
             finally:
                 # Readmit even on a partially-failed roll: a worker that
                 # drained but failed to reload keeps refusing with 503
@@ -211,6 +289,9 @@ class ServingCluster:
 
     # ------------------------------------------------------------------
     def shutdown(self, timeout_s: float = 10.0) -> None:
+        if self.supervisor is not None:
+            self.supervisor.stop()
+            self.supervisor = None
         if self.server is not None:
             self.server.stop()
             self.server = None
@@ -222,11 +303,14 @@ class ServingCluster:
                 pass  # a dead worker is already where we want it
         self.handles = []
         deadline = time.monotonic() + timeout_s
-        for process in self.processes:
+        for process in self.processes.values():
             process.join(timeout=max(0.1, deadline - time.monotonic()))
-        for process in self.processes:
+        for process in self.processes.values():
             if process.is_alive():
                 process.terminate()
                 process.join(timeout=2.0)
-        self.processes = []
+                if process.is_alive():
+                    process.kill()       # a SIGSTOP'd worker shrugs off TERM
+                    process.join(timeout=2.0)
+        self.processes = {}
         self._started = False

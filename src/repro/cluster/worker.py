@@ -31,6 +31,8 @@ import threading
 
 from ..guard import GuardConfig
 from ..obs.registry import MetricsRegistry, set_registry
+from ..resilience import FaultInjector, FaultSpec, set_fault_injector
+from ..resilience.chaos import inject
 from .config import ClusterConfig
 from .httpd import JsonHttpServer
 
@@ -100,6 +102,10 @@ class WorkerRuntime:
             k = int(payload.get("k", self.config.default_k))
         except (KeyError, TypeError, ValueError):
             return 400, {"error": "payload needs integer user_id [, day, k]"}
+        # Process-level fault site: with a crash spec armed (see
+        # worker_main) the Nth call here kills the process mid-request —
+        # the socket dies without a reply, exactly like a segfault.
+        inject("cluster.worker.recommend")
         lifecycle = self.lifecycle
         if lifecycle is not None and not lifecycle.admitting:
             return 503, {"error": lifecycle.state, "worker_id": self.worker_id}
@@ -216,6 +222,22 @@ def worker_main(config: ClusterConfig, worker_id: int, ready_queue) -> None:
     try:
         runtime = WorkerRuntime(config, worker_id)
         set_registry(runtime.registry)
+        if (
+            config.crash_after_requests is not None
+            and worker_id == config.crash_worker_id
+        ):
+            # Crash-on-Nth-request drill: the process dies (os._exit, no
+            # cleanup) once this slot has served that many rankings.
+            # Replacements spawned by the supervisor re-arm the same spec
+            # from the shared config — the deliberate crash *loop* the
+            # restart budget is drilled against.
+            chaos = FaultInjector(seed=config.seed)
+            chaos.add("cluster.worker.recommend", FaultSpec(
+                error_rate=1.0,
+                after_calls=config.crash_after_requests - 1,
+                exit_code=139,  # what a SIGSEGV death reads as
+            ))
+            set_fault_injector(chaos)
         holder: dict = {}
         httpd = JsonHttpServer(config.host, runtime.routes(holder))
         holder["server"] = httpd

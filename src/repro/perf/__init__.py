@@ -18,6 +18,7 @@ from .bench import (
     BenchConfig,
     quick_bench_config,
     run_bench,
+    run_chaos_bench,
     run_cluster_bench,
     run_overload_bench,
     run_serving_bench,
@@ -34,6 +35,7 @@ __all__ = [
     "BenchConfig",
     "quick_bench_config",
     "run_bench",
+    "run_chaos_bench",
     "run_cluster_bench",
     "run_overload_bench",
     "run_serving_bench",

@@ -47,6 +47,7 @@ __all__ = [
     "run_training_bench",
     "run_overload_bench",
     "run_cluster_bench",
+    "run_chaos_bench",
     "run_bench",
     "BENCH_PHASES",
 ]
@@ -420,12 +421,43 @@ def run_cluster_bench(config: BenchConfig | None = None) -> dict:
         set_registry(previous)
 
 
+def run_chaos_bench(config: BenchConfig | None = None) -> dict:
+    """The self-healing chaos drill as a diffable bench phase.
+
+    Runs :func:`repro.cluster.chaos.run_chaos_drill` — continuous
+    gateway traffic while one worker is SIGKILLed and another SIGSTOP'd
+    — under a fresh registry.  The gates ``tools/check_bench.py``
+    enforces on the JSON: **zero lost requests** (degraded 200s are
+    fine; client-visible errors are not), at least one automatic
+    replacement in ``cluster.worker_restarts``, and the hedging
+    counters present (the mechanism that keeps the frozen worker's tail
+    out of the client's latency).
+    """
+    from ..cluster.chaos import chaos_cluster_config, run_chaos_drill
+
+    config = config or BenchConfig()
+    registry = MetricsRegistry(default_labels={"process": "gateway"})
+    previous = set_registry(registry)
+    try:
+        report = dict(run_chaos_drill(chaos_cluster_config(
+            seed=config.seed
+        )))
+        report.update({
+            "schema_version": SCHEMA_VERSION,
+            "config": dataclasses.asdict(config),
+        })
+        return report
+    finally:
+        set_registry(previous)
+
+
 #: Phase name -> runner, in default execution order.
 BENCH_PHASES = {
     "serving": run_serving_bench,
     "training": run_training_bench,
     "overload": run_overload_bench,
     "cluster": run_cluster_bench,
+    "chaos": run_chaos_bench,
 }
 
 

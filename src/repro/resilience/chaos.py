@@ -17,6 +17,7 @@ pay only a function call when chaos is off.
 
 from __future__ import annotations
 
+import os
 import threading
 import time
 from contextlib import contextmanager
@@ -48,6 +49,14 @@ class FaultSpec:
     been hit that many times (model a dependency that degrades mid-run),
     and ``max_faults`` caps the number of raised errors (model a
     transient outage that heals).
+
+    ``exit_code`` escalates a fired fault from an exception to a
+    *process death*: instead of raising :class:`InjectedFault` the
+    injector calls ``os._exit(exit_code)`` — no cleanup, no flushing,
+    exactly what a segfault or OOM-kill looks like from outside.  This
+    is the process-level chaos the cluster supervisor is drilled
+    against (``FaultSpec(error_rate=1.0, after_calls=N, exit_code=139)``
+    = "crash on the Nth request").
     """
 
     error_rate: float = 0.0
@@ -55,6 +64,7 @@ class FaultSpec:
     latency_rate: float = 0.0
     after_calls: int = 0
     max_faults: int | None = None
+    exit_code: int | None = None
 
     def __post_init__(self):
         for name in ("error_rate", "latency_rate"):
@@ -67,6 +77,10 @@ class FaultSpec:
             raise ValueError(f"after_calls must be >= 0, got {self.after_calls}")
         if self.max_faults is not None and self.max_faults < 0:
             raise ValueError(f"max_faults must be >= 0, got {self.max_faults}")
+        if self.exit_code is not None and not 0 <= self.exit_code <= 255:
+            raise ValueError(
+                f"exit_code must be in [0, 255], got {self.exit_code}"
+            )
 
 
 class FaultInjector:
@@ -152,6 +166,12 @@ class FaultInjector:
                 self._sleep(spec.latency_ms / 1000.0)
         if fault_count:
             registry = get_registry()
+            if spec.exit_code is not None:
+                if registry.enabled:
+                    registry.counter(
+                        "chaos.injected_exits", labels={"site": site}
+                    ).inc()
+                os._exit(spec.exit_code)
             if registry.enabled:
                 registry.counter(
                     "chaos.injected_errors", labels={"site": site}

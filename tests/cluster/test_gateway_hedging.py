@@ -1,0 +1,216 @@
+"""Hedged requests + self-healing membership, with scripted clients."""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.cluster import (
+    ClusterConfig,
+    Gateway,
+    GatewayError,
+    WorkerHandle,
+    WorkerUnavailable,
+)
+from repro.obs import MetricsRegistry, use_registry
+
+CONFIG = ClusterConfig(
+    num_workers=3,
+    hedge_delay_ms=40.0,
+    hedge_min_delay_ms=5.0,
+    hedge_min_samples=10_000,     # keep the static delay in force
+    breaker_min_calls=2,
+    breaker_window=4,
+    breaker_recovery_s=60.0,
+    request_timeout_s=5.0,
+)
+
+
+class ScriptedClient:
+    """Answers after ``delay_s``; fails the first ``fail_times`` calls."""
+
+    def __init__(self, worker_id: int, delay_s: float = 0.0,
+                 fail_times: int = 0):
+        self.worker_id = worker_id
+        self.delay_s = delay_s
+        self.fail_times = fail_times
+        self.calls = 0
+
+    def recommend(self, payload, timeout_s=None):
+        self.calls += 1
+        if self.fail_times > 0:
+            self.fail_times -= 1
+            raise WorkerUnavailable(f"fake:{self.worker_id}", "down")
+        if self.delay_s:
+            time.sleep(self.delay_s)
+        return {"worker_id": self.worker_id, "user_id": payload["user_id"],
+                "flights": [], "degraded": False, "fallbacks": []}
+
+    def health(self, timeout_s=None):
+        return {"worker_id": self.worker_id, "ready": True,
+                "state": "ready", "in_flight": 0}
+
+    def close(self):
+        pass
+
+
+def make_gateway(clients, config=CONFIG):
+    handles = [
+        WorkerHandle(client.worker_id, client, config) for client in clients
+    ]
+    return Gateway(handles, config), handles
+
+
+class TestHedging:
+    def test_hedge_races_a_replica_past_a_slow_primary(self):
+        with use_registry(MetricsRegistry()) as registry:
+            clients = [ScriptedClient(i) for i in range(3)]
+            gateway, _ = make_gateway(clients)
+            preferred = gateway.route_order(7)[0]
+            preferred.client.delay_s = 1.0   # far beyond the hedge delay
+            start = time.perf_counter()
+            response = gateway.recommend({"user_id": 7})
+            elapsed = time.perf_counter() - start
+            assert response["routed_worker"] != preferred.worker_id
+            assert response["attempts"] == 2
+            # Well under the slow primary; the hedge won the race.
+            assert elapsed < 0.8
+            assert registry.counter("gateway.hedged").value == 1
+            assert registry.counter("gateway.hedge_wins").value == 1
+
+    def test_fast_primary_never_hedges(self):
+        with use_registry(MetricsRegistry()) as registry:
+            clients = [ScriptedClient(i) for i in range(3)]
+            gateway, _ = make_gateway(clients)
+            for user_id in range(10):
+                gateway.recommend({"user_id": user_id})
+            assert registry.counter("gateway.hedged").value == 0
+
+    def test_hedge_disabled_waits_out_the_primary(self):
+        import dataclasses
+
+        config = dataclasses.replace(CONFIG, hedge_enabled=False)
+        with use_registry(MetricsRegistry()) as registry:
+            clients = [ScriptedClient(i) for i in range(3)]
+            gateway, _ = make_gateway(clients, config)
+            preferred = gateway.route_order(7)[0]
+            preferred.client.delay_s = 0.15
+            response = gateway.recommend({"user_id": 7})
+            assert response["routed_worker"] == preferred.worker_id
+            assert registry.counter("gateway.hedged").value == 0
+
+    def test_slow_then_failing_primary_still_succeeds(self):
+        with use_registry(MetricsRegistry()) as registry:
+            clients = [ScriptedClient(i) for i in range(3)]
+            gateway, _ = make_gateway(clients)
+            preferred = gateway.route_order(7)[0]
+            preferred.client.fail_times = 1
+            preferred.client.delay_s = 0.2   # slow *and* doomed
+            response = gateway.recommend({"user_id": 7})
+            assert response["worker_id"] != preferred.worker_id
+            assert registry.counter("gateway.routed").value == 1
+
+
+class TestAllWorkersDown:
+    def test_fast_typed_error_not_a_hang(self):
+        """Satellite contract: every worker down means a *prompt typed*
+        failure (503 via handle_recommend), never a hang or a raw
+        ConnectionRefusedError leaking to the caller."""
+        with use_registry(MetricsRegistry()) as registry:
+            clients = [
+                ScriptedClient(i, fail_times=10 ** 9) for i in range(2)
+            ]
+            gateway, _ = make_gateway(clients)
+            start = time.perf_counter()
+            for user_id in range(10):
+                status, body = gateway.handle_recommend({"user_id": user_id})
+                assert status == 503
+                assert "no replica available" in body["error"]
+            elapsed = time.perf_counter() - start
+            assert elapsed < 2.0
+            assert registry.counter("gateway.rejected").value == 10
+
+    def test_recovers_as_soon_as_any_worker_returns(self):
+        with use_registry(MetricsRegistry()) as registry:
+            clients = [
+                ScriptedClient(i, fail_times=10 ** 9) for i in range(2)
+            ]
+            gateway, handles = make_gateway(clients)
+            for user_id in range(10):
+                status, _ = gateway.handle_recommend({"user_id": user_id})
+                assert status == 503
+            # Both breakers are open by now; the forced probe is what
+            # keeps testing the water on every request.
+            assert {handle.breaker.state for handle in handles} == {"open"}
+            assert registry.counter("gateway.breaker_forced").value > 0
+            healed = gateway.route_order(3)[0]
+            healed.client.fail_times = 0
+            status, body = gateway.handle_recommend({"user_id": 3})
+            assert status == 200
+            assert body["routed_worker"] == healed.worker_id
+
+
+class TestMembership:
+    def test_replace_worker_swaps_client_and_resets_breaker(self):
+        with use_registry(MetricsRegistry()):
+            clients = [ScriptedClient(0, fail_times=10 ** 9),
+                       ScriptedClient(1)]
+            gateway, handles = make_gateway(clients)
+            for user_id in range(10):
+                gateway.recommend({"user_id": user_id})
+            assert handles[0].breaker.state == "open"
+            gateway.exclude(0)
+            replacement = ScriptedClient(0)
+            gateway.replace_worker(0, replacement)
+            assert handles[0].client is replacement
+            assert handles[0].breaker.state == "closed"
+            assert handles[0].excluded is False
+            # The replacement serves its hashed share again.
+            served = {
+                gateway.recommend({"user_id": user_id})["routed_worker"]
+                for user_id in range(30)
+            }
+            assert served == {0, 1}
+
+    def test_replace_worker_preserves_ring_placement(self):
+        with use_registry(MetricsRegistry()):
+            clients = [ScriptedClient(i) for i in range(3)]
+            gateway, _ = make_gateway(clients)
+            before = {
+                user_id: gateway.route_order(user_id)[0].name
+                for user_id in range(50)
+            }
+            gateway.replace_worker(1, ScriptedClient(1))
+            after = {
+                user_id: gateway.route_order(user_id)[0].name
+                for user_id in range(50)
+            }
+            assert before == after   # same name, same vnodes: zero remap
+
+    def test_remove_worker_shrinks_ring(self):
+        with use_registry(MetricsRegistry()):
+            clients = [ScriptedClient(i) for i in range(3)]
+            gateway, _ = make_gateway(clients)
+            gateway.remove_worker(2)
+            with gateway._members_lock:
+                assert sorted(h.name for h in gateway.handles) == \
+                    ["w0", "w1"]
+            for user_id in range(20):
+                assert gateway.recommend(
+                    {"user_id": user_id}
+                )["routed_worker"] in (0, 1)
+
+    def test_remove_last_worker_refused(self):
+        with use_registry(MetricsRegistry()):
+            gateway, _ = make_gateway([ScriptedClient(0)])
+            with pytest.raises(RuntimeError, match="last worker"):
+                gateway.remove_worker(0)
+            with gateway._members_lock:
+                assert [h.name for h in gateway.handles] == ["w0"]
+
+    def test_remove_unknown_worker_raises(self):
+        with use_registry(MetricsRegistry()):
+            gateway, _ = make_gateway([ScriptedClient(0), ScriptedClient(1)])
+            with pytest.raises(KeyError):
+                gateway.remove_worker(7)

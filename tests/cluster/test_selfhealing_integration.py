@@ -1,0 +1,151 @@
+"""Self-healing with real worker processes: kill, freeze, crash-loop.
+
+These spawn actual ``multiprocessing`` workers and inflict actual
+signals — the closest thing to production the test suite gets.  Sizes
+and supervision timings are drill-small so the whole module stays in
+tens of seconds.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import time
+
+import pytest
+
+from repro.cluster import ClusterConfig, ProcessChaos, ServingCluster
+from repro.obs import MetricsRegistry, use_registry
+
+CONFIG = ClusterConfig(
+    num_workers=3,
+    num_users=200,
+    num_cities=24,
+    seed=3,
+    request_timeout_s=5.0,
+    supervise_interval_s=0.1,
+    heartbeat_interval_s=0.25,
+    heartbeat_timeout_s=0.75,
+    heartbeat_stale_s=1.0,
+    restart_budget=2,
+    restart_backoff_s=0.1,
+    restart_backoff_max_s=0.5,
+    hedge_delay_ms=50.0,
+    breaker_recovery_s=0.5,
+)
+
+
+def wait_for(predicate, timeout_s: float = 60.0, what: str = "condition"):
+    deadline = time.monotonic() + timeout_s
+    while time.monotonic() < deadline:
+        if predicate():
+            return
+        time.sleep(0.05)
+    pytest.fail(f"timed out waiting for {what}")
+
+
+def serve_all(client, num_users: int = 30) -> list[dict]:
+    return [
+        client.recommend({"user_id": user_id, "day": 720, "k": 3})
+        for user_id in range(num_users)
+    ]
+
+
+class TestKillAndFreeze:
+    @pytest.fixture(scope="class")
+    def rig(self):
+        registry = MetricsRegistry(default_labels={"process": "gateway"})
+        with use_registry(registry), ServingCluster(CONFIG) as cluster:
+            client = cluster.client()
+            serve_all(client)    # warm every replica's hashed share
+            yield cluster, client, registry
+
+    def test_sigkill_worker_is_replaced(self, rig):
+        cluster, client, registry = rig
+        victim = cluster.handles[0].worker_id
+        old_pid = cluster.process_for(victim).pid
+        ProcessChaos(cluster).kill(victim)
+        wait_for(
+            lambda: cluster.supervisor.restarts >= 1,
+            what="replacement after SIGKILL",
+        )
+        new_process = cluster.process_for(victim)
+        assert new_process.pid != old_pid
+        assert new_process.is_alive()
+        assert registry.counter(
+            "cluster.worker_deaths",
+            labels={"worker": f"w{victim}", "reason": "crash"},
+        ).value >= 1
+        assert registry.counter("cluster.worker_restarts").value >= 1
+        # Every user still gets an answer, including the victim's share.
+        responses = serve_all(client)
+        assert {r["routed_worker"] for r in responses} >= {victim}
+
+    def test_sigstop_wedged_worker_is_replaced(self, rig):
+        cluster, client, registry = rig
+        restarts_before = cluster.supervisor.restarts
+        victim = cluster.handles[1].worker_id
+        old_pid = cluster.process_for(victim).pid
+        ProcessChaos(cluster).freeze(victim)
+        wait_for(
+            lambda: cluster.supervisor.restarts >= restarts_before + 1,
+            what="replacement after SIGSTOP",
+        )
+        assert cluster.process_for(victim).pid != old_pid
+        assert registry.counter(
+            "cluster.worker_deaths",
+            labels={"worker": f"w{victim}", "reason": "wedged"},
+        ).value >= 1
+        responses = serve_all(client)
+        assert {r["routed_worker"] for r in responses} >= {victim}
+
+    def test_replacement_reports_ready_health(self, rig):
+        cluster, _, _ = rig
+        health = cluster.gateway.cluster_health()
+        assert health["ready"] == CONFIG.num_workers
+        assert health["workers"] == CONFIG.num_workers
+
+
+class TestCrashLoopBudget:
+    def test_crash_loop_exhausts_budget_and_cluster_keeps_serving(self):
+        """The deliberate crash loop: worker 0 dies mid-request on its
+        Nth ranking, and so does every replacement (same config, same
+        fault site).  The budget runs out, the slot is abandoned, the
+        ring shrinks — and clients never see an error."""
+        config = dataclasses.replace(
+            CONFIG,
+            num_workers=2,
+            crash_after_requests=3,
+            crash_worker_id=0,
+            restart_budget=1,
+        )
+        registry = MetricsRegistry(default_labels={"process": "gateway"})
+        with use_registry(registry), ServingCluster(config) as cluster:
+            client = cluster.client()
+            supervisor = cluster.supervisor
+
+            def pound_until(predicate, what):
+                deadline = time.monotonic() + 90.0
+                user_id = 0
+                while time.monotonic() < deadline:
+                    client.recommend(
+                        {"user_id": user_id % config.num_users, "day": 720}
+                    )
+                    user_id += 1
+                    if predicate():
+                        return
+                pytest.fail(f"timed out waiting for {what}")
+
+            # Crash #1 (after 3 rankings on w0) consumes the whole
+            # budget on replacement; crash #2 abandons the slot.
+            pound_until(
+                lambda: 0 in supervisor.status()["abandoned"],
+                "the crash-looping slot to be abandoned",
+            )
+            with cluster.gateway._members_lock:
+                names = [h.name for h in cluster.gateway.handles]
+            assert names == ["w1"]
+            assert registry.counter("cluster.worker_abandoned").value == 1
+            assert registry.counter("cluster.worker_restarts").value == 1
+            # The shrunken ring serves everything, no errors, w1 only.
+            responses = serve_all(client)
+            assert {r["routed_worker"] for r in responses} == {1}

@@ -96,7 +96,7 @@ class TestTrainingBench:
 class TestPhaseSelection:
     def test_registry_names_every_phase(self):
         assert sorted(BENCH_PHASES) == [
-            "cluster", "overload", "serving", "training",
+            "chaos", "cluster", "overload", "serving", "training",
         ]
 
     def test_single_phase_writes_one_file(self, tmp_path):

@@ -39,6 +39,13 @@ REQUIRED = {
         "per_priority": (),
         "guard_counters": ("admitted", "shed", "drains"),
     },
+    "chaos": {
+        "traffic": ("requests", "ok", "degraded", "lost"),
+        "supervisor": ("restarts", "abandoned", "budget_used"),
+        "gateway": ("routed", "retried", "hedged", "hedge_wins",
+                    "breaker_forced", "rejected"),
+        "deaths": (),
+    },
 }
 TOP_LEVEL = ("benchmark", "schema_version", "config")
 TRAINING_SCALARS = ("examples_per_sec", "elapsed_s", "epochs")
@@ -112,6 +119,30 @@ def check(path: str) -> str:
         if drain["failed"] != 0:
             _fail(path, f"rolling drain lost {drain['failed']} request(s) "
                         f"out of {drain['requests']}")
+    elif kind == "chaos":
+        traffic = report["traffic"]
+        _positive(path, "traffic.requests", traffic["requests"])
+        # The contract of the self-healing drill: under SIGKILL + SIGSTOP
+        # every request still gets an answer.  Degraded 200s are within
+        # contract; client-visible errors are not.
+        if traffic["lost"] != 0:
+            _fail(path, f"chaos drill lost {traffic['lost']} request(s) "
+                        f"out of {traffic['requests']}: "
+                        f"{traffic.get('errors', [])[:3]}")
+        restarts = report.get("worker_restarts", 0)
+        _positive(path, "worker_restarts", restarts)
+        if report["supervisor"]["restarts"] < 1:
+            _fail(path, "chaos drill recorded no automatic replacement "
+                        f"(supervisor.restarts="
+                        f"{report['supervisor']['restarts']})")
+        if not report["deaths"]:
+            _fail(path, "chaos drill recorded no worker deaths — "
+                        "nothing was drilled")
+        for counter in ("hedged", "hedge_wins"):
+            value = report["gateway"][counter]
+            if not isinstance(value, (int, float)) or value < 0:
+                _fail(path, f"gateway.{counter} is not a valid counter: "
+                            f"{value!r}")
     elif kind == "overload":
         for key in OVERLOAD_SCALARS:
             if key not in report:
