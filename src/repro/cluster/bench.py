@@ -28,25 +28,17 @@ throughput on both paths, zero lost requests, completed drain).
 
 from __future__ import annotations
 
-import os
 import threading
 import time
 from concurrent.futures import ThreadPoolExecutor
 
 import numpy as np
 
+from ..perf.bench import available_cpus
 from .config import ClusterConfig
 from .manager import ServingCluster
 
 __all__ = ["ClusterBenchConfig", "available_cpus", "run_cluster_bench_report"]
-
-
-def available_cpus() -> int:
-    """CPUs this process may actually run on (affinity-aware)."""
-    try:
-        return len(os.sched_getaffinity(0))
-    except AttributeError:  # non-Linux: no affinity API
-        return os.cpu_count() or 1
 
 
 class ClusterBenchConfig:

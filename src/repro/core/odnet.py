@@ -17,6 +17,7 @@ from ..graph import Metapath, NeighborTable, build_neighbor_table
 from ..nn import Parameter
 from ..tensor import Tensor, concat, functional as F, no_grad
 from .base import NeuralRanker
+from .fused import fused_score_pairs
 from .hsgc import HSGComponent
 from .mmoe import MMoEJointLearning
 from .pec import PreferenceExtraction
@@ -133,14 +134,9 @@ class ODNET(NeuralRanker):
             users, cities = tables[side]
         else:
             users, cities = hsgc.node_embeddings()
-        user_emb = users[batch.user_ids]
-        current_emb = cities[batch.current_city]
-        candidate_emb = cities[candidate]
-        long_seq = cities[long_ids]
-        short_seq = cities[short_ids]
-        v_l, v_s = pec(long_seq, batch.long_mask, short_seq, batch.short_mask)
-        return pec.build_query(v_l, v_s, user_emb, current_emb,
-                               candidate_emb, xst)
+        return pec.aware_query(
+            users, cities, batch, long_ids, short_ids, candidate, xst
+        )
 
     def _joint_query(
         self,
@@ -203,13 +199,14 @@ class ODNET(NeuralRanker):
     ) -> np.ndarray:
         """Serving score of Eq. 11: theta*p^O + (1-theta)*p^D.
 
-        With ``tables`` (from :meth:`embedding_tables`) the HSGC
-        propagation is skipped and per-candidate work reduces to gathers
-        + PEC + MMoE; the scores are bit-identical to the uncached path.
+        Both the cached and uncached paths run through the fused numpy
+        kernel (:func:`repro.core.fused.fused_score_pairs`) — no autograd
+        graph is built at serving time.  With ``tables`` (from
+        :meth:`embedding_tables`) the HSGC propagation is skipped too;
+        the scores are bit-identical to the uncached path, and to the
+        Eq. 11 blend of the Tensor :meth:`predict` (regression-tested).
         """
-        p_o, p_d = self.predict(batch, tables=tables)
-        theta = self.theta
-        return theta * p_o + (1.0 - theta) * p_d
+        return fused_score_pairs(self, batch, tables=tables)
 
     # ------------------------------------------------------------------
     def gate_mixtures(self, batch: ODBatch) -> np.ndarray:

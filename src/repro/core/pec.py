@@ -96,6 +96,52 @@ class PreferenceExtraction(Module):
             axis=-1,
         )
 
+    def aware_query(
+        self,
+        users: Tensor,
+        cities: Tensor,
+        batch,
+        long_ids: np.ndarray,
+        short_ids: np.ndarray,
+        candidate: np.ndarray,
+        xst: np.ndarray,
+    ) -> Tensor:
+        """One aware side end to end: gathers + :meth:`forward` +
+        :meth:`build_query` for an :class:`~repro.data.dataset.ODBatch`.
+
+        Shared by ODNET's branches and the single-task variants so the
+        point-deduplication below exists in exactly one place.
+
+        When the batch carries a segment layout (``first_rows`` /
+        ``point_rows`` from ``batch_for_requests``), all rows of one
+        decision point share the same history sequences, user id and
+        current city — only the candidate column differs.  The sequence
+        encoders (the expensive multi-head attention) then run once per
+        *point* over the ``first_rows`` subset and the results are
+        gathered back per row, a ~K× saving for K candidates per request.
+        Candidate embeddings and ``xst`` stay per-row.
+        """
+        first, rows = batch.first_rows, batch.point_rows
+        if first is not None and first.shape[0] < rows.shape[0]:
+            v_l, v_s = self(
+                cities[long_ids[first]], batch.long_mask[first],
+                cities[short_ids[first]], batch.short_mask[first],
+            )
+            v_l = v_l[rows]
+            v_s = v_s[rows]
+            user_emb = users[batch.user_ids[first]][rows]
+            current_emb = cities[batch.current_city[first]][rows]
+        else:
+            v_l, v_s = self(
+                cities[long_ids], batch.long_mask,
+                cities[short_ids], batch.short_mask,
+            )
+            user_emb = users[batch.user_ids]
+            current_emb = cities[batch.current_city]
+        return self.build_query(
+            v_l, v_s, user_emb, current_emb, cities[candidate], xst
+        )
+
     @staticmethod
     def query_dim(dim: int, xst_dim: int) -> int:
         """Dimensionality of :meth:`build_query` output."""

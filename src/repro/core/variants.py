@@ -78,13 +78,8 @@ class SingleTaskNetwork(NeuralRanker):
             long_ids, short_ids = batch.long_destinations, batch.short_destinations
             candidate, xst = batch.candidate_destination, batch.xst_d
         users, cities = self.hsgc.node_embeddings()
-        v_l, v_s = self.pec(
-            cities[long_ids], batch.long_mask,
-            cities[short_ids], batch.short_mask,
-        )
-        return self.pec.build_query(
-            v_l, v_s, users[batch.user_ids], cities[batch.current_city],
-            cities[candidate], xst,
+        return self.pec.aware_query(
+            users, cities, batch, long_ids, short_ids, candidate, xst
         )
 
     def probability(self, batch: ODBatch) -> Tensor:

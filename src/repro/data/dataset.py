@@ -3,15 +3,31 @@
 :class:`ODDataset` turns a :class:`~repro.data.synthetic.FliggyDataset`
 (or the LBSN equivalent) into padded numpy batches every model consumes,
 and into the ranked-candidate evaluation tasks behind HR@k / MRR@k.
+
+Batch plane
+-----------
+Encoded decision points live in a struct-of-arrays :class:`_EncodedStore`
+(one stacked ``(N, L)`` matrix per field instead of N small arrays), so
+assembling a serving batch is a handful of fancy-indexed gathers:
+``np.repeat`` expands each request's store row over its candidate count,
+and the x_st / aux / pair feature blocks are computed for all ``(ΣK,)``
+candidates at once.  No per-candidate Python runs on the serving path.
+
+Serving-time registrations (``register_point``) are bounded by an LRU
+with a configurable cap (``max_cached_points``); offline train/test
+points are pinned and never evicted.  Evictions are counted on
+``encoded_evictions`` and the ``dataset.encoded_evictions`` obs counter.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from collections import OrderedDict
+from dataclasses import dataclass, field
 
 import numpy as np
 
 from ..graph import HeterogeneousSpatialGraph
+from ..obs.registry import get_registry
 from .schema import ODPair, Sample
 from .synthetic import DecisionPoint, FliggyDataset
 from .temporal import XST_DIM, TemporalFeatureExtractor
@@ -67,6 +83,16 @@ class ODBatch:
     xst_o: np.ndarray               # (B, FULL_XST_DIM)
     xst_d: np.ndarray               # (B, FULL_XST_DIM)
     pair_features: np.ndarray       # (B, PAIR_DIM)
+    #: optional segment layout for serving batches built by
+    #: ``batch_for_requests``: ``point_rows[i]`` maps batch row ``i`` to
+    #: its decision-point index and ``first_rows[p]`` is the first batch
+    #: row of point ``p``.  All rows of one point share the same history,
+    #: so point-aware models (ODNET/STL) run their sequence encoders once
+    #: per point and gather the result back per row — a ~K× saving when
+    #: K candidates share one history.  ``None`` (training batches) means
+    #: every row is its own point.
+    point_rows: np.ndarray | None = field(default=None)   # (B,)
+    first_rows: np.ndarray | None = field(default=None)   # (P,)
 
     def __len__(self) -> int:
         return len(self.user_ids)
@@ -93,6 +119,109 @@ class _EncodedPoint:
     current_city: int
 
 
+#: (field name, dtype) of the per-point sequence matrices in _EncodedStore.
+_STORE_FIELDS = (
+    ("long_origins", np.int64),
+    ("long_destinations", np.int64),
+    ("long_mask", bool),
+    ("long_days", np.int64),
+    ("short_origins", np.int64),
+    ("short_destinations", np.int64),
+    ("short_mask", bool),
+)
+
+
+class _EncodedStore:
+    """Struct-of-arrays store of encoded decision points.
+
+    Each field of :class:`_EncodedPoint` is one stacked matrix indexed by
+    row; batches gather rows with fancy indexing instead of copying N
+    small arrays through Python.  Rows come in two kinds:
+
+    - *pinned* rows (the offline train/test points) live forever — the
+      training iterator and parameter server address them by row and
+      those rows must stay stable;
+    - *ad-hoc* rows (serving-time ``register_point`` calls) participate
+      in an LRU bounded by ``max_adhoc``.  Evicted rows go on a free
+      list and are reused, so the matrices stop growing once the cap is
+      reached.  An evicted key is transparently re-encoded on its next
+      appearance.
+    """
+
+    def __init__(self, max_long: int, max_short: int,
+                 max_adhoc: int | None = None):
+        if max_adhoc is not None and max_adhoc < 1:
+            raise ValueError(f"max_adhoc must be >= 1, got {max_adhoc}")
+        self.max_adhoc = max_adhoc
+        self.evictions = 0
+        self._lengths = {"long": max_long, "short": max_short}
+        self._rows: dict[tuple[int, int], int] = {}
+        self._adhoc: OrderedDict[tuple[int, int], int] = OrderedDict()
+        self._free: list[int] = []
+        self._size = 0
+        self._capacity = 0
+        for name, dtype in _STORE_FIELDS:
+            length = self._lengths[name.split("_", 1)[0]]
+            setattr(self, name, np.zeros((0, length), dtype=dtype))
+        self.current_city = np.zeros(0, dtype=np.int64)
+
+    def __len__(self) -> int:
+        return len(self._rows)
+
+    @property
+    def adhoc_points(self) -> int:
+        return len(self._adhoc)
+
+    def _ensure_capacity(self, need: int) -> None:
+        if need <= self._capacity:
+            return
+        new_capacity = max(need, 64, self._capacity * 2)
+
+        def grown(array: np.ndarray) -> np.ndarray:
+            out = np.zeros((new_capacity,) + array.shape[1:], dtype=array.dtype)
+            out[: self._size] = array[: self._size]
+            return out
+
+        for name, _ in _STORE_FIELDS:
+            setattr(self, name, grown(getattr(self, name)))
+        self.current_city = grown(self.current_city)
+        self._capacity = new_capacity
+
+    def row(self, key: tuple[int, int]) -> int | None:
+        """The store row for ``key`` (LRU-touching ad-hoc rows), or None."""
+        row = self._rows.get(key)
+        if row is not None and key in self._adhoc:
+            self._adhoc.move_to_end(key)
+        return row
+
+    def put(self, key: tuple[int, int], encoded: _EncodedPoint,
+            pinned: bool) -> int:
+        """Write ``encoded`` under ``key``; returns the row it landed in."""
+        row = self._rows.get(key)
+        if row is None:
+            if (not pinned and self.max_adhoc is not None
+                    and len(self._adhoc) >= self.max_adhoc):
+                old_key, old_row = self._adhoc.popitem(last=False)
+                del self._rows[old_key]
+                self._free.append(old_row)
+                self.evictions += 1
+            if self._free:
+                row = self._free.pop()
+            else:
+                self._ensure_capacity(self._size + 1)
+                row = self._size
+                self._size += 1
+            self._rows[key] = row
+            if not pinned:
+                self._adhoc[key] = row
+        elif key in self._adhoc:
+            self._adhoc.move_to_end(key)
+        for name, _ in _STORE_FIELDS:
+            getattr(self, name)[row] = getattr(encoded, name)
+        self.current_city[row] = encoded.current_city
+        return row
+
+
 class ODDataset:
     """Model-facing view of a generated dataset.
 
@@ -107,6 +236,10 @@ class ODDataset:
     od_mode:
         True for the Fliggy task (rank OD pairs, both labels informative);
         False for LBSN next-POI mode where only the destination is ranked.
+    max_cached_points:
+        LRU cap on *serving-time* encoded points (``register_point``).
+        Offline train/test points are pinned and exempt.  ``None``
+        disables the bound (offline-only workloads).
     """
 
     def __init__(
@@ -115,11 +248,13 @@ class ODDataset:
         max_long: int = 15,
         max_short: int = 8,
         od_mode: bool = True,
+        max_cached_points: int | None = 10_000,
     ):
         self.source = source
         self.max_long = max_long
         self.max_short = max_short
         self.od_mode = od_mode
+        self.max_cached_points = max_cached_points
         self.num_users = source.num_users
         self.num_cities = source.num_cities
         self.coordinates = source.world.coordinates
@@ -127,10 +262,18 @@ class ODDataset:
         self.popularity = source.world.popularity
         self.temporal = TemporalFeatureExtractor(source.bookings_by_user)
         self._hsg: HeterogeneousSpatialGraph | None = None
-        self._encoded: dict[tuple[int, int], _EncodedPoint] = {}
+        self._store = _EncodedStore(max_long, max_short,
+                                    max_adhoc=max_cached_points)
         for point in source.train_points + source.test_points:
-            self._encoded[point.key] = self._encode_point(point)
+            self._store.put(point.key, self._encode_point(point), pinned=True)
         self._xst_cache: dict[tuple[int, int, int, str], np.ndarray] = {}
+        # The x_st cache has the same unbounded-key shape as the encoded
+        # store (keyed on (user, city, day, role)); its entries are tiny
+        # (XST_DIM floats) so a generous FIFO bound suffices.
+        self._max_xst_entries = (
+            None if max_cached_points is None else 64 * max_cached_points
+        )
+        self._split_arrays_cache: dict[str, tuple[np.ndarray, ...]] = {}
         self._hard_negatives = False
         self._route_popularity = self._build_route_popularity()
 
@@ -153,6 +296,16 @@ class ODDataset:
     @property
     def xst_dim(self) -> int:
         return FULL_XST_DIM
+
+    @property
+    def encoded_points(self) -> int:
+        """Number of encoded decision points currently stored."""
+        return len(self._store)
+
+    @property
+    def encoded_evictions(self) -> int:
+        """Serving-time encoded points evicted by the LRU bound so far."""
+        return self._store.evictions
 
     @property
     def route_popularity(self) -> np.ndarray:
@@ -201,125 +354,210 @@ class ODDataset:
             current_city=history.current_city,
         )
 
-    def _xst(self, user: int, city: int, day: int, role: str) -> np.ndarray:
-        key = (user, city, day, role)
-        cached = self._xst_cache.get(key)
-        if cached is None:
-            cached = self.temporal.features(user, city, day, role)
-            self._xst_cache[key] = cached
-        return cached
+    @staticmethod
+    def _unique_triples(
+        users: np.ndarray, cities: np.ndarray, days: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """First-occurrence indices of unique (user, city, day) triples and
+        the inverse map (``triples[unique_idx][inverse] == triples``)."""
+        n = users.shape[0]
+        order = np.lexsort((days, cities, users))
+        su, sc, sd = users[order], cities[order], days[order]
+        new_group = np.empty(n, dtype=bool)
+        new_group[0] = True
+        new_group[1:] = (
+            (su[1:] != su[:-1]) | (sc[1:] != sc[:-1]) | (sd[1:] != sd[:-1])
+        )
+        group = np.cumsum(new_group) - 1
+        inverse = np.empty(n, dtype=np.int64)
+        inverse[order] = group
+        return order[new_group], inverse
 
-    def _batch_from_rows(
+    def _xst_many(
         self,
-        rows: list[tuple[Sample | None, tuple[int, int], int, int, int, int]],
+        users: np.ndarray,
+        cities: np.ndarray,
+        days: np.ndarray,
+        role: str,
+    ) -> np.ndarray:
+        """Batched x_st: dedup (user, city, day) triples, fill misses from
+        :class:`TemporalFeatureExtractor`, gather ``(n, XST_DIM)``."""
+        n = users.shape[0]
+        if n == 0:
+            return np.zeros((0, XST_DIM), dtype=np.float64)
+        unique_idx, inverse = self._unique_triples(users, cities, days)
+        table = np.empty((unique_idx.shape[0], XST_DIM), dtype=np.float64)
+        cache = self._xst_cache
+        compute = self.temporal.features
+        bound = self._max_xst_entries
+        for j, i in enumerate(unique_idx.tolist()):
+            key = (int(users[i]), int(cities[i]), int(days[i]), role)
+            row = cache.get(key)
+            if row is None:
+                row = compute(*key)
+                if bound is not None and len(cache) >= bound:
+                    cache.pop(next(iter(cache)))
+                cache[key] = row
+            table[j] = row
+        return table[inverse]
+
+    def _aux_features_many(
+        self,
+        current_city: np.ndarray,
+        long_seq: np.ndarray,
+        long_mask: np.ndarray,
+        short_seq: np.ndarray,
+        short_mask: np.ndarray,
+        candidates: np.ndarray,
+    ) -> np.ndarray:
+        """AUX_DIM interaction statistics for all rows at once."""
+        size = candidates.shape[0]
+        long_matches = ((long_seq == candidates[:, None]) & long_mask).sum(axis=1)
+        short_matches = (
+            (short_seq == candidates[:, None]) & short_mask
+        ).sum(axis=1)
+        valid = long_mask.sum(axis=1)
+        last = long_seq[np.arange(size), np.maximum(valid - 1, 0)]
+        out = np.empty((size, AUX_DIM), dtype=np.float64)
+        out[:, 0] = candidates == current_city
+        out[:, 1] = np.log1p(long_matches)
+        out[:, 2] = np.log1p(short_matches)
+        out[:, 3] = (valid > 0) & (last == candidates)
+        out[:, 4] = np.log1p(self.distance_km[current_city, candidates])
+        return out
+
+    def _pair_features_many(
+        self,
+        long_origins: np.ndarray,
+        long_destinations: np.ndarray,
+        long_mask: np.ndarray,
+        short_origins: np.ndarray,
+        short_destinations: np.ndarray,
+        short_mask: np.ndarray,
+        cand_o: np.ndarray,
+        cand_d: np.ndarray,
+    ) -> np.ndarray:
+        """PAIR_DIM joint statistics for all candidate OD pairs at once."""
+        size = cand_o.shape[0]
+        pair_long = (
+            (long_origins == cand_o[:, None])
+            & (long_destinations == cand_d[:, None]) & long_mask
+        ).sum(axis=1)
+        reverse_long = (
+            (long_origins == cand_d[:, None])
+            & (long_destinations == cand_o[:, None]) & long_mask
+        ).sum(axis=1)
+        pair_short = (
+            (short_origins == cand_o[:, None])
+            & (short_destinations == cand_d[:, None]) & short_mask
+        ).sum(axis=1)
+        valid = long_mask.sum(axis=1)
+        rows = np.arange(size)
+        last = np.maximum(valid - 1, 0)
+        reverse_of_last = (
+            (valid > 0)
+            & (long_origins[rows, last] == cand_d)
+            & (long_destinations[rows, last] == cand_o)
+        )
+        out = np.empty((size, PAIR_DIM), dtype=np.float64)
+        out[:, 0] = np.log1p(self.distance_km[cand_o, cand_d])
+        out[:, 1] = self._route_popularity[cand_o, cand_d]
+        out[:, 2] = np.log1p(pair_long)
+        out[:, 3] = np.log1p(reverse_long)
+        out[:, 4] = np.log1p(pair_short)
+        out[:, 5] = reverse_of_last
+        return out
+
+    def _assemble_batch(
+        self,
+        store_rows: np.ndarray,
+        user_ids: np.ndarray,
+        days: np.ndarray,
+        cand_o: np.ndarray,
+        cand_d: np.ndarray,
+        label_o: np.ndarray,
+        label_d: np.ndarray,
+        point_rows: np.ndarray | None = None,
+        first_rows: np.ndarray | None = None,
     ) -> ODBatch:
-        """Rows: (sample, point_key, cand_o, cand_d, label_o, label_d)."""
-        size = len(rows)
-        batch = ODBatch(
-            user_ids=np.zeros(size, dtype=np.int64),
-            current_city=np.zeros(size, dtype=np.int64),
-            long_origins=np.zeros((size, self.max_long), dtype=np.int64),
-            long_destinations=np.zeros((size, self.max_long), dtype=np.int64),
-            long_mask=np.zeros((size, self.max_long), dtype=bool),
-            long_days=np.zeros((size, self.max_long), dtype=np.int64),
-            short_origins=np.zeros((size, self.max_short), dtype=np.int64),
-            short_destinations=np.zeros((size, self.max_short), dtype=np.int64),
-            short_mask=np.zeros((size, self.max_short), dtype=bool),
-            candidate_origin=np.zeros(size, dtype=np.int64),
-            candidate_destination=np.zeros(size, dtype=np.int64),
-            label_o=np.zeros(size, dtype=np.float64),
-            label_d=np.zeros(size, dtype=np.float64),
-            day=np.zeros(size, dtype=np.int64),
-            xst_o=np.zeros((size, FULL_XST_DIM), dtype=np.float64),
-            xst_d=np.zeros((size, FULL_XST_DIM), dtype=np.float64),
-            pair_features=np.zeros((size, PAIR_DIM), dtype=np.float64),
-        )
-        for i, (_, key, cand_o, cand_d, label_o, label_d) in enumerate(rows):
-            user, day = key
-            encoded = self._encoded[key]
-            batch.user_ids[i] = user
-            batch.current_city[i] = encoded.current_city
-            batch.long_origins[i] = encoded.long_origins
-            batch.long_destinations[i] = encoded.long_destinations
-            batch.long_mask[i] = encoded.long_mask
-            batch.long_days[i] = encoded.long_days
-            batch.short_origins[i] = encoded.short_origins
-            batch.short_destinations[i] = encoded.short_destinations
-            batch.short_mask[i] = encoded.short_mask
-            batch.candidate_origin[i] = cand_o
-            batch.candidate_destination[i] = cand_d
-            batch.label_o[i] = label_o
-            batch.label_d[i] = label_d
-            batch.day[i] = day
-            batch.xst_o[i, :XST_DIM] = self._xst(user, cand_o, day, "o")
-            batch.xst_d[i, :XST_DIM] = self._xst(user, cand_d, day, "d")
-            batch.xst_o[i, XST_DIM:] = self._aux_features(encoded, cand_o, "o")
-            batch.xst_d[i, XST_DIM:] = self._aux_features(encoded, cand_d, "d")
-            batch.pair_features[i] = self._pair_features(encoded, cand_o, cand_d)
-        return batch
+        """Gather store rows + compute all feature blocks, fully vectorized."""
+        store = self._store
+        long_origins = store.long_origins[store_rows]
+        long_destinations = store.long_destinations[store_rows]
+        long_mask = store.long_mask[store_rows]
+        long_days = store.long_days[store_rows]
+        short_origins = store.short_origins[store_rows]
+        short_destinations = store.short_destinations[store_rows]
+        short_mask = store.short_mask[store_rows]
+        current_city = store.current_city[store_rows]
 
-    def _pair_features(
-        self, encoded: _EncodedPoint, origin: int, destination: int
-    ) -> np.ndarray:
-        """PAIR_DIM joint statistics of a candidate OD pair."""
-        long_valid = encoded.long_mask
-        pair_long = int(
-            ((encoded.long_origins == origin)
-             & (encoded.long_destinations == destination) & long_valid).sum()
+        size = store_rows.shape[0]
+        xst_o = np.zeros((size, FULL_XST_DIM), dtype=np.float64)
+        xst_d = np.zeros((size, FULL_XST_DIM), dtype=np.float64)
+        xst_o[:, :XST_DIM] = self._xst_many(user_ids, cand_o, days, "o")
+        xst_d[:, :XST_DIM] = self._xst_many(user_ids, cand_d, days, "d")
+        xst_o[:, XST_DIM:] = self._aux_features_many(
+            current_city, long_origins, long_mask,
+            short_origins, short_mask, cand_o,
         )
-        reverse_long = int(
-            ((encoded.long_origins == destination)
-             & (encoded.long_destinations == origin) & long_valid).sum()
+        xst_d[:, XST_DIM:] = self._aux_features_many(
+            current_city, long_destinations, long_mask,
+            short_destinations, short_mask, cand_d,
         )
-        pair_short = int(
-            ((encoded.short_origins == origin)
-             & (encoded.short_destinations == destination)
-             & encoded.short_mask).sum()
+        pair_features = self._pair_features_many(
+            long_origins, long_destinations, long_mask,
+            short_origins, short_destinations, short_mask,
+            cand_o, cand_d,
         )
-        valid = int(long_valid.sum())
-        reverse_of_last = float(
-            valid > 0
-            and encoded.long_origins[valid - 1] == destination
-            and encoded.long_destinations[valid - 1] == origin
-        )
-        return np.array(
-            [
-                np.log1p(self.distance_km[origin, destination]),
-                self._route_popularity[origin, destination],
-                np.log1p(pair_long),
-                np.log1p(reverse_long),
-                np.log1p(pair_short),
-                reverse_of_last,
-            ],
-            dtype=np.float64,
-        )
-
-    def _aux_features(
-        self, encoded: _EncodedPoint, candidate: int, role: str
-    ) -> np.ndarray:
-        """The AUX_DIM engineered interaction statistics for one candidate."""
-        if role == "o":
-            long_seq, short_seq = encoded.long_origins, encoded.short_origins
-        else:
-            long_seq, short_seq = (
-                encoded.long_destinations, encoded.short_destinations
-            )
-        long_matches = int(((long_seq == candidate) & encoded.long_mask).sum())
-        short_matches = int(((short_seq == candidate) & encoded.short_mask).sum())
-        valid = int(encoded.long_mask.sum())
-        is_last = float(valid > 0 and long_seq[valid - 1] == candidate)
-        return np.array(
-            [
-                float(candidate == encoded.current_city),
-                np.log1p(long_matches),
-                np.log1p(short_matches),
-                is_last,
-                np.log1p(self.distance_km[encoded.current_city, candidate]),
-            ],
-            dtype=np.float64,
+        return ODBatch(
+            user_ids=user_ids,
+            current_city=current_city,
+            long_origins=long_origins,
+            long_destinations=long_destinations,
+            long_mask=long_mask,
+            long_days=long_days,
+            short_origins=short_origins,
+            short_destinations=short_destinations,
+            short_mask=short_mask,
+            candidate_origin=cand_o,
+            candidate_destination=cand_d,
+            label_o=label_o,
+            label_d=label_d,
+            day=days,
+            xst_o=xst_o,
+            xst_d=xst_d,
+            pair_features=pair_features,
+            point_rows=point_rows,
+            first_rows=first_rows,
         )
 
     # ------------------------------------------------------------------
+    def _split_arrays(self, split: str) -> tuple[np.ndarray, ...]:
+        """Per-split sample columns + store rows, computed once (offline
+        points are pinned so their store rows never move)."""
+        cached = self._split_arrays_cache.get(split)
+        if cached is None:
+            samples = self.samples(split)
+            n = len(samples)
+            users = np.fromiter((s.user_id for s in samples), np.int64, n)
+            days = np.fromiter((s.day for s in samples), np.int64, n)
+            origins = np.fromiter((s.origin for s in samples), np.int64, n)
+            dests = np.fromiter((s.destination for s in samples), np.int64, n)
+            label_o = np.fromiter(
+                (s.label_o for s in samples), np.float64, n
+            )
+            label_d = np.fromiter(
+                (s.label_d for s in samples), np.float64, n
+            )
+            store_rows = np.fromiter(
+                (self._store.row((s.user_id, s.day)) for s in samples),
+                np.int64, n,
+            )
+            cached = (store_rows, users, days, origins, dests,
+                      label_o, label_d)
+            self._split_arrays_cache[split] = cached
+        return cached
+
     def iter_batches(
         self,
         split: str,
@@ -328,36 +566,65 @@ class ODDataset:
         shuffle: bool = True,
     ):
         """Yield :class:`ODBatch` objects over the requested split."""
-        samples = self.samples(split)
-        order = np.arange(len(samples))
+        store_rows, users, days, origins, dests, label_o, label_d = (
+            self._split_arrays(split)
+        )
+        order = np.arange(len(users))
         if shuffle:
             if rng is None:
                 rng = np.random.default_rng(0)
             rng.shuffle(order)
         for start in range(0, len(order), batch_size):
             chunk = order[start:start + batch_size]
-            rows = []
-            for idx in chunk:
-                sample = samples[idx]
-                rows.append(
-                    (
-                        sample,
-                        (sample.user_id, sample.day),
-                        sample.origin,
-                        sample.destination,
-                        sample.label_o,
-                        sample.label_d,
-                    )
-                )
-            yield self._batch_from_rows(rows)
+            yield self._assemble_batch(
+                store_rows[chunk], users[chunk], days[chunk],
+                origins[chunk], dests[chunk],
+                label_o[chunk], label_d[chunk],
+            )
 
-    def register_point(self, point: DecisionPoint) -> None:
+    def batch_for_samples(self, samples: list[Sample]) -> ODBatch:
+        """One batch over explicit :class:`Sample` rows (PS training path).
+
+        Every sample's ``(user_id, day)`` key must already be encoded
+        (offline samples always are).
+        """
+        n = len(samples)
+        store_rows = np.empty(n, dtype=np.int64)
+        for i, sample in enumerate(samples):
+            row = self._store.row((sample.user_id, sample.day))
+            if row is None:
+                raise KeyError(
+                    f"decision point {(sample.user_id, sample.day)} is not "
+                    "encoded; register it before batching"
+                )
+            store_rows[i] = row
+        return self._assemble_batch(
+            store_rows,
+            np.fromiter((s.user_id for s in samples), np.int64, n),
+            np.fromiter((s.day for s in samples), np.int64, n),
+            np.fromiter((s.origin for s in samples), np.int64, n),
+            np.fromiter((s.destination for s in samples), np.int64, n),
+            np.fromiter((s.label_o for s in samples), np.float64, n),
+            np.fromiter((s.label_d for s in samples), np.float64, n),
+        )
+
+    def register_point(self, point: DecisionPoint) -> int:
         """Encode and index an ad-hoc decision point (serving-time queries).
 
         Lets the online serving stack score histories that were not part of
         the offline dataset, e.g. freshly assembled by the feature service.
+        Ad-hoc points are LRU-bounded by ``max_cached_points``; returns the
+        store row the point landed in.
         """
-        self._encoded[point.key] = self._encode_point(point)
+        before = self._store.evictions
+        row = self._store.put(point.key, self._encode_point(point),
+                              pinned=False)
+        evicted = self._store.evictions - before
+        if evicted:
+            registry = get_registry()
+            if registry.enabled:
+                registry.counter("dataset.encoded_evictions").inc(evicted)
+        return row
 
     def batch_for_candidates(
         self, point: DecisionPoint, candidates: list[ODPair]
@@ -373,18 +640,56 @@ class ODDataset:
         The serving micro-batching layer coalesces concurrent requests
         into a single model forward; rows are laid out request by request
         in order, so the caller can split the score vector back with the
-        per-request candidate counts.
+        per-request candidate counts.  The batch carries the segment
+        layout (``point_rows`` / ``first_rows``) so point-aware models can
+        deduplicate per-history work across a request's candidates.
         """
-        rows = []
-        for point, candidates in requests:
-            if point.key not in self._encoded:
-                self.register_point(point)
-            for pair in candidates:
-                label_o = int(pair.origin == point.target.origin)
-                label_d = int(pair.destination == point.target.destination)
-                rows.append((None, point.key, pair.origin, pair.destination,
-                             label_o, label_d))
-        return self._batch_from_rows(rows)
+        num_requests = len(requests)
+        counts = np.empty(num_requests, dtype=np.int64)
+        point_store_rows = np.empty(num_requests, dtype=np.int64)
+        point_users = np.empty(num_requests, dtype=np.int64)
+        point_days = np.empty(num_requests, dtype=np.int64)
+        target_o = np.empty(num_requests, dtype=np.int64)
+        target_d = np.empty(num_requests, dtype=np.int64)
+        candidate_blocks: list[np.ndarray] = []
+        for i, (point, candidates) in enumerate(requests):
+            row = self._store.row(point.key)
+            if row is None:
+                row = self.register_point(point)
+            counts[i] = len(candidates)
+            point_store_rows[i] = row
+            point_users[i] = point.history.user_id
+            point_days[i] = point.day
+            target_o[i] = point.target.origin
+            target_d[i] = point.target.destination
+            if candidates:
+                candidate_blocks.append(
+                    np.array(candidates, dtype=np.int64).reshape(-1, 2)
+                )
+        # Points with zero candidates contribute no rows; the segment
+        # layout is built over the active points only.
+        active = counts > 0
+        counts = counts[active]
+        if candidate_blocks:
+            pairs = np.concatenate(candidate_blocks, axis=0)
+        else:
+            pairs = np.zeros((0, 2), dtype=np.int64)
+        point_rows = np.repeat(np.arange(counts.shape[0]), counts)
+        first_rows = np.zeros(counts.shape[0], dtype=np.int64)
+        if counts.shape[0] > 1:
+            first_rows[1:] = np.cumsum(counts)[:-1]
+        cand_o = pairs[:, 0]
+        cand_d = pairs[:, 1]
+        label_o = (cand_o == target_o[active][point_rows]).astype(np.float64)
+        label_d = (cand_d == target_d[active][point_rows]).astype(np.float64)
+        return self._assemble_batch(
+            point_store_rows[active][point_rows],
+            point_users[active][point_rows],
+            point_days[active][point_rows],
+            cand_o, cand_d, label_o, label_d,
+            point_rows=point_rows,
+            first_rows=first_rows,
+        )
 
     # ------------------------------------------------------------------
     def ranking_tasks(

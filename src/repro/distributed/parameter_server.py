@@ -339,14 +339,9 @@ class ParameterServerTrainer:
                     registry.counter("resilience.dropped_pushes").inc()
 
     def _batch_for(self, indices: np.ndarray):
-        rows = []
-        for index in indices:
-            sample = self._samples[int(index)]
-            rows.append(
-                (sample, (sample.user_id, sample.day), sample.origin,
-                 sample.destination, sample.label_o, sample.label_d)
-            )
-        return self.dataset._batch_from_rows(rows)
+        return self.dataset.batch_for_samples(
+            [self._samples[int(index)] for index in indices]
+        )
 
     # ------------------------------------------------------------------
     def _write_back_to_model(self, weights: dict[str, np.ndarray]) -> None:

@@ -31,6 +31,7 @@ from __future__ import annotations
 
 import dataclasses
 import json
+import os
 import pathlib
 import time
 from concurrent.futures import ThreadPoolExecutor
@@ -39,9 +40,11 @@ from dataclasses import dataclass
 import numpy as np
 
 from ..obs.registry import Histogram, MetricsRegistry, set_registry
+from ..obs.tracing import Tracer, use_tracer
 
 __all__ = [
     "BenchConfig",
+    "available_cpus",
     "quick_bench_config",
     "run_serving_bench",
     "run_training_bench",
@@ -54,6 +57,20 @@ __all__ = [
 
 #: bump when the JSON layout changes (CI validates against this).
 SCHEMA_VERSION = 1
+
+
+def available_cpus() -> int:
+    """CPUs this process may actually run on (affinity-aware).
+
+    Benchmarks whose headline number is a *parallelism* claim (cluster
+    scale-out, micro-batch coalescing under concurrent load) record this
+    so ``tools/check_bench.py`` can skip hardware-dependent gates on
+    single-CPU hosts while still validating the report structure.
+    """
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:  # non-Linux: no affinity API
+        return os.cpu_count() or 1
 
 
 @dataclass(frozen=True)
@@ -181,8 +198,24 @@ def run_serving_bench(config: BenchConfig | None = None) -> dict:
         uncached_service = RankingService(model, dataset, use_cache=False)
         uncached_hist, uncached_s = measure(uncached_service)
 
+        # The serial cached phase runs under a real tracer so the report
+        # records where the time goes: batch assembly (``rank.batch``)
+        # vs model forward (``rank.score``).  Tracer is not thread-safe,
+        # so the concurrent phases below run without one.
         cached_service = RankingService(model, dataset, use_cache=True)
-        cached_hist, cached_s = measure(cached_service)
+        with use_tracer(Tracer()) as tracer:
+            cached_hist, cached_s = measure(cached_service)
+        span_stats = tracer.aggregate()
+        spans = {
+            name: {
+                "count": int(stats["count"]),
+                "total_ms": round(stats["total_ms"], 4),
+                "mean_ms": round(stats["mean_ms"], 4),
+                "max_ms": round(stats["max_ms"], 4),
+            }
+            for name, stats in span_stats.items()
+            if name in ("rank.batch", "rank.score")
+        }
 
         measured = requests[config.warmup:]
 
@@ -250,6 +283,8 @@ def run_serving_bench(config: BenchConfig | None = None) -> dict:
             "benchmark": "serving",
             "schema_version": SCHEMA_VERSION,
             "config": dataclasses.asdict(config),
+            "available_cpus": available_cpus(),
+            "spans": spans,
             "dataset": {
                 "num_users": dataset.num_users,
                 "num_cities": dataset.num_cities,

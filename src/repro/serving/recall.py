@@ -12,7 +12,6 @@ get candidate OD pairs."
 
 from __future__ import annotations
 
-from collections import Counter
 from dataclasses import dataclass
 
 import numpy as np
@@ -39,7 +38,15 @@ class RecallConfig:
 
 
 class CandidateRecall:
-    """Assembles candidate OD pairs from the strategies of Section VI-B."""
+    """Assembles candidate OD pairs from the strategies of Section VI-B.
+
+    Candidate sets are assembled as numpy arrays end to end: per-city
+    adjacency is precomputed once (lazily, then cached), historical
+    frequency ranking replicates ``Counter.most_common`` order with one
+    ``np.lexsort`` (count descending, first-appearance order on ties),
+    and OD pairs come from a ``repeat``/``tile`` cross product with an
+    ordered integer-key dedup — no per-candidate list/dict work.
+    """
 
     def __init__(
         self,
@@ -53,46 +60,80 @@ class CandidateRecall:
         # Globally popular destinations by inbound route mass.
         inbound = self.route_popularity.sum(axis=0)
         self._popular_destinations = np.argsort(-inbound)
+        self._num_cities = self.route_popularity.shape[1]
+        self._adjacent_cache: dict[int, np.ndarray] = {}
 
     # ------------------------------------------------------------------
+    def _adjacent(self, city: int) -> np.ndarray:
+        """Capped distance-ordered neighbours of ``city``, computed once."""
+        cached = self._adjacent_cache.get(city)
+        if cached is None:
+            cached = np.asarray(
+                self.world.nearby_cities(
+                    city, self.config.adjacent_radius_km
+                )[: self.config.max_adjacent],
+                dtype=np.int64,
+            )
+            self._adjacent_cache[city] = cached
+        return cached
+
+    @staticmethod
+    def _ranked_by_count(values: np.ndarray) -> np.ndarray:
+        """Unique values in ``Counter.most_common`` order: count
+        descending, first-appearance order on ties."""
+        if values.size == 0:
+            return values
+        unique, first, counts = np.unique(
+            values, return_index=True, return_counts=True
+        )
+        return unique[np.lexsort((first, -counts))]
+
+    @staticmethod
+    def _ordered_unique(values: np.ndarray) -> np.ndarray:
+        """Deduplicate keeping first-occurrence order (dict.fromkeys)."""
+        _, first = np.unique(values, return_index=True)
+        return values[np.sort(first)]
+
+    def _origin_array(self, history: UserHistory) -> np.ndarray:
+        config = self.config
+        bookings = history.bookings
+        booked = np.fromiter(
+            (b.origin for b in bookings), np.int64, len(bookings)
+        )
+        ranked = self._ranked_by_count(booked)
+        parts = [
+            np.array([history.current_city], dtype=np.int64),
+            self._adjacent(history.current_city),
+        ]
+        if ranked.size:
+            parts.append(ranked[:1])  # resident city (modal origin)
+            parts.append(ranked[: config.max_historical_origins])
+        return self._ordered_unique(np.concatenate(parts))
+
+    def _destination_array(self, history: UserHistory) -> np.ndarray:
+        config = self.config
+        bookings = history.bookings
+        booked = np.fromiter(
+            (b.destination for b in bookings), np.int64, len(bookings)
+        )
+        clicks = history.clicks[-config.max_clicked_destinations:]
+        clicked = np.fromiter(
+            (c.destination for c in clicks), np.int64, len(clicks)
+        )
+        merged = np.concatenate([
+            self._ranked_by_count(booked)[: config.max_historical_destinations],
+            self._popular_destinations[: config.max_popular_destinations],
+            clicked,
+        ])
+        return self._ordered_unique(merged)
+
     def candidate_origins(self, history: UserHistory) -> list[int]:
         """Current city + adjacent cities + resident city + historical Os."""
-        config = self.config
-        origins: list[int] = [history.current_city]
-        origins.extend(
-            int(c) for c in self.world.nearby_cities(
-                history.current_city, config.adjacent_radius_km
-            )[: config.max_adjacent]
-        )
-        frequencies = Counter(b.origin for b in history.bookings)
-        if frequencies:
-            resident = frequencies.most_common(1)[0][0]
-            origins.append(resident)
-        origins.extend(
-            city for city, _ in frequencies.most_common(
-                config.max_historical_origins
-            )
-        )
-        return list(dict.fromkeys(origins))
+        return self._origin_array(history).tolist()
 
     def candidate_destinations(self, history: UserHistory) -> list[int]:
         """Historical Ds + popular-route Ds + clicked Ds."""
-        config = self.config
-        destinations: list[int] = []
-        frequencies = Counter(b.destination for b in history.bookings)
-        destinations.extend(
-            city for city, _ in frequencies.most_common(
-                config.max_historical_destinations
-            )
-        )
-        destinations.extend(
-            int(c) for c in
-            self._popular_destinations[: config.max_popular_destinations]
-        )
-        destinations.extend(
-            c.destination for c in history.clicks[-config.max_clicked_destinations:]
-        )
-        return list(dict.fromkeys(destinations))
+        return self._destination_array(history).tolist()
 
     def candidate_pairs(self, history: UserHistory) -> list[ODPair]:
         """Cross-assembled OD pairs, deduplicated and capped."""
@@ -146,29 +187,41 @@ class CandidateRecall:
         return int(np.argmax(self.route_popularity.sum(axis=1)))
 
     def _assemble_pairs(self, history: UserHistory) -> list[ODPair]:
-        pairs: list[ODPair] = []
-        seen: set[ODPair] = set()
-        # Clicked exact pairs first: the highest-intent candidates.
-        for click in reversed(history.clicks):
-            pair = ODPair(click.origin, click.destination)
-            if pair.origin != pair.destination and pair not in seen:
-                seen.add(pair)
-                pairs.append(pair)
-        # Return pair of the most recent trip (the Case 2 signal).
+        """Candidate pairs in priority order, deduplicated, capped.
+
+        Generation order (mirrored from the list-based implementation it
+        replaces): clicked exact pairs newest-first (highest intent),
+        the return pair of the most recent booking (Case 2), then the
+        origin-major O×D cross product.  Self-pairs are dropped, the
+        first occurrence of each pair wins, and the first ``max_pairs``
+        survivors are kept.
+        """
+        clicks = history.clicks
+        origin_parts = [np.fromiter(
+            (c.origin for c in reversed(clicks)), np.int64, len(clicks)
+        )]
+        dest_parts = [np.fromiter(
+            (c.destination for c in reversed(clicks)), np.int64, len(clicks)
+        )]
         if history.bookings:
             last = history.bookings[-1]
-            pair = ODPair(last.destination, last.origin)
-            if pair.origin != pair.destination and pair not in seen:
-                seen.add(pair)
-                pairs.append(pair)
-        for origin in self.candidate_origins(history):
-            for destination in self.candidate_destinations(history):
-                if origin == destination:
-                    continue
-                pair = ODPair(origin, destination)
-                if pair not in seen:
-                    seen.add(pair)
-                    pairs.append(pair)
-                if len(pairs) >= self.config.max_pairs:
-                    return pairs
-        return pairs
+            origin_parts.append(np.array([last.destination], dtype=np.int64))
+            dest_parts.append(np.array([last.origin], dtype=np.int64))
+        origins = self._origin_array(history)
+        destinations = self._destination_array(history)
+        origin_parts.append(np.repeat(origins, destinations.shape[0]))
+        dest_parts.append(np.tile(destinations, origins.shape[0]))
+
+        all_o = np.concatenate(origin_parts)
+        all_d = np.concatenate(dest_parts)
+        keep = all_o != all_d
+        all_o, all_d = all_o[keep], all_d[keep]
+        keys = all_o * np.int64(self._num_cities) + all_d
+        _, first = np.unique(keys, return_index=True)
+        chosen = np.sort(first)[: self.config.max_pairs]
+        return [
+            ODPair(origin, destination)
+            for origin, destination in zip(
+                all_o[chosen].tolist(), all_d[chosen].tolist()
+            )
+        ]

@@ -1,0 +1,152 @@
+"""Segment-wise top-k: the batch plane's ranking layer.
+
+``RankingService._segment_top_k`` selects and orders every request's
+top-k in one vectorized pass.  These tests pin its two contracts against
+the historical stable-mergesort ``_top_k``:
+
+- *tie determinism* — candidates with exactly equal scores come back in
+  candidate order, including the adversarial all-scores-identical case;
+- *segment isolation* — a candidate can never leak into another
+  request's result list, whatever the score landscape.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data.schema import ODPair
+from repro.serving import RankingService
+
+
+def _segments(rng, num_segments, max_count, min_count=1):
+    """Random segments with guaranteed-distinct pairs across segments."""
+    segments = []
+    for index in range(num_segments):
+        count = int(rng.integers(min_count, max_count + 1))
+        segments.append(
+            [ODPair(1000 * index + j, 1000 * index + j + 1)
+             for j in range(count)]
+        )
+    return segments
+
+
+def _reference(segments, scores, counts, k):
+    """Per-segment stable-mergesort top-k (the historical behaviour)."""
+    out, offset = [], 0
+    for segment, count in zip(segments, counts):
+        out.append(RankingService._top_k(
+            segment, scores[offset:offset + count], k
+        ))
+        offset += count
+    return out
+
+
+class TestEquivalenceWithStableSort:
+    @pytest.mark.parametrize("k", [1, 3, 10, 200])
+    def test_random_segments_match_reference(self, k):
+        rng = np.random.default_rng(k)
+        for trial in range(10):
+            segments = _segments(rng, num_segments=6, max_count=17)
+            counts = np.array([len(s) for s in segments])
+            # Quantized scores force plenty of exact ties.
+            scores = np.round(rng.random(counts.sum()) * 4) / 4
+            assert RankingService._segment_top_k(
+                segments, scores, counts, k
+            ) == _reference(segments, scores, counts, k)
+
+    def test_single_segment_matches_top_k(self):
+        rng = np.random.default_rng(0)
+        segments = _segments(rng, num_segments=1, max_count=30, min_count=30)
+        scores = np.round(rng.random(30) * 2) / 2
+        counts = np.array([30])
+        assert RankingService._segment_top_k(
+            segments, scores, counts, 7
+        ) == _reference(segments, scores, counts, 7)
+
+    def test_counts_below_k_return_everything_ordered(self):
+        segments = [[ODPair(0, 1), ODPair(1, 2)], [ODPair(5, 6)]]
+        scores = np.array([0.1, 0.9, 0.5])
+        counts = np.array([2, 1])
+        results = RankingService._segment_top_k(segments, scores, counts, 10)
+        assert [s.pair for s in results[0]] == [ODPair(1, 2), ODPair(0, 1)]
+        assert [s.pair for s in results[1]] == [ODPair(5, 6)]
+
+
+class TestTieDeterminism:
+    def test_all_identical_scores_everywhere(self):
+        """The adversarial case: every score in every segment is equal."""
+        rng = np.random.default_rng(3)
+        segments = _segments(rng, num_segments=5, max_count=12)
+        counts = np.array([len(s) for s in segments])
+        scores = np.zeros(counts.sum())
+        results = RankingService._segment_top_k(segments, scores, counts, 4)
+        for segment, ranked in zip(segments, results):
+            assert [s.pair for s in ranked] == segment[:4]
+
+    def test_boundary_ties_resolved_in_candidate_order(self):
+        # Three candidates tie at the k-th score; the earliest two win.
+        segments = [[ODPair(i, i + 1) for i in range(6)]]
+        scores = np.array([0.9, 0.5, 0.5, 0.5, 0.1, 0.95])
+        counts = np.array([6])
+        results = RankingService._segment_top_k(segments, scores, counts, 4)
+        assert [s.pair for s in results[0]] == [
+            ODPair(5, 6), ODPair(0, 1), ODPair(1, 2), ODPair(2, 3)
+        ]
+
+
+class TestSegmentIsolation:
+    def test_no_cross_segment_leakage_under_identical_scores(self):
+        rng = np.random.default_rng(11)
+        segments = _segments(rng, num_segments=8, max_count=9)
+        counts = np.array([len(s) for s in segments])
+        scores = np.zeros(counts.sum())
+        results = RankingService._segment_top_k(segments, scores, counts, 50)
+        for segment, ranked in zip(segments, results):
+            assert {s.pair for s in ranked} <= set(segment)
+            assert len(ranked) == len(segment)
+
+    def test_high_scores_cannot_cross_boundaries(self):
+        # Segment 0 holds the globally best scores; segment 1 must still
+        # return its own candidates.
+        segments = [[ODPair(0, 1), ODPair(1, 2)], [ODPair(7, 8), ODPair(8, 9)]]
+        scores = np.array([100.0, 99.0, 0.2, 0.1])
+        counts = np.array([2, 2])
+        results = RankingService._segment_top_k(segments, scores, counts, 2)
+        assert [s.pair for s in results[1]] == [ODPair(7, 8), ODPair(8, 9)]
+        assert [s.score for s in results[1]] == [0.2, 0.1]
+
+
+class TestEdgeCases:
+    def test_no_segments(self):
+        assert RankingService._segment_top_k(
+            [], np.zeros(0), np.zeros(0, dtype=np.int64), 5
+        ) == []
+
+    def test_k_zero(self):
+        segments = [[ODPair(0, 1)]]
+        assert RankingService._segment_top_k(
+            segments, np.array([1.0]), np.array([1]), 0
+        ) == [[]]
+
+    def test_rank_many_isolates_requests_end_to_end(self, od_dataset):
+        """All-tie scores through the real service: every request gets
+        exactly its own candidates back, in candidate order."""
+
+        class ConstantScorer:
+            def score_pairs(self, batch):
+                return np.zeros(len(batch))
+
+        service = RankingService(ConstantScorer(), od_dataset)
+        points = od_dataset.source.test_points[:4]
+        requests = []
+        for index, point in enumerate(points):
+            # Valid city ids, but no pair appears in two requests.
+            candidates = [
+                ODPair(index * 5 + j, (index * 5 + j + 1) % 30)
+                for j in range(5)
+            ]
+            requests.append((point.history, candidates, point.day))
+        results = service.rank_many(requests, k=3)
+        for (_, candidates, _), ranked in zip(requests, results):
+            assert [s.pair for s in ranked] == candidates[:3]

@@ -1,0 +1,125 @@
+"""rank vs rank_many equivalence across every score_pairs implementation.
+
+``rank_many`` must be a pure batching transform: for any model, ranking
+N requests in one pooled forward returns the same pairs in the same
+order as N separate ``rank`` calls.  Scores may differ in the last float
+bits (BLAS picks different summation orders for different batch shapes,
+and the segment layout deduplicates per-point work), so scores are
+compared with a tight relative tolerance while *order* must be exact.
+
+The matrix covers ODNET and both ablation axes (graph, joint learning)
+plus the non-Tensor baselines (GBDT) and the sequential/graph-attention
+families, including the empty-candidates and single-candidate edges.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines import GBDTRanker, LSTMRanker, STPUDGATRanker
+from repro.core import build_odnet, build_stl
+from repro.serving import CandidateRecall, RankingService
+
+from tests.conftest import TINY_MODEL_CONFIG
+
+
+def _odnet(dataset):
+    return build_odnet(dataset, TINY_MODEL_CONFIG)
+
+
+def _odnet_no_graph(dataset):
+    return build_odnet(dataset, TINY_MODEL_CONFIG, variant="ODNET-G")
+
+
+def _stl_graph(dataset):
+    return build_stl(dataset, TINY_MODEL_CONFIG, variant="STL+G")
+
+
+def _stl_no_graph(dataset):
+    return build_stl(dataset, TINY_MODEL_CONFIG, variant="STL-G")
+
+
+def _gbdt(dataset):
+    model = GBDTRanker(n_trees=4, max_depth=2)
+    model.fit(dataset)
+    return model
+
+
+def _lstm(dataset):
+    return LSTMRanker(dataset, dim=8)
+
+
+def _stp_udgat(dataset):
+    return STPUDGATRanker(dataset, dim=8)
+
+
+MODELS = {
+    "odnet": _odnet,
+    "odnet-no-graph": _odnet_no_graph,
+    "stl+g": _stl_graph,
+    "stl-g": _stl_no_graph,
+    "gbdt": _gbdt,
+    "lstm": _lstm,
+    "stp-udgat": _stp_udgat,
+}
+
+
+@pytest.fixture(scope="module")
+def recall(od_dataset):
+    return CandidateRecall(
+        od_dataset.source.world, od_dataset.route_popularity
+    )
+
+
+@pytest.fixture(scope="module")
+def requests(od_dataset, recall):
+    """A mixed request list: full recall sets, a single candidate, and an
+    empty candidate list."""
+    points = od_dataset.source.test_points[:5]
+    out = [
+        (p.history, recall.candidate_pairs(p.history), p.day)
+        for p in points[:3]
+    ]
+    single = points[3]
+    out.append((
+        single.history, recall.candidate_pairs(single.history)[:1], single.day
+    ))
+    empty = points[4]
+    out.append((empty.history, [], empty.day))
+    return out
+
+
+@pytest.mark.parametrize("name", sorted(MODELS))
+def test_rank_many_equals_rank_per_request(name, od_dataset, requests):
+    service = RankingService(MODELS[name](od_dataset), od_dataset)
+    batched = service.rank_many(requests, k=10)
+    assert len(batched) == len(requests)
+    for (history, candidates, day), pooled in zip(requests, batched):
+        solo = service.rank(history, candidates, day=day, k=10)
+        assert [s.pair for s in pooled] == [s.pair for s in solo]
+        np.testing.assert_allclose(
+            [s.score for s in pooled],
+            [s.score for s in solo],
+            rtol=1e-9,
+        )
+
+
+def test_empty_candidates_yield_empty_result(od_dataset, requests):
+    service = RankingService(_odnet(od_dataset), od_dataset)
+    assert service.rank_many(requests, k=10)[-1] == []
+    history, _, day = requests[-1]
+    assert service.rank(history, [], day=day, k=10) == []
+
+
+def test_single_candidate_round_trips(od_dataset, requests):
+    service = RankingService(_odnet(od_dataset), od_dataset)
+    history, candidates, day = requests[-2]
+    assert len(candidates) == 1
+    [result] = service.rank(history, candidates, day=day, k=10)
+    assert result.pair == candidates[0]
+
+
+def test_all_empty_request_list(od_dataset):
+    service = RankingService(_odnet(od_dataset), od_dataset)
+    assert service.rank_many([], k=10) == []
