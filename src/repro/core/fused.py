@@ -190,6 +190,10 @@ def _aware_query(
 
 
 def _table(value) -> np.ndarray:
+    # An ndarray's .data attribute is a memoryview, not the array —
+    # unwrap .data only for Tensor-like wrappers.
+    if isinstance(value, np.ndarray):
+        return value
     return value.data if hasattr(value, "data") else np.asarray(value)
 
 

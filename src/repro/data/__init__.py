@@ -16,10 +16,12 @@ from .schema import (
 )
 from .synthetic import (
     DecisionPoint,
+    DegenerateWorldError,
     FliggyConfig,
     FliggyDataset,
     generate_fliggy_dataset,
 )
+from .streaming import FliggyGenerator, UserStream
 from .temporal import XST_DIM, TemporalFeatureExtractor
 from .world import CityWorld, WorldConfig, generate_city_world
 
@@ -36,10 +38,13 @@ __all__ = [
     "CityWorld",
     "WorldConfig",
     "generate_city_world",
+    "DegenerateWorldError",
     "FliggyConfig",
     "FliggyDataset",
     "DecisionPoint",
     "generate_fliggy_dataset",
+    "FliggyGenerator",
+    "UserStream",
     "LbsnConfig",
     "foursquare_config",
     "gowalla_config",

@@ -1,0 +1,175 @@
+"""Streaming per-user generation — the million-user data plane.
+
+:func:`generate_fliggy_dataset` materialises every profile, booking,
+decision point, and Table-I sample in RAM at once; at the paper's
+deployment scale (2.6 M users) that event list alone is several
+gigabytes of Python objects.  :class:`FliggyGenerator` runs the *same*
+behaviour model one user at a time so memory stays ``O(world + one
+user)`` regardless of ``num_users``.
+
+Two properties make this safe to parallelise and to resume:
+
+* **Order independence** — each user's stream is derived from its own
+  :class:`numpy.random.SeedSequence` keyed on ``(config.seed,
+  user_id)``, so ``user_stream(42)`` is byte-identical whether it is
+  generated first, last, or on another worker.  (This is a different —
+  but equally deterministic — random stream from the batch generator,
+  which threads one RNG through all users in order.)
+* **Bounded memory** — ``stream_users`` yields one :class:`UserStream`
+  at a time and retains nothing; callers that only need counts or
+  event feeds can discard each stream as they go.
+
+The behaviour internals (:func:`_sample_profile`,
+:func:`_simulate_bookings`, decision-point and Table-I sample
+expansion) are shared with the batch generator, so the planted
+O/D-exploration structure is identical in both modes.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator
+from dataclasses import dataclass
+
+import numpy as np
+
+from .schema import BookingEvent, Sample, UserProfile
+from .synthetic import (
+    DecisionPoint,
+    FliggyConfig,
+    _expand_samples,
+    _make_decision_point,
+    _sample_profile,
+    _simulate_bookings,
+)
+from .world import CityWorld, generate_city_world
+
+__all__ = ["FliggyGenerator", "UserStream"]
+
+
+@dataclass
+class UserStream:
+    """Everything the behaviour model produced for one user."""
+
+    profile: UserProfile
+    bookings: list[BookingEvent]
+    locations: list[int]
+    train_points: list[DecisionPoint]
+    test_point: DecisionPoint | None
+    train_samples: list[Sample]
+    test_samples: list[Sample]
+
+    @property
+    def user_id(self) -> int:
+        return self.profile.user_id
+
+    @property
+    def num_events(self) -> int:
+        """Bookings plus clicks attached to this user's decision points."""
+        clicks = sum(
+            len(point.history.clicks) for point in self.decision_points()
+        )
+        return len(self.bookings) + clicks
+
+    def decision_points(self) -> list[DecisionPoint]:
+        if self.test_point is None:
+            return list(self.train_points)
+        return [*self.train_points, self.test_point]
+
+
+class FliggyGenerator:
+    """Bounded-memory, order-independent generator over ``config.num_users``.
+
+    Only the city world (shared by every user) is held resident; user
+    streams are derived on demand and never cached.
+    """
+
+    def __init__(self, config: FliggyConfig):
+        if config.seed < 0:
+            raise ValueError("streaming generation requires a seed >= 0")
+        self.config = config
+        # The world comes off the *same* root RNG as the batch generator,
+        # so batch and streaming modes agree on cities, prices, patterns.
+        rng = np.random.default_rng(config.seed)
+        self.world: CityWorld = generate_city_world(config.world, rng)
+
+    # ------------------------------------------------------------------
+    # Per-user derivation
+    # ------------------------------------------------------------------
+    def _user_rng(self, user_id: int) -> np.random.Generator:
+        return np.random.default_rng(
+            np.random.SeedSequence([self.config.seed, user_id])
+        )
+
+    def user_stream(self, user_id: int) -> UserStream:
+        """Derive one user's full stream, independent of any other user."""
+        if not 0 <= user_id < self.config.num_users:
+            raise IndexError(
+                f"user_id {user_id} outside [0, {self.config.num_users})"
+            )
+        config = self.config
+        rng = self._user_rng(user_id)
+        profile = _sample_profile(user_id, self.world, config, rng)
+        bookings, locations = _simulate_bookings(profile, self.world, config, rng)
+
+        eligible = [i for i in range(len(bookings)) if i >= config.min_history]
+        train_points: list[DecisionPoint] = []
+        test_point: DecisionPoint | None = None
+        if eligible:
+            test_index = eligible[-1]
+            train_candidates = eligible[:-1]
+            if len(train_candidates) > config.train_points_per_user:
+                chosen = rng.choice(
+                    train_candidates,
+                    size=config.train_points_per_user,
+                    replace=False,
+                )
+                train_indices = sorted(int(i) for i in chosen)
+            else:
+                train_indices = train_candidates
+            for i in train_indices:
+                train_points.append(
+                    _make_decision_point(
+                        profile, bookings, locations, i, self.world, config, rng
+                    )
+                )
+            test_point = _make_decision_point(
+                profile, bookings, locations, test_index, self.world, config, rng
+            )
+
+        train_samples = _expand_samples(train_points, self.world, config, rng)
+        test_samples = (
+            _expand_samples([test_point], self.world, config, rng)
+            if test_point is not None
+            else []
+        )
+        return UserStream(
+            profile=profile,
+            bookings=bookings,
+            locations=locations,
+            train_points=train_points,
+            test_point=test_point,
+            train_samples=train_samples,
+            test_samples=test_samples,
+        )
+
+    # ------------------------------------------------------------------
+    # Iteration
+    # ------------------------------------------------------------------
+    def stream_users(
+        self, start: int = 0, stop: int | None = None
+    ) -> Iterator[UserStream]:
+        """Yield user streams for ``[start, stop)``, one at a time.
+
+        Nothing is retained between yields; peak memory is one user's
+        stream plus the shared world.
+        """
+        if stop is None:
+            stop = self.config.num_users
+        for user_id in range(start, stop):
+            yield self.user_stream(user_id)
+
+    def __iter__(self) -> Iterator[UserStream]:
+        return self.stream_users()
+
+    def __len__(self) -> int:
+        return self.config.num_users

@@ -39,9 +39,23 @@ from .schema import (
 )
 from .world import CityWorld, WorldConfig, generate_city_world
 
-__all__ = ["FliggyConfig", "DecisionPoint", "FliggyDataset", "generate_fliggy_dataset"]
+__all__ = [
+    "DegenerateWorldError",
+    "FliggyConfig",
+    "DecisionPoint",
+    "FliggyDataset",
+    "generate_fliggy_dataset",
+]
 
 DAYS_PER_MONTH = 30
+
+
+class DegenerateWorldError(ValueError):
+    """Raised when a sampling request is unsatisfiable for the world.
+
+    The canonical case: asking for a negative destination in a one-city
+    world, where every candidate equals the city being excluded.
+    """
 
 
 @dataclass(frozen=True)
@@ -425,7 +439,12 @@ def _generate_clicks(
             origin = profile.home_city
             if origin == destination:
                 destination = (destination + 1) % world.num_cities
-        click_day = day - int(rng.integers(1, config.click_window_days + 1))
+        # Bookings in the first week of history would otherwise yield
+        # negative click days (a click "before day zero"); clamp to the
+        # start of history so every event has a valid non-negative day.
+        click_day = max(
+            0, day - int(rng.integers(1, config.click_window_days + 1))
+        )
         clicks.append(
             ClickEvent(
                 user_id=profile.user_id,
@@ -460,7 +479,30 @@ def _make_decision_point(
 def _sample_negative_city(
     world: CityWorld, exclude: int, rng: np.random.Generator
 ) -> int:
-    """Popularity-weighted negative city != exclude (hard negatives)."""
+    """Popularity-weighted negative city != exclude (hard negatives).
+
+    The common case keeps the historical rejection loop (so existing
+    seeds reproduce the exact same datasets), but the two degenerate
+    worlds that used to spin forever are handled explicitly: a one-city
+    world raises a typed :class:`DegenerateWorldError`, and a popularity
+    vector whose entire mass sits on ``exclude`` renormalises over the
+    complement (the limit of the rejection loop) instead of rejecting
+    every draw.
+    """
+    if world.num_cities <= 1:
+        raise DegenerateWorldError(
+            "cannot sample a negative city: the world has "
+            f"{world.num_cities} city/cities and every candidate equals "
+            f"the excluded city {exclude}"
+        )
+    popularity = np.asarray(world.popularity, dtype=np.float64)
+    complement_mass = float(popularity.sum() - popularity[exclude])
+    if complement_mass <= 0.0:
+        # All popularity mass on the excluded city: the rejection loop
+        # would never terminate.  Renormalising over the complement
+        # degenerates to a uniform draw over every other city.
+        complement = np.delete(np.arange(world.num_cities), exclude)
+        return int(rng.choice(complement))
     while True:
         city = int(rng.choice(world.num_cities, p=world.popularity))
         if city != exclude:

@@ -7,16 +7,64 @@ fetching data, and training models.  In specific, 5 parameter servers and
 storing part of the parameters" and each worker "fetches a portion of
 training samples".
 
-This module provides the two partitioners: parameters are assigned to
-servers by a balanced greedy bin-packing over parameter sizes, and
-training samples are split into equal worker shards.
+This module provides the partitioners: parameters are assigned to
+servers by a balanced greedy bin-packing over parameter sizes, training
+samples are split into equal worker shards, and *serving-side* row
+placement (which shard owns a user's embedding row) uses the same
+process-independent blake2b discipline as the cluster's consistent-hash
+ring — ``hash()`` is salted per interpreter and would scatter users
+differently on every restart, desyncing a store written by one process
+from a reader in another.
 """
 
 from __future__ import annotations
 
+import hashlib
+
 import numpy as np
 
-__all__ = ["shard_parameters", "shard_samples"]
+__all__ = [
+    "hash_shard",
+    "hash_shard_many",
+    "shard_parameters",
+    "shard_samples",
+]
+
+
+def hash_shard(key: int | str, num_shards: int) -> int:
+    """Stable shard index for a key (blake2b, process-independent).
+
+    Mirrors :func:`repro.cluster.hashring._position`: the shard is the
+    64-bit big-endian blake2b digest of the key's decimal/utf-8 form,
+    reduced modulo ``num_shards``.  Any process, any restart, any
+    machine computes the same placement.
+    """
+    if num_shards <= 0:
+        raise ValueError(f"num_shards must be positive, got {num_shards}")
+    token = str(key).encode("utf-8")
+    digest = hashlib.blake2b(token, digest_size=8).digest()
+    return int.from_bytes(digest, "big") % num_shards
+
+
+def hash_shard_many(keys: np.ndarray, num_shards: int) -> np.ndarray:
+    """Vector form of :func:`hash_shard` for integer key arrays."""
+    if num_shards <= 0:
+        raise ValueError(f"num_shards must be positive, got {num_shards}")
+    keys = np.asarray(keys)
+    blake2b = hashlib.blake2b
+    from_bytes = int.from_bytes
+    return np.fromiter(
+        (
+            from_bytes(
+                blake2b(str(key).encode("utf-8"), digest_size=8).digest(),
+                "big",
+            )
+            % num_shards
+            for key in keys.tolist()
+        ),
+        dtype=np.int64,
+        count=keys.size,
+    )
 
 
 def shard_parameters(

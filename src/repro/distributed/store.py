@@ -1,0 +1,314 @@
+"""Sharded, memory-lean embedding storage — the serving side of the PS.
+
+The paper's deployment keeps 2.6 M users' embeddings across 5 parameter
+servers; a single serving process cannot (and should not) hold the full
+float32 user tables resident.  :class:`ShardedEmbeddingStore` is the
+serving-side storage layer:
+
+* **Placement** — each row (user) is assigned to one of ``num_shards``
+  shards by the blake2b discipline of
+  :func:`repro.distributed.sharding.hash_shard` (the same
+  process-independent hashing the cluster's consistent-hash ring uses),
+  so any process computes the same placement without coordination.
+* **Cold tier** — every shard's rows live in a memory-mapped **float16**
+  file on disk (half the footprint of float32; OD embedding scores
+  tolerate the ~1e-3 relative rounding, which the tests bound).  The
+  memmap means a cold shard costs page-cache pages, not heap.
+* **Hot tier** — an LRU of at most ``max_hot_shards`` shards decoded to
+  float32.  A row read decodes its whole shard once and serves every
+  subsequent row in that shard from RAM; eviction drops the decoded
+  copy, never the backing file.
+* **Versioning** — each shard carries a monotone version counter.
+  :meth:`write_rows` (the PS write-back path) bumps *only the touched
+  shards* and invalidates only their decoded copies — the contract
+  :class:`repro.perf.ShardedInferenceSession` builds per-shard frozen
+  tables on.
+
+In-RAM index cost is two int32 arrays of length ``num_rows`` (shard id
+and slot within shard) — ~8 MB per million users — while the payload
+stays on disk.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import threading
+from collections import OrderedDict
+
+import numpy as np
+
+from ..obs.registry import get_registry
+from .sharding import hash_shard_many
+
+__all__ = ["ShardedEmbeddingStore"]
+
+_META_SUFFIX = ".meta.json"
+
+
+class ShardedEmbeddingStore:
+    """Hash-sharded float16-on-disk embedding table with hot-shard LRU.
+
+    Build with :meth:`from_array` (spill an existing dense table) or
+    :meth:`create` (zero-initialised); reattach to an existing spill
+    with :meth:`open`.  Reads return float32 (decoded); writes quantise
+    to float16 on disk.
+    """
+
+    def __init__(
+        self,
+        directory: str | pathlib.Path,
+        name: str,
+        num_rows: int,
+        dim: int,
+        num_shards: int,
+        max_hot_shards: int,
+        _create: bool,
+    ):
+        if num_rows <= 0:
+            raise ValueError(f"num_rows must be positive, got {num_rows}")
+        if dim <= 0:
+            raise ValueError(f"dim must be positive, got {dim}")
+        if num_shards <= 0:
+            raise ValueError(f"num_shards must be positive, got {num_shards}")
+        if max_hot_shards <= 0:
+            raise ValueError(
+                f"max_hot_shards must be positive, got {max_hot_shards}"
+            )
+        self.directory = pathlib.Path(directory)
+        self.name = name
+        self.num_rows = num_rows
+        self.dim = dim
+        self.num_shards = num_shards
+        self.max_hot_shards = max_hot_shards
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self._lock = threading.Lock()
+
+        # Placement index (RAM): row -> shard, row -> slot within shard.
+        shard_of = hash_shard_many(np.arange(num_rows), num_shards)
+        self._shard_of = shard_of.astype(np.int32)
+        self._members: list[np.ndarray] = [
+            np.flatnonzero(shard_of == s) for s in range(num_shards)
+        ]
+        slot = np.empty(num_rows, dtype=np.int32)
+        for members in self._members:
+            slot[members] = np.arange(members.size, dtype=np.int32)
+        self._slot = slot
+
+        self._versions = [0] * num_shards
+        self._hot: OrderedDict[int, np.ndarray] = OrderedDict()
+        self._maps: dict[int, np.memmap] = {}
+
+        self.directory.mkdir(parents=True, exist_ok=True)
+        if _create:
+            for s in range(num_shards):
+                rows = max(1, self._members[s].size)
+                np.memmap(
+                    self._shard_path(s), dtype=np.float16, mode="w+",
+                    shape=(rows, dim),
+                ).flush()
+            meta = {
+                "name": name,
+                "num_rows": num_rows,
+                "dim": dim,
+                "num_shards": num_shards,
+                "dtype": "float16",
+            }
+            (self.directory / f"{name}{_META_SUFFIX}").write_text(
+                json.dumps(meta, indent=2, sort_keys=True) + "\n"
+            )
+
+    # ------------------------------------------------------------------
+    # Constructors
+    # ------------------------------------------------------------------
+    @classmethod
+    def create(
+        cls,
+        directory: str | pathlib.Path,
+        name: str,
+        num_rows: int,
+        dim: int,
+        num_shards: int = 64,
+        max_hot_shards: int = 16,
+    ) -> "ShardedEmbeddingStore":
+        """Create a zero-initialised store (files written eagerly)."""
+        return cls(
+            directory, name, num_rows, dim, num_shards, max_hot_shards,
+            _create=True,
+        )
+
+    @classmethod
+    def from_array(
+        cls,
+        array: np.ndarray,
+        directory: str | pathlib.Path,
+        name: str = "embeddings",
+        num_shards: int = 64,
+        max_hot_shards: int = 16,
+    ) -> "ShardedEmbeddingStore":
+        """Spill a dense ``(num_rows, dim)`` table into a sharded store."""
+        array = np.asarray(array)
+        if array.ndim != 2:
+            raise ValueError(f"expected a 2-D table, got shape {array.shape}")
+        store = cls.create(
+            directory, name, array.shape[0], array.shape[1],
+            num_shards=num_shards, max_hot_shards=max_hot_shards,
+        )
+        for s in range(num_shards):
+            members = store._members[s]
+            if members.size == 0:
+                continue
+            mapped = store._map(s)
+            mapped[:] = array[members].astype(np.float16)
+            mapped.flush()
+        return store
+
+    @classmethod
+    def open(
+        cls,
+        directory: str | pathlib.Path,
+        name: str = "embeddings",
+        max_hot_shards: int = 16,
+    ) -> "ShardedEmbeddingStore":
+        """Reattach to a store previously spilled in ``directory``."""
+        directory = pathlib.Path(directory)
+        meta = json.loads(
+            (directory / f"{name}{_META_SUFFIX}").read_text()
+        )
+        return cls(
+            directory, name, meta["num_rows"], meta["dim"],
+            meta["num_shards"], max_hot_shards, _create=False,
+        )
+
+    # ------------------------------------------------------------------
+    # Placement
+    # ------------------------------------------------------------------
+    def shard_of(self, row: int) -> int:
+        """The shard owning ``row`` (blake2b placement)."""
+        return int(self._shard_of[row])
+
+    def shards_for(self, rows: np.ndarray) -> np.ndarray:
+        """Unique shards touched by a row set (ascending)."""
+        return np.unique(self._shard_of[np.asarray(rows)])
+
+    def shard_members(self, shard: int) -> np.ndarray:
+        """Rows owned by ``shard``, ascending (= slot order)."""
+        return self._members[shard].copy()
+
+    def shard_version(self, shard: int) -> int:
+        """Monotone version of one shard (bumped by every write to it)."""
+        with self._lock:
+            return self._versions[shard]
+
+    # ------------------------------------------------------------------
+    # Tiers
+    # ------------------------------------------------------------------
+    def _shard_path(self, shard: int) -> pathlib.Path:
+        return self.directory / f"{self.name}.shard{shard:04d}.f16"
+
+    def _map(self, shard: int) -> np.memmap:
+        mapped = self._maps.get(shard)
+        if mapped is None:
+            rows = max(1, self._members[shard].size)
+            mapped = np.memmap(
+                self._shard_path(shard), dtype=np.float16, mode="r+",
+                shape=(rows, self.dim),
+            )
+            self._maps[shard] = mapped
+        return mapped
+
+    def _hot_block(self, shard: int) -> np.ndarray:
+        """The shard decoded to float32, via the LRU (must hold lock)."""
+        block = self._hot.get(shard)
+        registry = get_registry()
+        if block is not None:
+            self._hot.move_to_end(shard)
+            self.hits += 1
+            if registry.enabled:
+                registry.counter("store.shard_hits").inc()
+            return block
+        block = np.asarray(self._map(shard), dtype=np.float32)
+        self._hot[shard] = block
+        self.misses += 1
+        if registry.enabled:
+            registry.counter("store.shard_misses").inc()
+        while len(self._hot) > self.max_hot_shards:
+            self._hot.popitem(last=False)
+            self.evictions += 1
+            if registry.enabled:
+                registry.counter("store.shard_evictions").inc()
+        return block
+
+    # ------------------------------------------------------------------
+    # Reads / writes
+    # ------------------------------------------------------------------
+    def rows(self, row_ids: np.ndarray) -> np.ndarray:
+        """Gather rows as float32, decoding each touched shard once."""
+        row_ids = np.asarray(row_ids)
+        flat = row_ids.reshape(-1)
+        out = np.empty((flat.size, self.dim), dtype=np.float32)
+        shards = self._shard_of[flat]
+        with self._lock:
+            for s in np.unique(shards):
+                mask = shards == s
+                block = self._hot_block(int(s))
+                out[mask] = block[self._slot[flat[mask]]]
+        return out.reshape(*row_ids.shape, self.dim)
+
+    def write_rows(self, row_ids: np.ndarray, values: np.ndarray) -> None:
+        """PS write-back: quantise rows to disk, bump only touched shards.
+
+        The decoded (hot) copy of each touched shard is dropped, so the
+        next read re-decodes fresh data; *untouched* shards keep their
+        decoded blocks and their versions — the per-shard invalidation
+        contract.
+        """
+        row_ids = np.asarray(row_ids)
+        values = np.asarray(values, dtype=np.float32).reshape(
+            row_ids.size, self.dim
+        )
+        shards = self._shard_of[row_ids]
+        with self._lock:
+            for s in np.unique(shards):
+                s = int(s)
+                mask = shards == s
+                mapped = self._map(s)
+                mapped[self._slot[row_ids[mask]]] = values[mask].astype(
+                    np.float16
+                )
+                mapped.flush()
+                self._versions[s] += 1
+                self._hot.pop(s, None)
+                registry = get_registry()
+                if registry.enabled:
+                    registry.counter("store.shard_writebacks").inc()
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def hot_shards(self) -> list[int]:
+        """Currently decoded shards, LRU order (oldest first)."""
+        with self._lock:
+            return list(self._hot)
+
+    @property
+    def resident_nbytes(self) -> int:
+        """Heap bytes: decoded hot blocks + the placement index."""
+        with self._lock:
+            hot = sum(block.nbytes for block in self._hot.values())
+        return hot + self._shard_of.nbytes + self._slot.nbytes
+
+    @property
+    def disk_nbytes(self) -> int:
+        """Bytes of the float16 payload files on disk."""
+        return sum(
+            self._shard_path(s).stat().st_size
+            for s in range(self.num_shards)
+        )

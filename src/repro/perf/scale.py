@@ -1,0 +1,316 @@
+"""The million-user scale bench (``python -m repro bench --phase scale``).
+
+Witnesses the four claims of the scale plane, in one report
+(``BENCH_scale.json``):
+
+1. **Streamed generation** — ``scale_users`` (1 M by default) users run
+   through :class:`repro.data.FliggyGenerator` one at a time; the report
+   records event counts and the RSS before/after, so the number proves
+   the event stream never materialised in RAM (the same users through
+   ``generate_fliggy_dataset`` would be gigabytes of event objects).
+2. **Sharded store** — both aware sides' user embedding tables live in
+   :class:`repro.distributed.ShardedEmbeddingStore` (float16 memmaps,
+   hot-shard LRU); the report records disk vs resident footprint and
+   the hit rate under skewed traffic.
+3. **ANN recall** — a :class:`repro.serving.CoarseANNIndex` over
+   ``scale_destinations`` destination embeddings, with measured
+   recall@K against the exact full scan (gated ≥ 0.95 by
+   ``tools/check_bench.py``) and the scanned-corpus fraction.
+4. **Serving latency** — p50/p99 of the retrieval-tier request loop
+   (store gather → ANN probe → exact rerank) over the full 1 M-user id
+   space, plus a PS write-back demonstrating per-shard invalidation
+   (shards touched vs total).
+
+Embedding provenance: at this scale no model is trained in-process, so
+tables are *synthesised with the structure trained tables converge to* —
+destination rows are a pattern-mixture (cluster centers + noise,
+mirroring the city-pattern personas the generator plants) and user rows
+lean toward their preferred pattern's center.  Latency, footprint and
+recall are properties of table *shape*, not of the training run that
+produced it; the per-shard invalidation contract against a *real*
+trained model is covered by the tier-1 tests instead.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import resource
+import time
+
+import numpy as np
+
+from ..obs.registry import Histogram, MetricsRegistry, set_registry
+
+__all__ = ["run_scale_bench"]
+
+#: pattern-mixture components for the synthesised embedding tables.
+_NUM_PATTERNS = 40
+
+
+def _current_rss_mb() -> float:
+    """Resident set right now (VmRSS), in MB."""
+    try:
+        with open("/proc/self/status") as status:
+            for line in status:
+                if line.startswith("VmRSS:"):
+                    return float(line.split()[1]) / 1024.0
+    except OSError:
+        pass
+    # Fallback (non-Linux): the high-water mark is the best available.
+    return _peak_rss_mb()
+
+
+def _peak_rss_mb() -> float:
+    """Process-lifetime peak RSS (ru_maxrss), in MB."""
+    peak_kb = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    return float(peak_kb) / 1024.0
+
+
+def _pattern_centers(dim: int, rng: np.random.Generator) -> np.ndarray:
+    return rng.normal(size=(_NUM_PATTERNS, dim)).astype(np.float32) * 2.0
+
+
+def _destination_table(
+    num_destinations: int, dim: int, rng: np.random.Generator,
+    centers: np.ndarray,
+) -> np.ndarray:
+    assign = rng.integers(0, _NUM_PATTERNS, size=num_destinations)
+    noise = rng.normal(size=(num_destinations, dim)).astype(np.float32)
+    return centers[assign] + noise
+
+
+def _fill_user_store(
+    store, dim: int, rng: np.random.Generator, centers: np.ndarray,
+    chunk: int = 100_000,
+) -> None:
+    """Stream user rows into the store chunk-wise (never the full table)."""
+    for start in range(0, store.num_rows, chunk):
+        stop = min(start + chunk, store.num_rows)
+        count = stop - start
+        assign = rng.integers(0, _NUM_PATTERNS, size=count)
+        rows = 0.5 * centers[assign] + rng.normal(
+            size=(count, dim)
+        ).astype(np.float32)
+        store.write_rows(np.arange(start, stop), rows)
+
+
+def run_scale_bench(config=None) -> dict:
+    """Run the scale plane end to end; returns the report dict."""
+    from ..data import FliggyConfig, FliggyGenerator
+    from ..data.world import WorldConfig
+    from ..distributed.store import ShardedEmbeddingStore
+    from ..serving.ann import ANNConfig, CoarseANNIndex
+    from .bench import (
+        SCHEMA_VERSION, BenchConfig, _latency_stats, available_cpus,
+    )
+
+    config = config or BenchConfig()
+    registry = MetricsRegistry()
+    previous = set_registry(registry)
+    try:
+        rng = np.random.default_rng(config.seed)
+
+        # ------------------------------------------------------------------
+        # Phase 1: streamed generation over the full user space.
+        # ------------------------------------------------------------------
+        generator = FliggyGenerator(FliggyConfig(
+            num_users=config.scale_users,
+            world=WorldConfig(num_cities=config.scale_cities),
+            seed=config.seed,
+        ))
+        rss_before = _current_rss_mb()
+        users = bookings = clicks = train_samples = 0
+        start = time.perf_counter()
+        for stream in generator:
+            users += 1
+            bookings += len(stream.bookings)
+            clicks += stream.num_events - len(stream.bookings)
+            train_samples += len(stream.train_samples)
+        generation_s = time.perf_counter() - start
+        rss_after = _current_rss_mb()
+        generation = {
+            "users": users,
+            "num_cities": config.scale_cities,
+            "bookings": bookings,
+            "clicks": clicks,
+            "train_samples": train_samples,
+            "elapsed_s": round(generation_s, 3),
+            "users_per_sec": round(users / generation_s, 2)
+            if generation_s > 0 else 0.0,
+            "rss_before_mb": round(rss_before, 1),
+            "rss_after_mb": round(rss_after, 1),
+        }
+
+        # ------------------------------------------------------------------
+        # Phase 2: spill both aware sides' user tables into sharded stores.
+        # ------------------------------------------------------------------
+        import tempfile
+
+        centers = _pattern_centers(config.scale_dim, rng)
+        with tempfile.TemporaryDirectory(prefix="repro-scale-") as spill_dir:
+            start = time.perf_counter()
+            stores = {}
+            for side in ("o", "d"):
+                store = ShardedEmbeddingStore.create(
+                    spill_dir, f"users_{side}",
+                    num_rows=config.scale_users, dim=config.scale_dim,
+                    num_shards=config.scale_shards,
+                    max_hot_shards=config.scale_hot_shards,
+                )
+                _fill_user_store(store, config.scale_dim, rng, centers)
+                stores[side] = store
+            build_s = time.perf_counter() - start
+            # Build-phase traffic is not serving traffic: reset counters.
+            for store in stores.values():
+                store.hits = store.misses = store.evictions = 0
+            store_report = {
+                "num_rows": config.scale_users,
+                "dim": config.scale_dim,
+                "num_shards": config.scale_shards,
+                "max_hot_shards": config.scale_hot_shards,
+                "sides": 2,
+                "disk_mb": round(sum(
+                    s.disk_nbytes for s in stores.values()
+                ) / 1e6, 1),
+                "resident_mb": round(sum(
+                    s.resident_nbytes for s in stores.values()
+                ) / 1e6, 1),
+                "build_s": round(build_s, 3),
+            }
+
+            # --------------------------------------------------------------
+            # Phase 3: ANN index over destination embeddings.
+            # --------------------------------------------------------------
+            start = time.perf_counter()
+            destinations = _destination_table(
+                config.scale_destinations, config.scale_dim, rng, centers
+            )
+            index = CoarseANNIndex(destinations, ANNConfig(
+                nprobe=config.scale_nprobe, seed=config.seed,
+            ))
+            ann_build_s = time.perf_counter() - start
+
+            query_users = rng.integers(
+                0, config.scale_users, size=config.scale_recall_queries
+            )
+            queries = stores["d"].rows(query_users)
+            recall = index.recall_at_k(queries, config.scale_recall_k)
+            # Honest timing: the same query set through both paths.
+            start = time.perf_counter()
+            for query in queries:
+                index.search(query, config.scale_recall_k)
+            ann_s = time.perf_counter() - start
+            start = time.perf_counter()
+            for query in queries:
+                index.full_scan(query, config.scale_recall_k)
+            full_s = time.perf_counter() - start
+            ann_report = {
+                "num_destinations": config.scale_destinations,
+                "num_clusters": index.num_clusters,
+                "nprobe": index.nprobe,
+                "k": config.scale_recall_k,
+                "queries": int(config.scale_recall_queries),
+                "recall_at_k": round(recall, 4),
+                "scan_fraction": round(index.scan_fraction, 4),
+                "build_s": round(ann_build_s, 3),
+                "search_ms_per_query": round(
+                    ann_s / len(queries) * 1000.0, 4
+                ),
+                "full_scan_ms_per_query": round(
+                    full_s / len(queries) * 1000.0, 4
+                ),
+                "speedup_vs_full_scan": round(full_s / ann_s, 3)
+                if ann_s > 0 else 0.0,
+            }
+
+            # --------------------------------------------------------------
+            # Phase 4: retrieval-tier serving loop over the 1 M id space.
+            # --------------------------------------------------------------
+            total = config.scale_requests + config.scale_warmup
+            # Zipf-skewed traffic (hot users dominate) with a uniform tail,
+            # the shape the hot-shard LRU exists for.
+            zipf = (rng.zipf(1.3, size=total) - 1) % config.scale_users
+            uniform = rng.integers(0, config.scale_users, size=total)
+            request_users = np.where(
+                rng.random(total) < 0.8, zipf, uniform
+            )
+            histogram = Histogram("scale.request_ms")
+            measured_s = 0.0
+            for i, user in enumerate(request_users):
+                t0 = time.perf_counter()
+                user_row = stores["d"].rows(np.array([user]))[0]
+                candidates, scores = index.search_with_scores(
+                    user_row, config.scale_candidates
+                )
+                elapsed = time.perf_counter() - t0
+                if i >= config.scale_warmup:
+                    histogram.observe(elapsed * 1000.0)
+                    measured_s += elapsed
+            serving = _latency_stats(histogram, measured_s)
+            serving.update({
+                "candidates_per_request": config.scale_candidates,
+                "unique_users": int(np.unique(request_users).size),
+                "shard_hit_rate": round(sum(
+                    s.hits for s in stores.values()
+                ) / max(1, sum(
+                    s.hits + s.misses for s in stores.values()
+                )), 4),
+                "hot_shards": len(stores["d"].hot_shards()),
+            })
+
+            # --------------------------------------------------------------
+            # Phase 5: PS write-back — per-shard invalidation in numbers.
+            # --------------------------------------------------------------
+            writeback_users = rng.integers(
+                0, config.scale_users, size=config.scale_writeback_users
+            )
+            before = [
+                stores["d"].shard_version(s)
+                for s in range(config.scale_shards)
+            ]
+            stores["d"].write_rows(
+                writeback_users,
+                rng.normal(size=(
+                    writeback_users.size, config.scale_dim
+                )).astype(np.float32),
+            )
+            after = [
+                stores["d"].shard_version(s)
+                for s in range(config.scale_shards)
+            ]
+            touched = sum(1 for b, a in zip(before, after) if a != b)
+            writeback = {
+                "users": int(writeback_users.size),
+                "shards_touched": touched,
+                "shards_total": config.scale_shards,
+                "expected_touched": int(
+                    stores["d"].shards_for(writeback_users).size
+                ),
+            }
+
+        peak = _peak_rss_mb()
+        return {
+            "benchmark": "scale",
+            "schema_version": SCHEMA_VERSION,
+            "config": dataclasses.asdict(config),
+            "available_cpus": available_cpus(),
+            "generation": generation,
+            "store": store_report,
+            "ann": ann_report,
+            "serving": serving,
+            "writeback": writeback,
+            "peak_rss_mb": round(peak, 1),
+            "rss_budget_mb": config.scale_rss_budget_mb,
+            "store_counters": {
+                "shard_hits": registry.counter("store.shard_hits").value,
+                "shard_misses": registry.counter("store.shard_misses").value,
+                "shard_evictions": registry.counter(
+                    "store.shard_evictions"
+                ).value,
+                "shard_writebacks": registry.counter(
+                    "store.shard_writebacks"
+                ).value,
+            },
+        }
+    finally:
+        set_registry(previous)

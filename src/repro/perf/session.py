@@ -29,13 +29,15 @@ session itself as :attr:`hits` / :attr:`misses`.
 
 from __future__ import annotations
 
+import dataclasses
+import pathlib
 import threading
 
 import numpy as np
 
 from ..obs.registry import get_registry
 
-__all__ = ["InferenceSession", "supports_fast_path"]
+__all__ = ["InferenceSession", "ShardedInferenceSession", "supports_fast_path"]
 
 
 def supports_fast_path(model) -> bool:
@@ -111,3 +113,144 @@ class InferenceSession:
     def score_pairs(self, batch) -> np.ndarray:
         """Eq. 11 scores through the cached tables (bit-identical)."""
         return self.model.score_pairs(batch, tables=self.tables())
+
+
+def _as_array(value) -> np.ndarray:
+    if isinstance(value, np.ndarray):
+        return value
+    return np.asarray(value.data if hasattr(value, "data") else value)
+
+
+class ShardedInferenceSession:
+    """Frozen tables served through a hash-sharded float16 store.
+
+    :class:`InferenceSession` keeps both full ``(num_users, dim)`` user
+    tables resident in float32 — at the paper's 2.6 M-user deployment
+    scale that is gigabytes a serving process cannot hold.  This session
+    materialises ``embedding_tables()`` once, spills the **user** tables
+    of both aware sides into
+    :class:`repro.distributed.ShardedEmbeddingStore` (float16 memmaps,
+    LRU of hot decoded shards), and keeps only the small city tables
+    dense.  ``score_pairs`` compacts the batch's user ids (``np.unique``
+    + inverse), gathers just those rows through the store, and runs the
+    same fused kernel on a compact user table.
+
+    Per-shard invalidation contract: a PS write-back
+    (:meth:`write_back` / :meth:`refresh_users`) re-quantises only the
+    touched users' rows, bumping only *their* shards' versions and
+    dropping only *their* decoded blocks — every other shard keeps its
+    frozen rows hot.  This is the serving-side analogue of
+    ``InferenceSession.invalidate``, scoped from "the whole cache" down
+    to "the shards the push actually touched".
+
+    Scores are within float16 row-quantisation error of the dense
+    session (~1e-3 relative on user rows; regression-tested) — the
+    deliberate trade for a 2x footprint cut and bounded residency.
+    """
+
+    def __init__(
+        self,
+        model,
+        directory: str | pathlib.Path,
+        num_shards: int = 64,
+        max_hot_shards: int = 16,
+    ):
+        from ..distributed.store import ShardedEmbeddingStore
+
+        if not supports_fast_path(model):
+            raise TypeError(
+                f"{type(model).__name__} does not expose embedding_tables(); "
+                "the frozen-graph fast path needs an HSGC-style model"
+            )
+        self.model = model
+        tables = model.embedding_tables()
+        self._cities = {
+            side: _as_array(tables[side][1]).astype(np.float64)
+            for side in ("o", "d")
+        }
+        self._stores = {
+            side: ShardedEmbeddingStore.from_array(
+                _as_array(tables[side][0]),
+                directory,
+                name=f"users_{side}",
+                num_shards=num_shards,
+                max_hot_shards=max_hot_shards,
+            )
+            for side in ("o", "d")
+        }
+        self.num_users = self._stores["o"].num_rows
+        self.num_shards = num_shards
+
+    # ------------------------------------------------------------------
+    def store(self, side: str):
+        """The backing store of one aware side (``"o"`` or ``"d"``)."""
+        return self._stores[side]
+
+    def shard_of(self, user_id: int) -> int:
+        return self._stores["o"].shard_of(user_id)
+
+    def shard_version(self, side: str, shard: int) -> int:
+        return self._stores[side].shard_version(shard)
+
+    @property
+    def hits(self) -> int:
+        return sum(store.hits for store in self._stores.values())
+
+    @property
+    def misses(self) -> int:
+        return sum(store.misses for store in self._stores.values())
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    @property
+    def resident_nbytes(self) -> int:
+        cities = sum(table.nbytes for table in self._cities.values())
+        return cities + sum(
+            store.resident_nbytes for store in self._stores.values()
+        )
+
+    # ------------------------------------------------------------------
+    def user_rows(self, side: str, user_ids: np.ndarray) -> np.ndarray:
+        """Float32 user embedding rows of one side, via the hot tier."""
+        return self._stores[side].rows(user_ids)
+
+    def score_pairs(self, batch) -> np.ndarray:
+        """Eq. 11 scores with user rows gathered from the sharded store."""
+        unique, inverse = np.unique(batch.user_ids, return_inverse=True)
+        compact = dataclasses.replace(
+            batch, user_ids=inverse.reshape(np.shape(batch.user_ids))
+        )
+        tables = {
+            side: (
+                self._stores[side].rows(unique).astype(np.float64),
+                self._cities[side],
+            )
+            for side in ("o", "d")
+        }
+        return self.model.score_pairs(compact, tables=tables)
+
+    # ------------------------------------------------------------------
+    # PS write-back (per-shard invalidation)
+    # ------------------------------------------------------------------
+    def write_back(
+        self, side: str, user_ids: np.ndarray, rows: np.ndarray
+    ) -> None:
+        """Push updated user rows for one side; touched shards only."""
+        self._stores[side].write_rows(user_ids, rows)
+
+    def refresh_users(self, user_ids: np.ndarray) -> None:
+        """Re-pull ``user_ids``' rows from the model's current tables.
+
+        Recomputes ``embedding_tables()`` once (the propagation is
+        global) but re-quantises — and therefore invalidates — only the
+        shards owning ``user_ids``; every other shard's frozen rows stay
+        exactly as they were.
+        """
+        user_ids = np.asarray(user_ids)
+        tables = self.model.embedding_tables()
+        for side in ("o", "d"):
+            fresh = _as_array(tables[side][0])[user_ids]
+            self._stores[side].write_rows(user_ids, fresh)

@@ -1,0 +1,217 @@
+"""Coarse-cluster ANN over destination embeddings — sublinear recall.
+
+At 100 cities a full inner-product scan per request is trivial; at the
+paper's production scale (10k+ destinations once airports, city pairs
+and seasonal variants are distinguished) an exhaustive scan per request
+is the recall bottleneck.  PAPERS.md motivates the compact-representation
+route twice: STP-UDGAT precomputes static attention tables, and the
+sketch-based EMDE trip model retrieves from quantized codes rather than
+raw vectors.
+
+:class:`CoarseANNIndex` is an IVF-style two-stage index:
+
+1. **Coarse quantiser** — seeded Lloyd k-means over the destination
+   embeddings (``num_clusters ~ sqrt(N)`` by default).  A query ranks
+   centroids by inner product and probes only the top ``nprobe``
+   clusters — the sublinear step.
+2. **Quantized select, exact rerank** — probed members are scored
+   against their **float16** codes first (half the bandwidth of the raw
+   table); the top ``rerank`` survivors are then re-scored at full
+   precision and ordered by the *exact* score.
+
+Tie-order contract: results are ordered score-descending with ties
+broken by ascending destination id — exactly the
+``RankingService._segment_top_k`` discipline — so swapping the full scan
+for the index can never reorder equal-scored candidates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["ANNConfig", "CoarseANNIndex"]
+
+
+@dataclass(frozen=True)
+class ANNConfig:
+    """Index shape. Zeros mean "derive from the corpus size"."""
+
+    num_clusters: int = 0      # 0 -> ceil(sqrt(N))
+    nprobe: int = 0            # 0 -> max(1, num_clusters // 4)
+    kmeans_iterations: int = 8
+    #: float16 member codes for the approximate pass (the EMDE-style
+    #: compact representation); False scores probed members at full
+    #: precision directly.
+    quantize: bool = True
+    #: exact-rerank pool size as a multiple of k (floor 32).
+    rerank_factor: int = 4
+    seed: int = 0
+
+
+class CoarseANNIndex:
+    """Inner-product ANN with coarse clusters and exact rerank.
+
+    >>> index = CoarseANNIndex(embeddings)           # doctest: +SKIP
+    >>> ids = index.search(query, k=8)               # doctest: +SKIP
+    """
+
+    def __init__(self, embeddings: np.ndarray, config: ANNConfig | None = None):
+        embeddings = np.asarray(embeddings, dtype=np.float32)
+        if embeddings.ndim != 2 or embeddings.shape[0] == 0:
+            raise ValueError(
+                f"expected a non-empty (N, dim) table, got {embeddings.shape}"
+            )
+        self.config = config or ANNConfig()
+        self._embeddings = embeddings
+        n = embeddings.shape[0]
+        clusters = self.config.num_clusters or int(np.ceil(np.sqrt(n)))
+        self.num_clusters = int(min(max(1, clusters), n))
+        self.nprobe = self.config.nprobe or max(1, self.num_clusters // 4)
+        self.nprobe = int(min(self.nprobe, self.num_clusters))
+        self.searches = 0
+        self.members_scanned = 0
+
+        assignment = self._lloyd(embeddings)
+        # CSR-style layout: ids and codes stored contiguously in cluster
+        # order, so probing nprobe clusters is a handful of slice views
+        # and ONE matvec — not a Python loop of tiny per-cluster matmuls.
+        order = np.argsort(assignment, kind="stable")
+        counts = np.bincount(assignment, minlength=self.num_clusters)
+        self._offsets = np.concatenate(
+            [[0], np.cumsum(counts)]
+        ).astype(np.int64)
+        self._ids = order.astype(np.int64)
+        code_dtype = np.float16 if self.config.quantize else np.float32
+        self._codes = embeddings[order].astype(code_dtype)
+
+    # ------------------------------------------------------------------
+    def _lloyd(self, points: np.ndarray) -> np.ndarray:
+        """Seeded Lloyd iterations; returns the final assignment."""
+        rng = np.random.default_rng(self.config.seed)
+        n = points.shape[0]
+        seeds = rng.choice(n, size=self.num_clusters, replace=False)
+        centroids = points[np.sort(seeds)].copy()
+        norms_p = (points * points).sum(axis=1)
+        assignment = np.zeros(n, dtype=np.int64)
+        for _ in range(max(1, self.config.kmeans_iterations)):
+            # argmin ||p - c||^2 = argmin ||c||^2 - 2 p.c  (||p||^2 fixed)
+            norms_c = (centroids * centroids).sum(axis=1)
+            distances = norms_c[None, :] - 2.0 * (points @ centroids.T)
+            assignment = np.argmin(distances, axis=1)
+            for c in range(self.num_clusters):
+                members = points[assignment == c]
+                if members.shape[0]:
+                    centroids[c] = members.mean(axis=0)
+                else:
+                    # Re-seed an empty cluster on the farthest point so no
+                    # probe list degenerates to nothing.
+                    farthest = int(np.argmax(
+                        norms_p - 2.0 * (points @ centroids[c])
+                    ))
+                    centroids[c] = points[farthest]
+        self._centroids = centroids
+        return assignment
+
+    # ------------------------------------------------------------------
+    @property
+    def num_points(self) -> int:
+        return self._embeddings.shape[0]
+
+    @property
+    def scan_fraction(self) -> float:
+        """Mean fraction of the corpus scored per search so far."""
+        if not self.searches:
+            return 0.0
+        return self.members_scanned / (self.searches * self.num_points)
+
+    # ------------------------------------------------------------------
+    def search(self, query: np.ndarray, k: int) -> np.ndarray:
+        """Top-``k`` ids by inner product, ANN-then-exact-rerank.
+
+        Survivor order is exact-score descending, id ascending on ties —
+        the same contract the full scan (and the ranking service's
+        top-k) follows.
+        """
+        ids, _ = self.search_with_scores(query, k)
+        return ids
+
+    def search_with_scores(
+        self, query: np.ndarray, k: int
+    ) -> tuple[np.ndarray, np.ndarray]:
+        query = np.asarray(query, dtype=np.float32).reshape(-1)
+        k = min(k, self.num_points)
+        if k <= 0:
+            empty = np.zeros(0, dtype=np.int64)
+            return empty, np.zeros(0, dtype=np.float32)
+
+        # Stage 1: probe the nprobe clusters most aligned with the query.
+        centroid_scores = self._centroids @ query
+        probe = np.argpartition(-centroid_scores, min(
+            self.nprobe - 1, self.num_clusters - 1
+        ))[: self.nprobe]
+        probe.sort()  # ascending slices; final order set by the rerank
+        starts = self._offsets[probe].tolist()
+        stops = self._offsets[probe + 1].tolist()
+        total = sum(b - a for a, b in zip(starts, stops))
+        if total == 0:
+            empty = np.zeros(0, dtype=np.int64)
+            return empty, np.zeros(0, dtype=np.float32)
+
+        # Stage 2: approximate select on the (possibly fp16) codes.  Each
+        # probed cluster is one BLAS matvec on a contiguous view — the
+        # codes are never concatenated, so the scan moves nprobe/C of
+        # the corpus, not a copy of it.
+        approx = np.empty(total, dtype=np.float32)
+        position = 0
+        for a, b in zip(starts, stops):
+            block = self._codes[a:b]
+            if block.dtype != np.float32:
+                block = block.astype(np.float32)
+            approx[position:position + b - a] = block @ query
+            position += b - a
+        candidate_ids = np.concatenate([
+            self._ids[a:b] for a, b in zip(starts, stops)
+        ])
+        self.searches += 1
+        self.members_scanned += total
+        pool = min(max(k * self.config.rerank_factor, 32), total)
+        if pool < total:
+            keep = np.argpartition(-approx, pool - 1)[:pool]
+            candidate_ids = candidate_ids[keep]
+
+        # …then exact rerank of the survivors at full precision.
+        exact = self._embeddings[candidate_ids] @ query
+        order = np.lexsort((candidate_ids, -exact))[:k]
+        return candidate_ids[order].astype(np.int64), exact[order]
+
+    # ------------------------------------------------------------------
+    def full_scan(self, query: np.ndarray, k: int) -> np.ndarray:
+        """Exact top-``k`` over the whole corpus (the recall baseline)."""
+        query = np.asarray(query, dtype=np.float32).reshape(-1)
+        k = min(k, self.num_points)
+        if k <= 0:
+            return np.zeros(0, dtype=np.int64)
+        scores = self._embeddings @ query
+        if k < self.num_points:
+            pool = np.argpartition(-scores, k - 1)[:k]
+        else:
+            pool = np.arange(self.num_points)
+        order = np.lexsort((pool, -scores[pool]))
+        return pool[order].astype(np.int64)
+
+    def recall_at_k(self, queries: np.ndarray, k: int) -> float:
+        """Mean |ANN ∩ exact| / k over query rows (the bench gate)."""
+        queries = np.atleast_2d(np.asarray(queries, dtype=np.float32))
+        if queries.shape[0] == 0:
+            return 1.0
+        total = 0.0
+        for query in queries:
+            approx = set(self.search(query, k).tolist())
+            exact = self.full_scan(query, k)
+            if exact.size == 0:
+                total += 1.0
+                continue
+            total += len(approx.intersection(exact.tolist())) / exact.size
+        return total / queries.shape[0]

@@ -46,7 +46,17 @@ class RealTimeFeatureService:
         get_registry().counter("rtfs.bookings_ingested").inc()
 
     def record_click(self, event: ClickEvent) -> None:
-        self._clicks.setdefault(event.user_id, []).append(event)
+        # Same ordering discipline as record_booking: streaming clicks can
+        # arrive out of order, and downstream recall iterates the click
+        # timeline newest-first as an intent signal
+        # (CandidateRecall._assemble_pairs), so an appended late-arriving
+        # *old* click would silently outrank fresh intent.  Insort by day
+        # keeps the timeline sorted at O(log n) per event.
+        bisect.insort(
+            self._clicks.setdefault(event.user_id, []),
+            event,
+            key=lambda e: e.day,
+        )
         get_registry().counter("rtfs.clicks_ingested").inc()
 
     # ------------------------------------------------------------------

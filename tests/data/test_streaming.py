@@ -1,0 +1,148 @@
+"""Streaming generation: determinism, order independence, batch agreement."""
+
+import numpy as np
+import pytest
+
+from repro.data import FliggyConfig, FliggyGenerator, generate_fliggy_dataset
+from repro.data.world import WorldConfig
+
+
+CONFIG = FliggyConfig(
+    num_users=40, world=WorldConfig(num_cities=25),
+    train_points_per_user=2, seed=13,
+)
+
+
+@pytest.fixture(scope="module")
+def generator():
+    return FliggyGenerator(CONFIG)
+
+
+class TestConstruction:
+    def test_negative_seed_rejected(self):
+        with pytest.raises(ValueError, match="seed"):
+            FliggyGenerator(FliggyConfig(num_users=5, seed=-1))
+
+    def test_len_is_num_users(self, generator):
+        assert len(generator) == CONFIG.num_users
+
+    def test_user_id_out_of_range(self, generator):
+        with pytest.raises(IndexError):
+            generator.user_stream(CONFIG.num_users)
+        with pytest.raises(IndexError):
+            generator.user_stream(-1)
+
+
+class TestWorldAgreement:
+    def test_world_matches_batch_mode(self, generator):
+        """Streaming and batch modes must agree on the shared world —
+        same root RNG, same cities, prices and popularity."""
+        dataset = generate_fliggy_dataset(CONFIG)
+        np.testing.assert_array_equal(
+            generator.world.popularity, dataset.world.popularity
+        )
+        np.testing.assert_array_equal(
+            generator.world.prices, dataset.world.prices
+        )
+        assert [c.name for c in generator.world.cities] == [
+            c.name for c in dataset.world.cities
+        ]
+
+
+class TestDeterminism:
+    def test_same_config_same_streams(self, generator):
+        other = FliggyGenerator(CONFIG)
+        for user_id in (0, 7, 39):
+            a = generator.user_stream(user_id)
+            b = other.user_stream(user_id)
+            assert a.bookings == b.bookings
+            assert a.train_samples == b.train_samples
+            assert a.test_samples == b.test_samples
+
+    def test_order_independence(self, generator):
+        """user_stream(k) is identical whether derived first or after
+        every other user — each user has its own SeedSequence."""
+        forward = FliggyGenerator(CONFIG)
+        in_order = [forward.user_stream(i) for i in range(10)]
+        backward = FliggyGenerator(CONFIG)
+        reversed_order = [backward.user_stream(i) for i in range(9, -1, -1)]
+        for stream in in_order:
+            twin = reversed_order[9 - stream.user_id]
+            assert twin.user_id == stream.user_id
+            assert twin.bookings == stream.bookings
+            assert twin.train_samples == stream.train_samples
+
+    def test_repeated_derivation_identical(self, generator):
+        a = generator.user_stream(3)
+        b = generator.user_stream(3)
+        assert a.bookings == b.bookings
+        assert a.train_samples == b.train_samples
+
+
+class TestIteration:
+    def test_iterates_every_user_once(self, generator):
+        ids = [stream.user_id for stream in generator]
+        assert ids == list(range(CONFIG.num_users))
+
+    def test_stream_users_slice(self, generator):
+        ids = [s.user_id for s in generator.stream_users(5, 9)]
+        assert ids == [5, 6, 7, 8]
+
+    def test_streams_retain_nothing(self, generator):
+        """The generator caches no per-user state: successive iterations
+        re-derive streams rather than returning shared objects."""
+        first = next(iter(generator))
+        second = next(iter(generator))
+        assert first is not second
+        assert first.bookings == second.bookings
+
+
+class TestStructure:
+    def test_table1_mix_per_user(self, generator):
+        """Per decision point: 1 positive, 4 partial negatives, 2 negatives
+        (Table I), same as the batch expansion."""
+        for stream in generator.stream_users(0, 15):
+            points = len(stream.train_points)
+            samples = stream.train_samples
+            positives = [s for s in samples if s.label_o and s.label_d]
+            partials = [s for s in samples if s.label_o != s.label_d]
+            negatives = [
+                s for s in samples if not s.label_o and not s.label_d
+            ]
+            assert len(positives) == points
+            assert len(partials) == 4 * points
+            assert len(negatives) == 2 * points
+
+    def test_train_points_capped(self, generator):
+        for stream in generator:
+            assert (
+                len(stream.train_points) <= CONFIG.train_points_per_user
+            )
+
+    def test_history_strictly_before_decision_day(self, generator):
+        for stream in generator.stream_users(0, 10):
+            for point in stream.decision_points():
+                for booking in point.history.bookings:
+                    assert booking.day < point.day
+                for click in point.history.clicks:
+                    assert click.day < point.day
+
+    def test_click_days_non_negative(self, generator):
+        """The click-day clamp: early bookings must not generate clicks
+        before day zero."""
+        for stream in generator:
+            for point in stream.decision_points():
+                for click in point.history.clicks:
+                    assert click.day >= 0
+
+    def test_bookings_sorted_by_day(self, generator):
+        for stream in generator.stream_users(0, 10):
+            days = [b.day for b in stream.bookings]
+            assert days == sorted(days)
+
+    def test_test_point_is_last_eligible(self, generator):
+        for stream in generator.stream_users(0, 10):
+            if stream.test_point is None:
+                continue
+            for point in stream.train_points:
+                assert point.day < stream.test_point.day

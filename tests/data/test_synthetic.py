@@ -1,13 +1,19 @@
 """The Fliggy behavioural simulator: Table I structure and planted signals."""
 
+import dataclasses
 from collections import Counter
 
 import numpy as np
 import pytest
 
-from repro.data import FliggyConfig, generate_fliggy_dataset
-from repro.data.schema import SampleKind
-from repro.data.world import WorldConfig
+from repro.data import DegenerateWorldError, FliggyConfig, generate_fliggy_dataset
+from repro.data.schema import ODPair, SampleKind
+from repro.data.synthetic import (
+    _generate_clicks,
+    _sample_negative_city,
+    _sample_profile,
+)
+from repro.data.world import WorldConfig, generate_city_world
 from repro.graph import EdgeType
 
 
@@ -160,6 +166,86 @@ class TestPlantedStructure:
         assert [s for s in a.train_samples[:50]] == [
             s for s in b.train_samples[:50]
         ]
+
+
+class TestClickDayClamp:
+    """Clicks precede their booking by up to click_window_days; for
+    bookings in the first week of history the raw offset would land
+    before day zero and must clamp to 0."""
+
+    @pytest.fixture(scope="class")
+    def world(self):
+        return generate_city_world(
+            WorldConfig(num_cities=20), np.random.default_rng(3)
+        )
+
+    def test_early_booking_clicks_clamp_to_zero(self, world):
+        config = FliggyConfig(num_users=1, world=WorldConfig(num_cities=20),
+                              seed=3)
+        rng = np.random.default_rng(3)
+        profile = _sample_profile(0, world, config, rng)
+        # Day 1 guarantees every raw click day (1 - offset, offset >= 1)
+        # is <= 0, so the clamp is exercised on every click.
+        clicks = _generate_clicks(
+            profile, world, ODPair(0, 1), day=1, config=config, rng=rng
+        )
+        assert clicks
+        assert all(c.day == 0 for c in clicks)
+
+    def test_all_dataset_click_days_non_negative(self, fliggy_dataset):
+        for point in (
+            fliggy_dataset.train_points + fliggy_dataset.test_points
+        ):
+            for click in point.history.clicks:
+                assert click.day >= 0
+
+
+class TestDegenerateNegativeSampling:
+    """_sample_negative_city must terminate on worlds where the
+    rejection loop used to spin forever, without changing the draws on
+    healthy worlds (pinned datasets)."""
+
+    @pytest.fixture(scope="class")
+    def world(self):
+        return generate_city_world(
+            WorldConfig(num_cities=10), np.random.default_rng(5)
+        )
+
+    def test_one_city_world_raises_typed_error(self, world):
+        tiny = dataclasses.replace(world, cities=world.cities[:1])
+        with pytest.raises(DegenerateWorldError, match="negative city"):
+            _sample_negative_city(tiny, 0, np.random.default_rng(0))
+        # The typed error is still a ValueError for generic handlers.
+        assert issubclass(DegenerateWorldError, ValueError)
+
+    def test_all_mass_on_excluded_city_renormalises(self, world):
+        popularity = np.zeros(world.num_cities)
+        popularity[4] = 1.0
+        spiked = dataclasses.replace(world, popularity=popularity)
+        rng = np.random.default_rng(1)
+        drawn = {
+            _sample_negative_city(spiked, 4, rng) for _ in range(200)
+        }
+        assert 4 not in drawn
+        # Uniform over the complement: every other city is reachable.
+        assert drawn == set(range(world.num_cities)) - {4}
+
+    def test_healthy_world_draws_unchanged(self, world):
+        """The guarded path must consume exactly the draws of the bare
+        rejection loop, or every pinned dataset silently changes."""
+        exclude = 2
+        for seed in range(5):
+            reference_rng = np.random.default_rng(seed)
+            while True:
+                expected = int(reference_rng.choice(
+                    world.num_cities, p=world.popularity
+                ))
+                if expected != exclude:
+                    break
+            rng = np.random.default_rng(seed)
+            assert _sample_negative_city(world, exclude, rng) == expected
+            # Both consumed the same number of draws.
+            assert rng.integers(1 << 30) == reference_rng.integers(1 << 30)
 
 
 class TestAccessors:

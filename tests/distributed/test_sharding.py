@@ -1,10 +1,17 @@
-"""Parameter and data sharding."""
+"""Parameter and data sharding, plus the blake2b ring discipline."""
+
+import hashlib
 
 import numpy as np
 import pytest
 from hypothesis import given, settings, strategies as st
 
-from repro.distributed import shard_parameters, shard_samples
+from repro.distributed import (
+    hash_shard,
+    hash_shard_many,
+    shard_parameters,
+    shard_samples,
+)
 
 
 class TestParameterSharding:
@@ -63,3 +70,56 @@ class TestSampleSharding:
         shards = shard_samples(103, 4)
         sizes = [len(s) for s in shards]
         assert max(sizes) - min(sizes) <= 1
+
+    def test_fewer_samples_than_workers(self):
+        # A tiny dataset across a big fleet: every sample still lands on
+        # exactly one worker and the surplus workers get empty shards.
+        shards = shard_samples(3, 5)
+        assert len(shards) == 5
+        combined = np.concatenate(shards)
+        np.testing.assert_array_equal(np.sort(combined), np.arange(3))
+        assert sum(1 for s in shards if len(s) == 0) == 2
+
+
+class TestHashShard:
+    def test_invalid_shard_count(self):
+        with pytest.raises(ValueError):
+            hash_shard(1, 0)
+        with pytest.raises(ValueError):
+            hash_shard_many(np.arange(3), -1)
+
+    def test_matches_blake2b_reference(self):
+        # The ring discipline: big-endian 64-bit blake2b of the decimal
+        # form, mod num_shards.  Pinning the reference keeps placement
+        # process- and restart-independent (unlike salted hash()).
+        for key in (0, 7, 123456789, "user:42"):
+            digest = hashlib.blake2b(
+                str(key).encode("utf-8"), digest_size=8
+            ).digest()
+            expected = int.from_bytes(digest, "big") % 16
+            assert hash_shard(key, 16) == expected
+
+    def test_deterministic_across_calls(self):
+        assert [hash_shard(k, 64) for k in range(100)] == [
+            hash_shard(k, 64) for k in range(100)
+        ]
+
+    def test_in_range(self):
+        shards = hash_shard_many(np.arange(1000), 7)
+        assert shards.min() >= 0
+        assert shards.max() < 7
+
+    def test_many_matches_scalar(self):
+        keys = np.arange(200)
+        np.testing.assert_array_equal(
+            hash_shard_many(keys, 13),
+            np.array([hash_shard(int(k), 13) for k in keys]),
+        )
+
+    def test_distribution_is_balanced(self):
+        counts = np.bincount(
+            hash_shard_many(np.arange(10_000), 16), minlength=16
+        )
+        mean = 10_000 / 16
+        assert counts.min() > 0.7 * mean
+        assert counts.max() < 1.3 * mean

@@ -1,0 +1,157 @@
+"""ShardedEmbeddingStore: placement, tiers, per-shard invalidation."""
+
+import numpy as np
+import pytest
+
+from repro.distributed import ShardedEmbeddingStore, hash_shard
+
+
+@pytest.fixture()
+def table(rng):
+    return rng.normal(size=(500, 8)).astype(np.float32)
+
+
+@pytest.fixture()
+def store(table, tmp_path):
+    return ShardedEmbeddingStore.from_array(
+        table, tmp_path, name="users", num_shards=8, max_hot_shards=4
+    )
+
+
+class TestConstruction:
+    def test_invalid_shapes_rejected(self, tmp_path):
+        with pytest.raises(ValueError):
+            ShardedEmbeddingStore.create(tmp_path, "x", num_rows=0, dim=4)
+        with pytest.raises(ValueError):
+            ShardedEmbeddingStore.create(tmp_path, "x", num_rows=4, dim=0)
+        with pytest.raises(ValueError):
+            ShardedEmbeddingStore.from_array(
+                np.zeros(5, dtype=np.float32), tmp_path
+            )
+
+    def test_create_is_zero_initialised(self, tmp_path):
+        store = ShardedEmbeddingStore.create(
+            tmp_path, "zeros", num_rows=50, dim=4, num_shards=4
+        )
+        np.testing.assert_array_equal(
+            store.rows(np.arange(50)), np.zeros((50, 4), dtype=np.float32)
+        )
+
+    def test_reopen_sees_spilled_data(self, table, store, tmp_path):
+        again = ShardedEmbeddingStore.open(tmp_path, name="users")
+        np.testing.assert_allclose(
+            again.rows(np.arange(table.shape[0])), table,
+            rtol=2e-3, atol=1e-3,
+        )
+        assert again.num_shards == store.num_shards
+
+
+class TestPlacement:
+    def test_placement_follows_hash_shard(self, store):
+        for row in (0, 17, 499):
+            assert store.shard_of(row) == hash_shard(row, store.num_shards)
+
+    def test_every_row_has_one_slot(self, store):
+        members = np.concatenate([
+            store.shard_members(s) for s in range(store.num_shards)
+        ])
+        np.testing.assert_array_equal(np.sort(members), np.arange(500))
+
+    def test_shards_for_unique_ascending(self, store):
+        rows = np.array([0, 1, 0, 2, 1])
+        shards = store.shards_for(rows)
+        assert list(shards) == sorted(set(shards.tolist()))
+
+
+class TestReads:
+    def test_round_trip_within_float16(self, table, store):
+        ids = np.arange(table.shape[0])
+        got = store.rows(ids)
+        assert got.dtype == np.float32
+        np.testing.assert_allclose(got, table, rtol=2e-3, atol=1e-3)
+
+    def test_rows_preserve_id_shape(self, store):
+        ids = np.array([[1, 2], [3, 4]])
+        assert store.rows(ids).shape == (2, 2, store.dim)
+
+    def test_hot_tier_hits_after_first_decode(self, store):
+        shard = store.shard_of(0)
+        siblings = store.shard_members(shard)[:3]
+        store.rows(siblings[:1])
+        assert (store.hits, store.misses) == (0, 1)
+        store.rows(siblings)
+        assert store.hits == 1
+        assert store.hit_rate == pytest.approx(0.5)
+
+    def test_lru_evicts_oldest_beyond_max_hot(self, table, tmp_path):
+        store = ShardedEmbeddingStore.from_array(
+            table, tmp_path, name="lru", num_shards=8, max_hot_shards=2
+        )
+        # Touch three distinct shards; the first decoded one must fall out.
+        first = store.shard_of(0)
+        touched = [0]
+        for row in range(1, 500):
+            if store.shard_of(row) not in {
+                store.shard_of(r) for r in touched
+            }:
+                touched.append(row)
+            if len(touched) == 3:
+                break
+        for row in touched:
+            store.rows(np.array([row]))
+        assert store.evictions == 1
+        assert len(store.hot_shards()) == 2
+        assert first not in store.hot_shards()
+
+
+class TestWriteBack:
+    def test_write_rows_round_trip(self, store):
+        ids = np.array([3, 100, 499])
+        fresh = np.full((3, store.dim), 2.5, dtype=np.float32)
+        store.write_rows(ids, fresh)
+        np.testing.assert_allclose(store.rows(ids), fresh, rtol=2e-3)
+
+    def test_bumps_only_touched_shards(self, store):
+        target = 42
+        shard = store.shard_of(target)
+        before = [store.shard_version(s) for s in range(store.num_shards)]
+        store.write_rows(
+            np.array([target]), np.ones((1, store.dim), dtype=np.float32)
+        )
+        after = [store.shard_version(s) for s in range(store.num_shards)]
+        assert after[shard] == before[shard] + 1
+        for s in range(store.num_shards):
+            if s != shard:
+                assert after[s] == before[s]
+
+    def test_untouched_hot_blocks_survive(self, store):
+        # Warm two shards, write into one: the other's decoded block must
+        # stay resident (per-shard invalidation, not a global flush).
+        a, b = 0, next(
+            r for r in range(1, 500)
+            if store.shard_of(r) != store.shard_of(0)
+        )
+        store.rows(np.array([a, b]))
+        store.write_rows(
+            np.array([a]), np.zeros((1, store.dim), dtype=np.float32)
+        )
+        assert store.shard_of(a) not in store.hot_shards()
+        assert store.shard_of(b) in store.hot_shards()
+
+    def test_next_read_sees_fresh_data_not_stale_cache(self, store):
+        store.rows(np.array([7]))  # decode the shard (now hot)
+        fresh = np.full((1, store.dim), -3.0, dtype=np.float32)
+        store.write_rows(np.array([7]), fresh)
+        np.testing.assert_allclose(
+            store.rows(np.array([7])), fresh, rtol=2e-3
+        )
+
+
+class TestFootprint:
+    def test_resident_below_disk_when_cold(self, store):
+        # Index only: two int32 arrays, far below the fp16 payload.
+        assert store.resident_nbytes < store.disk_nbytes
+
+    def test_disk_is_float16_payload(self, store):
+        # 500 rows x 8 dims x 2 bytes (shards pad empties to one row).
+        assert store.disk_nbytes >= 500 * 8 * 2

@@ -1,0 +1,156 @@
+"""ShardedInferenceSession: fidelity to the dense session, per-shard
+write-back invalidation."""
+
+import numpy as np
+import pytest
+
+from repro.core import build_odnet
+from repro.perf import InferenceSession, ShardedInferenceSession
+from repro.serving import CandidateRecall
+
+from ..conftest import TINY_MODEL_CONFIG
+
+
+@pytest.fixture()
+def model(od_dataset):
+    return build_odnet(od_dataset, TINY_MODEL_CONFIG)
+
+
+@pytest.fixture()
+def batch(od_dataset):
+    recall = CandidateRecall(
+        od_dataset.source.world, od_dataset.route_popularity
+    )
+    point = od_dataset.source.test_points[0]
+    return od_dataset.batch_for_candidates(
+        point, recall.candidate_pairs(point.history)
+    )
+
+
+@pytest.fixture()
+def session(model, tmp_path):
+    return ShardedInferenceSession(
+        model, tmp_path, num_shards=16, max_hot_shards=4
+    )
+
+
+class TestConstruction:
+    def test_rejects_model_without_tables(self, tmp_path):
+        with pytest.raises(TypeError, match="embedding_tables"):
+            ShardedInferenceSession(object(), tmp_path)
+
+    def test_both_sides_spilled(self, session, od_dataset):
+        for side in ("o", "d"):
+            assert session.store(side).num_rows == od_dataset.num_users
+
+    def test_resident_far_below_dense_tables(self, session, model):
+        tables = model.embedding_tables()
+        dense = sum(
+            np.asarray(tables[s][0].data).nbytes for s in ("o", "d")
+        )
+        # Cold store: placement index + city tables only.
+        assert session.resident_nbytes < dense + 4 * len(
+            np.asarray(tables["o"][1].data).tobytes()
+        )
+
+
+class TestFidelity:
+    def test_scores_match_dense_session_within_float16(
+        self, model, batch, session
+    ):
+        dense = np.asarray(InferenceSession(model).score_pairs(batch))
+        sharded = np.asarray(session.score_pairs(batch))
+        assert sharded.shape == dense.shape
+        np.testing.assert_allclose(sharded, dense, rtol=5e-3, atol=5e-3)
+
+    def test_top_candidate_agrees_with_dense(self, model, batch, session):
+        dense = np.asarray(InferenceSession(model).score_pairs(batch))
+        sharded = np.asarray(session.score_pairs(batch))
+        assert int(np.argmax(sharded)) == int(np.argmax(dense))
+
+    def test_hot_tier_accounting(self, session, batch):
+        session.score_pairs(batch)
+        first_misses = session.misses
+        assert first_misses > 0
+        session.score_pairs(batch)
+        assert session.misses == first_misses  # all shards already hot
+        assert session.hits > 0
+
+
+class TestPerShardInvalidation:
+    """The acceptance contract: a PS write-back invalidates only the
+    shards owning the pushed users; every other shard keeps its frozen
+    rows (versions unchanged, hot blocks retained)."""
+
+    def test_write_back_touches_only_owning_shards(self, session):
+        user = 5
+        shard = session.shard_of(user)
+        before = {
+            side: [
+                session.shard_version(side, s)
+                for s in range(session.num_shards)
+            ]
+            for side in ("o", "d")
+        }
+        session.write_back(
+            "d", np.array([user]),
+            np.ones((1, session.store("d").dim), dtype=np.float32),
+        )
+        for s in range(session.num_shards):
+            expected = before["d"][s] + (1 if s == shard else 0)
+            assert session.shard_version("d", s) == expected
+            # The other side was not written at all.
+            assert session.shard_version("o", s) == before["o"][s]
+
+    def test_untouched_shards_stay_hot(self, session, od_dataset):
+        store = session.store("d")
+        target = 0
+        other = next(
+            u for u in range(1, od_dataset.num_users)
+            if store.shard_of(u) != store.shard_of(target)
+        )
+        store.rows(np.array([target, other]))
+        session.write_back(
+            "d", np.array([target]),
+            np.zeros((1, store.dim), dtype=np.float32),
+        )
+        assert store.shard_of(other) in store.hot_shards()
+        assert store.shard_of(target) not in store.hot_shards()
+
+    def test_write_back_changes_scores(self, session, batch):
+        before = np.asarray(session.score_pairs(batch))
+        users = np.unique(np.asarray(batch.user_ids).reshape(-1))
+        dim = session.store("d").dim
+        session.write_back(
+            "d", users,
+            np.full((users.size, dim), 3.0, dtype=np.float32),
+        )
+        after = np.asarray(session.score_pairs(batch))
+        assert not np.allclose(before, after)
+
+    def test_refresh_users_repulls_model_tables(
+        self, model, batch, session
+    ):
+        users = np.unique(np.asarray(batch.user_ids).reshape(-1))
+        dim = session.store("d").dim
+        # Corrupt the spilled rows, then refresh from the model: scores
+        # must return to the dense session's values.
+        session.write_back(
+            "d", users, np.zeros((users.size, dim), dtype=np.float32)
+        )
+        session.write_back(
+            "o", users, np.zeros((users.size, dim), dtype=np.float32)
+        )
+        versions_before = {
+            s: session.shard_version("d", s)
+            for s in range(session.num_shards)
+        }
+        session.refresh_users(users)
+        dense = np.asarray(InferenceSession(model).score_pairs(batch))
+        restored = np.asarray(session.score_pairs(batch))
+        np.testing.assert_allclose(restored, dense, rtol=5e-3, atol=5e-3)
+        # Refresh is itself per-shard: only the owning shards bumped.
+        owning = {session.store("d").shard_of(int(u)) for u in users}
+        for s in range(session.num_shards):
+            bumped = session.shard_version("d", s) - versions_before[s]
+            assert bumped == (1 if s in owning else 0)

@@ -1,0 +1,183 @@
+"""CoarseANNIndex: recall, sublinearity, and the tie-order contract."""
+
+import numpy as np
+import pytest
+
+from repro.serving import ANNConfig, CandidateRecall, CoarseANNIndex
+from repro.serving.recall import RecallConfig
+
+
+def _structured_corpus(n, dim, rng, num_patterns=10):
+    """A pattern-mixture corpus — the shape trained city tables have."""
+    centers = rng.normal(size=(num_patterns, dim)).astype(np.float32) * 2.0
+    assign = rng.integers(0, num_patterns, size=n)
+    return centers[assign] + rng.normal(size=(n, dim)).astype(np.float32)
+
+
+@pytest.fixture(scope="module")
+def corpus():
+    return _structured_corpus(2000, 16, np.random.default_rng(0))
+
+
+@pytest.fixture(scope="module")
+def index(corpus):
+    return CoarseANNIndex(corpus, ANNConfig(seed=0))
+
+
+class TestConstruction:
+    def test_rejects_bad_shapes(self):
+        with pytest.raises(ValueError):
+            CoarseANNIndex(np.zeros((0, 4), dtype=np.float32))
+        with pytest.raises(ValueError):
+            CoarseANNIndex(np.zeros(8, dtype=np.float32))
+
+    def test_derived_shape(self, index):
+        assert index.num_clusters == int(np.ceil(np.sqrt(2000)))
+        assert 1 <= index.nprobe <= index.num_clusters
+
+    def test_deterministic_given_seed(self, corpus):
+        a = CoarseANNIndex(corpus, ANNConfig(seed=3))
+        b = CoarseANNIndex(corpus, ANNConfig(seed=3))
+        query = corpus[0]
+        np.testing.assert_array_equal(
+            a.search(query, 10), b.search(query, 10)
+        )
+
+    def test_tiny_corpus(self):
+        points = np.eye(3, dtype=np.float32)
+        index = CoarseANNIndex(points, ANNConfig(seed=0))
+        assert list(index.search(points[1], 1)) == [1]
+
+
+class TestExactness:
+    def test_full_probe_matches_full_scan(self, corpus):
+        """With every cluster probed the index degenerates to the exact
+        scan — identical ids, identical order."""
+        index = CoarseANNIndex(
+            corpus, ANNConfig(num_clusters=16, nprobe=16, seed=0)
+        )
+        for query in corpus[:20]:
+            np.testing.assert_array_equal(
+                index.search(query, 15), index.full_scan(query, 15)
+            )
+
+    def test_scores_are_exact_inner_products(self, index, corpus):
+        query = corpus[5]
+        ids, scores = index.search_with_scores(query, 10)
+        np.testing.assert_allclose(
+            scores, corpus[ids] @ query, rtol=1e-6
+        )
+
+    def test_k_clamped_to_corpus(self, index, corpus):
+        ids = index.search(corpus[0], 10_000)
+        assert ids.size <= index.num_points
+        assert index.search(corpus[0], 0).size == 0
+
+
+class TestTieOrder:
+    def test_duplicate_embeddings_break_ties_by_id(self):
+        """The _segment_top_k discipline: equal scores order by ascending
+        id, in both the index and the exact baseline."""
+        rng = np.random.default_rng(1)
+        base = rng.normal(size=(50, 8)).astype(np.float32)
+        # Rows 10..19 are exact copies of rows 0..9: guaranteed ties.
+        corpus = np.vstack([base[:10], base[:10], base[10:]])
+        index = CoarseANNIndex(
+            corpus, ANNConfig(num_clusters=4, nprobe=4, seed=0)
+        )
+        query = base[3]
+        ids = index.search(query, 6)
+        np.testing.assert_array_equal(ids, index.full_scan(query, 6))
+        scores = corpus[ids] @ query
+        for i in range(len(ids) - 1):
+            assert scores[i] > scores[i + 1] or (
+                scores[i] == scores[i + 1] and ids[i] < ids[i + 1]
+            )
+        # The duplicate pair (3, 13) ties: the lower id must come first.
+        position = {int(i): p for p, i in enumerate(ids)}
+        assert position[3] < position[13]
+
+
+class TestRecallAndSublinearity:
+    def test_recall_gate_on_structured_corpus(self, index, corpus):
+        rng = np.random.default_rng(2)
+        queries = corpus[rng.integers(0, corpus.shape[0], size=40)]
+        assert index.recall_at_k(queries, 10) >= 0.95
+
+    def test_scan_is_sublinear(self, corpus):
+        index = CoarseANNIndex(corpus, ANNConfig(seed=0))
+        for query in corpus[:10]:
+            index.search(query, 10)
+        assert 0.0 < index.scan_fraction < 0.6
+
+    def test_unquantized_path(self, corpus):
+        exact_codes = CoarseANNIndex(
+            corpus, ANNConfig(quantize=False, seed=0)
+        )
+        query = corpus[7]
+        ids = exact_codes.search(query, 10)
+        assert ids.size == 10
+        assert exact_codes._codes.dtype == np.float32
+
+
+class TestRecallIntegration:
+    """CandidateRecall with a destination index: personalized embedding
+    recall joins the Section VI-B strategies."""
+
+    @pytest.fixture()
+    def recall(self, fliggy_dataset, trained_odnet):
+        tables = trained_odnet.embedding_tables()
+        cities = np.asarray(tables["d"][1].data)
+        # 30 cities is tiny; probe everything so the integration test
+        # exercises the recall plumbing, not ANN approximation error.
+        index = CoarseANNIndex(
+            cities.astype(np.float32),
+            ANNConfig(num_clusters=4, nprobe=4, seed=0),
+        )
+        from repro.data import ODDataset
+
+        route_popularity = ODDataset(
+            fliggy_dataset, max_long=10, max_short=6
+        ).route_popularity
+        return CandidateRecall(
+            fliggy_dataset.world, route_popularity,
+            destination_index=index,
+        ), np.asarray(tables["d"][0].data)
+
+    def test_embedding_destinations_requires_index(self, fliggy_dataset):
+        bare = CandidateRecall(
+            fliggy_dataset.world,
+            np.ones((30, 30)),
+        )
+        with pytest.raises(ValueError, match="destination_index"):
+            bare.embedding_destinations(np.zeros(16))
+
+    def test_embedding_destinations_capped(self, recall):
+        service, users = recall
+        ids = service.embedding_destinations(users[0])
+        assert ids.size == RecallConfig().max_embedding_destinations
+        assert ids.size == len(set(ids.tolist()))
+
+    def test_query_embedding_extends_candidates(self, recall, fliggy_dataset):
+        service, users = recall
+        point = fliggy_dataset.test_points[0]
+        user = point.history.user_id
+        without = service.candidate_destinations(point.history)
+        with_ann = service.candidate_destinations(
+            point.history, query_embedding=users[user]
+        )
+        assert set(without) <= set(with_ann)
+        ann_ids = set(service.embedding_destinations(users[user]).tolist())
+        assert ann_ids <= set(with_ann)
+
+    def test_candidate_pairs_still_capped_and_deduped(
+        self, recall, fliggy_dataset
+    ):
+        service, users = recall
+        point = fliggy_dataset.test_points[0]
+        pairs = service.candidate_pairs(
+            point.history, query_embedding=users[point.history.user_id]
+        )
+        assert len(pairs) <= RecallConfig().max_pairs
+        assert len(pairs) == len(set(pairs))
+        assert all(p.origin != p.destination for p in pairs)

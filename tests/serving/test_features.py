@@ -72,6 +72,30 @@ class TestStreaming:
         final = [b.day for b in service.bookings_before(0, 1000)]
         assert final == sorted([10, 20, 50] + arrivals)
 
+    def test_record_click_out_of_order_arrivals(self, service):
+        # Clicks stream in late and out of order too; recall iterates the
+        # click timeline newest-first as an intent signal, so an appended
+        # old click would silently outrank fresh intent.  The timeline
+        # must stay day-sorted after every single insert.
+        arrivals = [58, 54, 59, 55, 54, 57]
+        for day in arrivals:
+            service.record_click(ClickEvent(0, 1, 4, day=day))
+            days = [c.day for c in service.clicks_before(0, 60)]
+            assert days == sorted(days)
+        assert [c.day for c in service.clicks_before(0, 60)] == sorted(
+            arrivals
+        )
+
+    def test_late_old_click_does_not_mask_fresh_intent(self, service):
+        # A fresh click on destination 9, then a *late-arriving* older
+        # click on destination 5: newest-first consumers must still see
+        # destination 9 first.
+        service.record_click(ClickEvent(0, 1, 9, day=59))
+        service.record_click(ClickEvent(0, 1, 5, day=54))
+        clicks = service.clicks_before(0, 60)
+        assert clicks[-1].destination == 9
+        assert [c.day for c in clicks] == [54, 59]
+
     def test_record_booking_new_user(self, service):
         service.record_booking(BookingEvent(7, 1, 2, day=3, price=10.0))
         assert [b.day for b in service.bookings_before(7, 10)] == [3]
