@@ -45,15 +45,22 @@ _EXPERIMENTS = {
              "--cluster the process-level self-healing drill "
              "(SIGKILL + SIGSTOP under traffic)",
     "bench": "perf baseline: serving p50/p99 + rps, training examples/sec, "
-             "overload, the multi-process cluster phase, and the "
+             "overload, the multi-process cluster phase, the "
              "million-user scale plane (streamed generation, sharded "
-             "store, ANN recall) -> BENCH_serving.json / "
-             "BENCH_training.json / BENCH_overload.json / "
-             "BENCH_cluster.json / BENCH_scale.json "
+             "store, ANN recall), and the online learning drill -> "
+             "BENCH_serving.json / BENCH_training.json / "
+             "BENCH_overload.json / BENCH_cluster.json / "
+             "BENCH_scale.json / BENCH_online.json "
              "(--phase selects a subset)",
     "cluster": "multi-process serving demo: N workers behind the routing "
                "gateway, then a rolling zero-downtime drain of one worker "
                "under live traffic",
+    "online": "online learning drill: streaming events -> incremental "
+              "SGD -> shadow-gated two-phase snapshot publishes, "
+              "hot-swapped into a live serving session under concurrent "
+              "scoring threads, with the publisher crashed at every "
+              "protocol stage; exits non-zero on any torn read, serving "
+              "error, or failed recovery",
 }
 
 
@@ -80,8 +87,8 @@ def build_parser() -> argparse.ArgumentParser:
                         help="for 'obs': render an existing JSONL snapshot "
                              "instead of running the live demo")
     parser.add_argument("--quick", action="store_true",
-                        help="for 'bench': CI-smoke sizes (seconds, not "
-                             "minutes)")
+                        help="for 'bench'/'online': CI-smoke sizes "
+                             "(seconds, not minutes)")
     parser.add_argument("--overload", action="store_true",
                         help="for 'chaos': run the overload scenario "
                              "(4x capacity, mixed priorities, graceful "
@@ -96,7 +103,7 @@ def build_parser() -> argparse.ArgumentParser:
                              "(default: current directory)")
     parser.add_argument("--phase", action="append", default=None,
                         choices=("serving", "training", "overload",
-                                 "cluster", "chaos", "scale"),
+                                 "cluster", "chaos", "scale", "online"),
                         help="for 'bench': run only this phase (repeatable; "
                              "default: all phases)")
     parser.add_argument("--workers", type=int, default=2, metavar="N",
@@ -449,6 +456,82 @@ def _cluster(args) -> str:
     return "\n".join(lines)
 
 
+def _online(args) -> str:
+    """Run the online learning drill and report per-phase results.
+
+    Exits non-zero if any serving thread saw an error, any observed
+    score was not bit-identical to a published version, any crash stage
+    failed to preserve the old version or to recover, or the
+    crash-looping publisher was not abandoned — the CI online-smoke
+    contract.
+    """
+    from .obs import MetricsRegistry, use_registry
+    from .online import OnlineDrillConfig, run_online_drill
+
+    if args.quick:
+        config = OnlineDrillConfig(
+            num_users=60, num_cities=20, events=40, crash_events=24,
+            shadow_window=24, shadow_min_window=4, holdout_every=3,
+            seed=args.seed,
+        )
+    else:
+        config = OnlineDrillConfig(seed=args.seed)
+    with use_registry(MetricsRegistry()):
+        report = run_online_drill(config)
+    happy = report["happy"]
+    lines = [
+        "== online learning drill (streaming updates, shadow-gated "
+        "publishes, hot-swap under traffic) ==",
+        f"happy path: bookings={happy['bookings']}  steps={happy['steps']}  "
+        f"publishes={happy['publishes']}  rejections={happy['rejections']}  "
+        f"swaps={happy['swaps']} -> v{happy['store_version']}",
+        f"  scored={happy['scored']} concurrent requests: "
+        f"errors={happy['serving_errors']}  torn_reads={happy['torn_reads']}"
+        f"  observed_versions={happy['unique_digests']}",
+    ]
+    for entry in report["crash_matrix"]:
+        lines.append(
+            f"crash @{entry['stage']:<10} crashed={entry['crashed']}  "
+            f"old_version_preserved={entry['old_version_preserved']} "
+            f"(v{entry['version_at_crash']})  recovered={entry['recovered']} "
+            f"(-> v{entry['version_final']})  torn={entry['torn_reads']}"
+        )
+    loop = report["crash_loop"]
+    lines.append(
+        f"crash loop: crashes={loop['crashes']}  "
+        f"restarts={loop['trainer_restarts']}  abandoned={loop['abandoned']}"
+        f"  serving stayed on v{loop['store_version']} "
+        f"(errors={loop['serving_errors']})"
+    )
+    lag = report["update_lag_ms"]
+    pause = report["swap_pause_ms"]
+    lines.append(
+        f"update lag: p50={lag['p50']:.1f}ms p99={lag['p99']:.1f}ms  "
+        f"swap pause: p50={pause['p50']:.2f}ms p99={pause['p99']:.2f}ms  "
+        f"versions_monotonic={report['versions_monotonic']}"
+    )
+    failures = []
+    if report["serving_errors_total"]:
+        failures.append(
+            f"{report['serving_errors_total']} serving errors under swap"
+        )
+    if report["torn_reads_total"]:
+        failures.append(f"{report['torn_reads_total']} torn reads")
+    if not report["versions_monotonic"]:
+        failures.append("served version moved backwards")
+    for entry in report["crash_matrix"]:
+        if not (entry["crashed"] and entry["old_version_preserved"]
+                and entry["recovered"]):
+            failures.append(f"crash stage {entry['stage']} failed")
+    if not loop["abandoned"]:
+        failures.append("crash-looping trainer was not abandoned")
+    if failures:
+        raise SystemExit(
+            "repro online: drill failed:\n  " + "\n  ".join(failures)
+        )
+    return "\n".join(lines)
+
+
 def _bench(args) -> str:
     """Run the perf baseline and report where the JSON landed."""
     import json
@@ -513,6 +596,19 @@ def _bench(args) -> str:
                 f"hit rate {report['serving']['shard_hit_rate']:.2f}, "
                 f"peak RSS {report['peak_rss_mb']:.0f}MB"
             )
+        elif name == "online":
+            lines.append(
+                f"online: {report['happy']['bookings']} streamed bookings "
+                f"-> {report['happy']['publishes']} publishes "
+                f"({report['happy']['swaps']} hot-swaps), "
+                f"torn_reads={report['torn_reads_total']}, "
+                f"serving_errors={report['serving_errors_total']}, "
+                f"crash stages recovered="
+                f"{sum(e['recovered'] for e in report['crash_matrix'])}/"
+                f"{len(report['crash_matrix'])}, "
+                f"lag p99 {report['update_lag_ms']['p99']:.1f}ms, "
+                f"swap pause p99 {report['swap_pause_ms']['p99']:.2f}ms"
+            )
         elif name == "overload":
             lines.append(
                 f"overload: offered {report['offered']} at "
@@ -542,6 +638,8 @@ def run_experiment(args) -> str:
         return _bench(args)
     if args.experiment == "cluster":
         return _cluster(args)
+    if args.experiment == "online":
+        return _online(args)
     if args.experiment == "table1":
         return _table1(args)
     if args.experiment == "table2":

@@ -31,6 +31,13 @@ class ClusterConfig:
     num_cities: int = 60
     seed: int = 0
     use_cache: bool = True
+    #: directory of a :class:`repro.online.SnapshotStore`.  When set,
+    #: workers overlay the latest *published* snapshot onto their
+    #: deterministic seed weights at build time and again on every
+    #: ``/admin/reload`` — so respawned or rolling-restarted replicas
+    #: always come up on the online loop's most recent approved version
+    #: (reported as ``model_version`` in ``/health``).
+    snapshot_dir: str | None = None
 
     # --- per-worker guard (admission + lifecycle/drain) ---------------
     max_concurrent: int = 8

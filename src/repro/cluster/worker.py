@@ -84,11 +84,49 @@ class WorkerRuntime:
         self.worker_id = worker_id
         self.name = f"w{worker_id}"
         self.model_version = 1
+        self.snapshot_version = 0
         self._admin_lock = threading.Lock()
         self.registry = registry or MetricsRegistry(
             default_labels={"worker": self.name}
         )
         self.recommender = _build_recommender(config, worker_id)
+        # Pre-traffic, so a plain load (no swap lock contention) is safe:
+        # a replacement spawned by the supervisor or a rolling restart
+        # comes up on the online loop's latest approved snapshot, not on
+        # the stale seed weights it was built from.
+        self._load_latest_snapshot()
+
+    # ------------------------------------------------------------------
+    def _load_latest_snapshot(self) -> int | None:
+        """Overlay the newest published snapshot, if the store moved.
+
+        Returns the version applied, or ``None`` when no store is
+        configured / nothing newer is published.  Forward-only, like
+        :class:`repro.online.SnapshotFollower`.
+        """
+        if self.config.snapshot_dir is None:
+            return None
+        # Imported lazily: repro.online.loop imports repro.cluster for
+        # its RestartBudget, so a module-level import here would cycle.
+        from ..online.snapshots import SnapshotStore
+
+        store = SnapshotStore(self.config.snapshot_dir)
+        info = store.current()
+        if info is None or info.version <= self.snapshot_version:
+            return None
+        snapshot = store.load(info.version)
+        session = self.recommender.ranking.session
+        if session is not None:
+            session.swap(
+                snapshot.state,
+                touched_users=snapshot.metadata.get("touched_users"),
+            )
+        else:
+            self.recommender.ranking.model.load_state_dict(snapshot.state)
+        self.snapshot_version = info.version
+        self.model_version = info.version
+        self.registry.counter("worker.snapshot_loads").inc()
+        return info.version
 
     # ------------------------------------------------------------------
     @property
@@ -179,7 +217,12 @@ class WorkerRuntime:
                 }
             # The swap: a refreshed model version goes live behind a fresh
             # lifecycle (a drained one is terminal), and admission reopens.
-            self.model_version += 1
+            # With a snapshot store configured the version *is* the
+            # store's published version (unchanged when the store hasn't
+            # moved — replicas must converge on it); otherwise a bump.
+            self._load_latest_snapshot()
+            if self.config.snapshot_dir is None:
+                self.model_version += 1
             self.recommender.install_guard(
                 _guard_config(self.config, self.worker_id)
             )

@@ -1,0 +1,42 @@
+"""``repro.online`` — the crash-safe online learning loop.
+
+Streaming events (clickstream + bookings) enter through a bounded
+:class:`EventBus`, fan out to the serving feature store and an
+:class:`IncrementalTrainer`, and surface as immutable versioned weight
+snapshots in a :class:`SnapshotStore` — published via a two-phase
+write-all → fsync → atomic-pointer-flip protocol, gated by a
+:class:`ShadowEvaluator` that only promotes candidates that beat the
+currently-serving weights on held-out recent traffic.  Serving
+processes follow the pointer with a :class:`SnapshotFollower` and
+hot-swap mid-traffic without ever observing a half-written table.
+
+:func:`run_online_drill` is the chaos proof: it crashes the publisher
+at every stage of the protocol under concurrent scoring threads and
+asserts zero torn reads, zero serving errors, and forward-only
+versioning.
+"""
+
+from .bus import EventBus, Subscription
+from .snapshots import Snapshot, SnapshotError, SnapshotInfo, SnapshotStore
+from .shadow import ShadowDecision, ShadowEvaluator
+from .trainer import IncrementalTrainer, OnlineTrainerConfig
+from .loop import OnlineLearningLoop, SnapshotFollower
+from .drill import OnlineDrillConfig, PUBLISH_STAGES, run_online_drill
+
+__all__ = [
+    "EventBus",
+    "Subscription",
+    "Snapshot",
+    "SnapshotError",
+    "SnapshotInfo",
+    "SnapshotStore",
+    "ShadowDecision",
+    "ShadowEvaluator",
+    "IncrementalTrainer",
+    "OnlineTrainerConfig",
+    "OnlineLearningLoop",
+    "SnapshotFollower",
+    "OnlineDrillConfig",
+    "PUBLISH_STAGES",
+    "run_online_drill",
+]

@@ -1,0 +1,148 @@
+"""Bounded in-process event bus for clickstream/booking events.
+
+The online learning loop needs one ingestion point that fans live events
+out to every interested consumer — the
+:class:`~repro.serving.RealTimeFeatureService` (fresh behaviours for
+serving) and the :class:`~repro.online.IncrementalTrainer` (fresh labels
+for updates) — without ever letting a slow consumer grow an unbounded
+queue inside the serving process.
+
+Design:
+
+- :meth:`EventBus.publish` is the producer API (clickstream tailer,
+  booking pipeline, the drill's traffic generator).  It never blocks.
+- Each consumer owns a :class:`Subscription` with its **own bounded
+  deque**: backpressure is per-consumer, so a wedged trainer cannot
+  stall feature ingestion.
+- When a subscription is full the **oldest** event is dropped and
+  counted (``online.bus_dropped{subscriber=...}``; mirrored on
+  ``Subscription.dropped``).  Freshness-first is the right policy for an
+  online learner: under pressure you keep the newest signal, and the
+  drop counter is the alarm that capacity is wrong.
+- Consumers drain with :meth:`Subscription.poll` (non-blocking, bounded
+  batch) — the loop's tick pulls a mini-batch worth of events at a time.
+
+Everything is thread-safe; the drill publishes from serving threads
+while the trainer thread drains.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import deque
+
+from ..data.schema import BookingEvent, ClickEvent
+from ..obs.registry import get_registry
+
+__all__ = ["EventBus", "Subscription"]
+
+
+class Subscription:
+    """One consumer's bounded view of the bus."""
+
+    def __init__(self, name: str, capacity: int):
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.name = name
+        self.capacity = capacity
+        self.dropped = 0
+        self.delivered = 0
+        self._events: deque = deque()
+        self._lock = threading.Lock()
+
+    def _offer(self, event) -> None:
+        """Called by the bus under publish; drops oldest when full."""
+        with self._lock:
+            if len(self._events) >= self.capacity:
+                self._events.popleft()
+                self.dropped += 1
+                registry = get_registry()
+                if registry.enabled:
+                    registry.counter(
+                        "online.bus_dropped", labels={"subscriber": self.name}
+                    ).inc()
+            self._events.append(event)
+            self.delivered += 1
+
+    # ------------------------------------------------------------------
+    @property
+    def depth(self) -> int:
+        """Events currently queued for this consumer."""
+        with self._lock:
+            return len(self._events)
+
+    def poll(self, max_events: int | None = None) -> list:
+        """Drain up to ``max_events`` (all, when ``None``), oldest first."""
+        with self._lock:
+            if max_events is None or max_events >= len(self._events):
+                drained = list(self._events)
+                self._events.clear()
+            else:
+                drained = [self._events.popleft() for _ in range(max_events)]
+        return drained
+
+
+class EventBus:
+    """Fan-out point for streaming :class:`ClickEvent` / :class:`BookingEvent`.
+
+    ``capacity`` is the default per-subscription bound; individual
+    subscribers can override it (a feature service that ingests in O(log n)
+    can afford a deeper queue than a trainer that runs SGD per event).
+    """
+
+    def __init__(self, capacity: int = 4096):
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.capacity = capacity
+        self.published = 0
+        self._subscriptions: dict[str, Subscription] = {}
+        self._lock = threading.Lock()
+
+    # ------------------------------------------------------------------
+    def subscribe(self, name: str, capacity: int | None = None) -> Subscription:
+        """Register a named consumer; names are unique per bus."""
+        with self._lock:
+            if name in self._subscriptions:
+                raise ValueError(f"subscriber {name!r} already registered")
+            subscription = Subscription(
+                name, self.capacity if capacity is None else capacity
+            )
+            self._subscriptions[name] = subscription
+            return subscription
+
+    def unsubscribe(self, name: str) -> None:
+        with self._lock:
+            self._subscriptions.pop(name, None)
+
+    @property
+    def subscribers(self) -> list[str]:
+        with self._lock:
+            return sorted(self._subscriptions)
+
+    @property
+    def dropped(self) -> int:
+        """Total events dropped across all subscriptions."""
+        with self._lock:
+            subs = list(self._subscriptions.values())
+        return sum(sub.dropped for sub in subs)
+
+    # ------------------------------------------------------------------
+    def publish(self, event) -> None:
+        """Offer one event to every subscription; never blocks."""
+        if not isinstance(event, (BookingEvent, ClickEvent)):
+            raise TypeError(
+                f"EventBus carries BookingEvent/ClickEvent, "
+                f"got {type(event).__name__}"
+            )
+        with self._lock:
+            subs = list(self._subscriptions.values())
+            self.published += 1
+        registry = get_registry()
+        if registry.enabled:
+            registry.counter("online.bus_published").inc()
+        for sub in subs:
+            sub._offer(event)
+
+    def publish_many(self, events) -> None:
+        for event in events:
+            self.publish(event)

@@ -52,6 +52,7 @@ __all__ = [
     "run_cluster_bench",
     "run_chaos_bench",
     "run_scale_bench",
+    "run_online_bench",
     "run_bench",
     "BENCH_PHASES",
 ]
@@ -118,6 +119,12 @@ class BenchConfig:
     scale_recall_queries: int = 50
     scale_writeback_users: int = 64
     scale_rss_budget_mb: float = 2048.0
+    # --- online (streaming-update chaos drill) --------------------------
+    online_users: int = 200
+    online_cities: int = 40
+    online_events: int = 96
+    online_crash_events: int = 48
+    online_lag_budget_ms: float = 5000.0
     # --- shared -------------------------------------------------------
     seed: int = 0
 
@@ -141,6 +148,8 @@ def quick_bench_config(seed: int = 0) -> BenchConfig:
         cluster_repeats=2, cluster_users=600, cluster_cities=40,
         scale_users=50_000, scale_cities=60, scale_destinations=4000,
         scale_requests=120, scale_warmup=10, scale_recall_queries=25,
+        online_users=60, online_cities=20, online_events=40,
+        online_crash_events=24,
         seed=seed,
     )
 
@@ -512,6 +521,44 @@ def run_scale_bench(config: BenchConfig | None = None) -> dict:
     return _run(config)
 
 
+def run_online_bench(config: BenchConfig | None = None) -> dict:
+    """The online-learning chaos drill as a diffable bench phase.
+
+    Runs :func:`repro.online.run_online_drill` — streaming updates with
+    shadow-gated two-phase publishes, hot-swapped into a serving session
+    under concurrent scoring threads, with the publisher crashed at
+    every protocol stage — under a fresh registry.  The gates
+    ``tools/check_bench.py`` enforces: **zero torn reads** (every
+    observed score vector is bit-identical to some published version),
+    zero serving errors, old-version fallback at every pre-flip crash
+    stage plus recovery after restart, the crash-looping publisher
+    abandoned within its budget, and ``update_lag_ms`` p99 within
+    ``online_lag_budget_ms``.
+    """
+    from ..online import OnlineDrillConfig, run_online_drill
+
+    config = config or BenchConfig()
+    registry = MetricsRegistry()
+    previous = set_registry(registry)
+    try:
+        report = run_online_drill(OnlineDrillConfig(
+            num_users=config.online_users,
+            num_cities=config.online_cities,
+            events=config.online_events,
+            crash_events=config.online_crash_events,
+            update_lag_budget_ms=config.online_lag_budget_ms,
+            seed=config.seed,
+        ))
+        report.update({
+            "schema_version": SCHEMA_VERSION,
+            "config": dataclasses.asdict(config),
+            "available_cpus": available_cpus(),
+        })
+        return report
+    finally:
+        set_registry(previous)
+
+
 #: Phase name -> runner, in default execution order.
 BENCH_PHASES = {
     "serving": run_serving_bench,
@@ -520,6 +567,7 @@ BENCH_PHASES = {
     "cluster": run_cluster_bench,
     "chaos": run_chaos_bench,
     "scale": run_scale_bench,
+    "online": run_online_bench,
 }
 
 

@@ -32,10 +32,12 @@ from __future__ import annotations
 import dataclasses
 import pathlib
 import threading
+import time
 
 import numpy as np
 
 from ..obs.registry import get_registry
+from ..resilience.rwlock import ReadWriteLock
 
 __all__ = ["InferenceSession", "ShardedInferenceSession", "supports_fast_path"]
 
@@ -73,6 +75,12 @@ class InferenceSession:
         self._lock = threading.Lock()
         self._tables = None
         self._version: int | None = None
+        # Hot-swap discipline: scoring holds the shared side, swap() the
+        # exclusive side, so a mid-traffic weight swap can never be
+        # observed half-applied (load_state_dict walks parameters one
+        # array at a time).
+        self._swap_lock = ReadWriteLock()
+        self.swaps = 0
 
     # ------------------------------------------------------------------
     @property
@@ -109,10 +117,45 @@ class InferenceSession:
             registry.counter("perf.cache_misses").inc()
         return tables
 
+    def swap(self, state: dict, touched_users=None) -> float:
+        """Atomically install a published weight snapshot (hot swap).
+
+        Takes the writer side of the swap lock — every in-flight
+        ``score_pairs`` finishes first, new ones wait — loads ``state``
+        through ``Module.load_state_dict`` (which bumps the parameter
+        versions), and eagerly recomputes the frozen tables so the swap
+        pays the propagation cost, not the next request.  Concurrent
+        scorers therefore see either the *old* tables+weights or the
+        *new* ones, never a blend.
+
+        ``touched_users`` is accepted for API parity with
+        :meth:`ShardedInferenceSession.apply_snapshot` (the dense
+        session always rebuilds its full tables).  Returns the exclusive
+        pause in milliseconds (also observed on ``perf.swap_pause_ms``).
+        """
+        start = time.perf_counter()
+        self._swap_lock.acquire_write()
+        try:
+            self.model.load_state_dict(state)
+            tables = self.model.embedding_tables()
+            with self._lock:
+                self._tables = tables
+                self._version = self.model.param_version
+        finally:
+            self._swap_lock.release_write()
+        pause_ms = (time.perf_counter() - start) * 1000.0
+        self.swaps += 1
+        registry = get_registry()
+        if registry.enabled:
+            registry.counter("perf.swaps").inc()
+            registry.histogram("perf.swap_pause_ms").observe(pause_ms)
+        return pause_ms
+
     # ------------------------------------------------------------------
     def score_pairs(self, batch) -> np.ndarray:
         """Eq. 11 scores through the cached tables (bit-identical)."""
-        return self.model.score_pairs(batch, tables=self.tables())
+        with self._swap_lock.read():
+            return self.model.score_pairs(batch, tables=self.tables())
 
 
 def _as_array(value) -> np.ndarray:
@@ -180,6 +223,10 @@ class ShardedInferenceSession:
         }
         self.num_users = self._stores["o"].num_rows
         self.num_shards = num_shards
+        # Same hot-swap discipline as the dense session: scoring is the
+        # shared side, apply_snapshot the exclusive side.
+        self._swap_lock = ReadWriteLock()
+        self.swaps = 0
 
     # ------------------------------------------------------------------
     def store(self, side: str):
@@ -219,18 +266,19 @@ class ShardedInferenceSession:
 
     def score_pairs(self, batch) -> np.ndarray:
         """Eq. 11 scores with user rows gathered from the sharded store."""
-        unique, inverse = np.unique(batch.user_ids, return_inverse=True)
-        compact = dataclasses.replace(
-            batch, user_ids=inverse.reshape(np.shape(batch.user_ids))
-        )
-        tables = {
-            side: (
-                self._stores[side].rows(unique).astype(np.float64),
-                self._cities[side],
+        with self._swap_lock.read():
+            unique, inverse = np.unique(batch.user_ids, return_inverse=True)
+            compact = dataclasses.replace(
+                batch, user_ids=inverse.reshape(np.shape(batch.user_ids))
             )
-            for side in ("o", "d")
-        }
-        return self.model.score_pairs(compact, tables=tables)
+            tables = {
+                side: (
+                    self._stores[side].rows(unique).astype(np.float64),
+                    self._cities[side],
+                )
+                for side in ("o", "d")
+            }
+            return self.model.score_pairs(compact, tables=tables)
 
     # ------------------------------------------------------------------
     # PS write-back (per-shard invalidation)
@@ -254,3 +302,44 @@ class ShardedInferenceSession:
         for side in ("o", "d"):
             fresh = _as_array(tables[side][0])[user_ids]
             self._stores[side].write_rows(user_ids, fresh)
+
+    def apply_snapshot(self, state: dict, touched_users=None) -> float:
+        """Atomically install a published weight snapshot (hot swap).
+
+        The sharded analogue of :meth:`InferenceSession.swap`: exclusive
+        against in-flight ``score_pairs``, loads ``state`` into the
+        model, refreshes the (small, dense) city tables, and re-spills
+        user rows.  With ``touched_users`` (an embedding-only update's
+        changed user ids) only *their* shards are re-quantised — every
+        untouched shard keeps its version and its hot decoded block,
+        which is the per-shard invalidation contract.  ``None`` means a
+        full update: every user row is rewritten.
+
+        Returns the exclusive pause in milliseconds (also observed on
+        ``perf.swap_pause_ms``).
+        """
+        start = time.perf_counter()
+        self._swap_lock.acquire_write()
+        try:
+            self.model.load_state_dict(state)
+            tables = self.model.embedding_tables()
+            if touched_users is None:
+                user_ids = np.arange(self.num_users)
+            else:
+                user_ids = np.unique(np.asarray(touched_users))
+            for side in ("o", "d"):
+                self._cities[side] = _as_array(
+                    tables[side][1]
+                ).astype(np.float64)
+                if user_ids.size:
+                    fresh = _as_array(tables[side][0])[user_ids]
+                    self._stores[side].write_rows(user_ids, fresh)
+        finally:
+            self._swap_lock.release_write()
+        pause_ms = (time.perf_counter() - start) * 1000.0
+        self.swaps += 1
+        registry = get_registry()
+        if registry.enabled:
+            registry.counter("perf.swaps").inc()
+            registry.histogram("perf.swap_pause_ms").observe(pause_ms)
+        return pause_ms

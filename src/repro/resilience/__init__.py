@@ -53,6 +53,7 @@ from .fallback import (
     run_with_fallback,
 )
 from .retry import RetryPolicy, retry_call
+from .rwlock import ReadWriteLock
 
 __all__ = [
     # errors
@@ -66,6 +67,8 @@ __all__ = [
     # retry
     "RetryPolicy",
     "retry_call",
+    # rwlock
+    "ReadWriteLock",
     # breaker
     "CircuitBreaker",
     "CLOSED",

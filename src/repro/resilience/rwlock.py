@@ -1,0 +1,79 @@
+"""A writer-preferring readers-writer lock for hot-swap paths.
+
+The serving fast path (:class:`repro.perf.InferenceSession`) must let
+many scoring threads run concurrently — serialising them behind a plain
+mutex would erase the micro-batching and cluster wins — yet a weight
+swap (:meth:`~repro.perf.InferenceSession.swap`) has to be *exclusive*:
+``Module.load_state_dict`` mutates parameters one array at a time, and a
+score computed halfway through the walk would blend two model versions.
+
+:class:`ReadWriteLock` gives exactly that shape: any number of readers
+hold the lock together, one writer holds it alone, and a waiting writer
+blocks *new* readers so a steady scoring stream cannot starve the swap
+forever (writers are rare — one per published snapshot — so reader
+throughput is unaffected in the steady state).
+"""
+
+from __future__ import annotations
+
+import threading
+from contextlib import contextmanager
+
+__all__ = ["ReadWriteLock"]
+
+
+class ReadWriteLock:
+    """Many concurrent readers XOR one writer; waiting writers have priority."""
+
+    def __init__(self) -> None:
+        self._cond = threading.Condition()
+        self._readers = 0
+        self._writer_active = False
+        self._writers_waiting = 0
+
+    # ------------------------------------------------------------------
+    def acquire_read(self) -> None:
+        with self._cond:
+            while self._writer_active or self._writers_waiting:
+                self._cond.wait()
+            self._readers += 1
+
+    def release_read(self) -> None:
+        with self._cond:
+            self._readers -= 1
+            if self._readers == 0:
+                self._cond.notify_all()
+
+    def acquire_write(self) -> None:
+        with self._cond:
+            self._writers_waiting += 1
+            try:
+                while self._writer_active or self._readers:
+                    self._cond.wait()
+            finally:
+                self._writers_waiting -= 1
+            self._writer_active = True
+
+    def release_write(self) -> None:
+        with self._cond:
+            self._writer_active = False
+            self._cond.notify_all()
+
+    # ------------------------------------------------------------------
+    @contextmanager
+    def read(self):
+        """Shared (reader) scope — the scoring side."""
+        self.acquire_read()
+        try:
+            yield self
+        finally:
+            self.release_read()
+
+    @contextmanager
+    def write(self):
+        """Exclusive (writer) scope — the swap side."""
+        self.acquire_write()
+        try:
+            yield self
+        finally:
+            self.release_write()

@@ -20,13 +20,39 @@ __all__ = ["RealTimeFeatureService"]
 
 
 class RealTimeFeatureService:
-    """Per-user behavioural store with point-in-time queries."""
+    """Per-user behavioural store with point-in-time queries.
 
-    def __init__(self, bookings_by_user: dict[int, list[BookingEvent]]):
+    Per-user timelines are **bounded**: an online deployment streams
+    events into this store indefinitely (see :mod:`repro.online`), and an
+    unbounded per-user list is a slow memory leak that also degrades the
+    O(log n) insort.  When a user's timeline exceeds its cap the
+    *oldest* events are evicted (counted on ``rtfs.evicted_events``) —
+    point-in-time queries over the retained window are unaffected, and
+    both the model's history encoder and recall weight recent behaviour
+    anyway.
+    """
+
+    def __init__(
+        self,
+        bookings_by_user: dict[int, list[BookingEvent]],
+        max_bookings_per_user: int = 512,
+        max_clicks_per_user: int = 512,
+    ):
+        if max_bookings_per_user < 1 or max_clicks_per_user < 1:
+            raise ValueError(
+                "per-user history caps must be >= 1, got "
+                f"{max_bookings_per_user}/{max_clicks_per_user}"
+            )
+        self.max_bookings_per_user = max_bookings_per_user
+        self.max_clicks_per_user = max_clicks_per_user
+        self.evicted_bookings = 0
+        self.evicted_clicks = 0
         self._bookings: dict[int, list[BookingEvent]] = {
             user: sorted(events, key=lambda e: e.day)
             for user, events in bookings_by_user.items()
         }
+        for user in self._bookings:
+            self._evict(self._bookings, user, "booking")
         self._clicks: dict[int, list[ClickEvent]] = {
             user: [] for user in bookings_by_user
         }
@@ -34,6 +60,27 @@ class RealTimeFeatureService:
     # ------------------------------------------------------------------
     # Streaming ingestion
     # ------------------------------------------------------------------
+    def _evict(self, timelines: dict, user_id: int, kind: str) -> None:
+        """Trim one user's (sorted) timeline to its cap, oldest first."""
+        cap = (
+            self.max_bookings_per_user if kind == "booking"
+            else self.max_clicks_per_user
+        )
+        timeline = timelines.get(user_id)
+        if timeline is None or len(timeline) <= cap:
+            return
+        excess = len(timeline) - cap
+        del timeline[:excess]
+        if kind == "booking":
+            self.evicted_bookings += excess
+        else:
+            self.evicted_clicks += excess
+        registry = get_registry()
+        if registry.enabled:
+            registry.counter(
+                "rtfs.evicted_events", labels={"kind": kind}
+            ).inc(excess)
+
     def record_booking(self, event: BookingEvent) -> None:
         # Streaming events can arrive out of order; an insertion keyed on
         # day keeps the timeline sorted at O(log n) per event instead of
@@ -43,6 +90,7 @@ class RealTimeFeatureService:
             event,
             key=lambda e: e.day,
         )
+        self._evict(self._bookings, event.user_id, "booking")
         get_registry().counter("rtfs.bookings_ingested").inc()
 
     def record_click(self, event: ClickEvent) -> None:
@@ -57,6 +105,7 @@ class RealTimeFeatureService:
             event,
             key=lambda e: e.day,
         )
+        self._evict(self._clicks, event.user_id, "click")
         get_registry().counter("rtfs.clicks_ingested").inc()
 
     # ------------------------------------------------------------------

@@ -1,0 +1,51 @@
+"""Shared fixtures for the online learning loop tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import ODNETConfig, build_odnet
+from repro.data.schema import BookingEvent
+from repro.online import SnapshotStore
+from repro.serving import RealTimeFeatureService
+
+#: shallow model so per-test SGD steps stay fast.
+ONLINE_MODEL_CONFIG = ODNETConfig(dim=16, num_heads=2, depth=1, seed=0)
+
+
+@pytest.fixture()
+def features(od_dataset):
+    return RealTimeFeatureService(od_dataset.source.bookings_by_user)
+
+
+@pytest.fixture()
+def store(tmp_path):
+    return SnapshotStore(tmp_path / "snapshots")
+
+
+@pytest.fixture()
+def online_model(od_dataset):
+    return build_odnet(od_dataset, ONLINE_MODEL_CONFIG)
+
+
+def booking_events(od_dataset, count: int) -> list[BookingEvent]:
+    """Bookings derived from test decision points, day-ordered.
+
+    Every event's user has history strictly before the event day (the
+    decision point's own history), so the RTFS can always assemble
+    features for it.
+    """
+    points = sorted(od_dataset.source.test_points, key=lambda p: p.day)
+    events = []
+    for point in points:
+        events.append(BookingEvent(
+            user_id=point.history.user_id,
+            origin=point.target.origin,
+            destination=point.target.destination,
+            day=point.day,
+            price=100.0,
+        ))
+        if len(events) >= count:
+            break
+    assert len(events) == count, "dataset too small for requested events"
+    return events

@@ -1,0 +1,85 @@
+"""EventBus: bounded per-subscriber queues, drop-oldest backpressure."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.data.schema import BookingEvent, ClickEvent
+from repro.online import EventBus
+
+
+def _booking(day: int) -> BookingEvent:
+    return BookingEvent(user_id=1, origin=0, destination=2, day=day,
+                        price=50.0)
+
+
+class TestSubscription:
+    def test_rejects_nonpositive_capacity(self):
+        bus = EventBus()
+        with pytest.raises(ValueError, match="capacity"):
+            bus.subscribe("a", capacity=0)
+        with pytest.raises(ValueError, match="capacity"):
+            EventBus(capacity=0)
+
+    def test_duplicate_name_rejected(self):
+        bus = EventBus()
+        bus.subscribe("trainer")
+        with pytest.raises(ValueError, match="already registered"):
+            bus.subscribe("trainer")
+
+    def test_poll_drains_oldest_first(self):
+        bus = EventBus()
+        sub = bus.subscribe("a")
+        events = [_booking(day) for day in range(5)]
+        bus.publish_many(events)
+        assert sub.depth == 5
+        assert sub.poll(2) == events[:2]
+        assert sub.poll() == events[2:]
+        assert sub.depth == 0
+        assert sub.poll() == []
+
+
+class TestBackpressure:
+    def test_drop_oldest_when_full(self):
+        bus = EventBus()
+        sub = bus.subscribe("slow", capacity=3)
+        events = [_booking(day) for day in range(5)]
+        bus.publish_many(events)
+        # Freshness-first: the two oldest were dropped, newest retained.
+        assert sub.dropped == 2
+        assert sub.poll() == events[2:]
+
+    def test_backpressure_is_per_subscriber(self):
+        bus = EventBus()
+        slow = bus.subscribe("slow", capacity=2)
+        fast = bus.subscribe("fast", capacity=100)
+        events = [_booking(day) for day in range(6)]
+        bus.publish_many(events)
+        # A wedged consumer never costs the healthy one a single event.
+        assert slow.dropped == 4
+        assert fast.dropped == 0
+        assert fast.poll() == events
+        assert bus.dropped == 4
+
+    def test_delivery_counters(self):
+        bus = EventBus()
+        sub = bus.subscribe("a")
+        bus.publish(_booking(1))
+        bus.publish(ClickEvent(user_id=1, origin=0, destination=2, day=1))
+        assert bus.published == 2
+        assert sub.delivered == 2
+
+
+class TestPublish:
+    def test_rejects_foreign_payloads(self):
+        bus = EventBus()
+        with pytest.raises(TypeError, match="BookingEvent/ClickEvent"):
+            bus.publish({"user_id": 1})
+
+    def test_unsubscribe_stops_delivery(self):
+        bus = EventBus()
+        sub = bus.subscribe("a")
+        bus.unsubscribe("a")
+        bus.publish(_booking(1))
+        assert sub.depth == 0
+        assert bus.subscribers == []

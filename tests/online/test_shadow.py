@@ -1,0 +1,109 @@
+"""ShadowEvaluator: holdout window discipline and the promotion gate."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import build_odnet
+from repro.data.schema import BookingEvent
+from repro.online import ShadowEvaluator
+
+from .conftest import ONLINE_MODEL_CONFIG, booking_events
+
+
+@pytest.fixture()
+def shadow(od_dataset, features):
+    return ShadowEvaluator(
+        od_dataset, features, window=8, min_window=3, num_candidates=6,
+        margin=0.0, seed=0,
+    )
+
+
+def _fill(shadow, od_dataset, count):
+    for event in booking_events(od_dataset, count):
+        assert shadow.observe(event)
+
+
+class TestWindow:
+    def test_not_ready_below_min_window(self, shadow, od_dataset):
+        _fill(shadow, od_dataset, 2)
+        assert not shadow.ready
+        assert len(shadow) == 2
+
+    def test_window_evicts_oldest(self, shadow, od_dataset):
+        _fill(shadow, od_dataset, 12)
+        assert len(shadow) == 8
+        assert shadow.observed == 12
+
+    def test_unknown_user_is_skipped_not_fatal(self, shadow):
+        ghost = BookingEvent(user_id=10_000, origin=0, destination=1,
+                             day=40, price=10.0)
+        assert not shadow.observe(ghost)
+        assert shadow.skipped == 1
+        assert len(shadow) == 0
+
+    def test_rejects_degenerate_config(self, od_dataset, features):
+        with pytest.raises(ValueError, match="min_window"):
+            ShadowEvaluator(od_dataset, features, min_window=0)
+        with pytest.raises(ValueError, match="num_candidates"):
+            ShadowEvaluator(od_dataset, features, num_candidates=1)
+
+
+class TestGate:
+    def test_defers_until_window_ready(self, shadow, od_dataset,
+                                       online_model):
+        _fill(shadow, od_dataset, 2)
+        decision = shadow.decide(online_model, online_model)
+        assert decision.reason == "window"
+        assert not decision.promote
+        assert decision.window == 2
+
+    def test_tie_promotes_at_zero_margin(self, shadow, od_dataset,
+                                         online_model):
+        _fill(shadow, od_dataset, 4)
+        decision = shadow.decide(online_model, online_model)
+        assert decision.reason == "promoted"
+        assert decision.promote
+        assert decision.candidate_mrr == decision.serving_mrr
+        assert decision.wins == 0 and decision.losses == 0
+        assert decision.ties == decision.window == 4
+
+    def test_positive_margin_rejects_tie(self, od_dataset, features,
+                                         online_model):
+        shadow = ShadowEvaluator(
+            od_dataset, features, window=8, min_window=3, margin=0.01,
+            seed=0,
+        )
+        _fill(shadow, od_dataset, 4)
+        decision = shadow.decide(online_model, online_model)
+        assert decision.reason == "rejected"
+        assert not decision.promote
+
+    def test_better_candidate_promotes(self, shadow, od_dataset,
+                                       online_model):
+        _fill(shadow, od_dataset, 6)
+        # Perturb a second replica so the two sides genuinely disagree.
+        other = build_odnet(od_dataset, ONLINE_MODEL_CONFIG)
+        state = other.state_dict()
+        rng = np.random.default_rng(1)
+        for name in ("origin_hsgc.user_embedding.weight",
+                     "dest_hsgc.user_embedding.weight"):
+            state[name] = state[name] + rng.normal(
+                0.0, 0.5, state[name].shape
+            )
+        other.load_state_dict(state)
+        first = shadow.decide(online_model, other)
+        winner, loser = (
+            (online_model, other)
+            if first.candidate_mrr >= first.serving_mrr
+            else (other, online_model)
+        )
+        better = shadow.decide(winner, loser)
+        assert better.promote
+        assert better.candidate_mrr >= better.serving_mrr
+
+    def test_mrr_bounds(self, shadow, od_dataset, online_model):
+        assert shadow.mrr(online_model) == 0.0  # empty window
+        _fill(shadow, od_dataset, 4)
+        assert 0.0 < shadow.mrr(online_model) <= 1.0

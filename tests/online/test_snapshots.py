@@ -1,0 +1,147 @@
+"""SnapshotStore: two-phase publish stays consistent at every crash site."""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.online import SnapshotError, SnapshotStore
+from repro.online.drill import PUBLISH_STAGES
+from repro.resilience.chaos import FaultInjector, use_fault_injector
+from repro.resilience.errors import InjectedFault
+
+
+def _state(value: float) -> dict[str, np.ndarray]:
+    return {
+        "w": np.full((3, 2), value, dtype=np.float64),
+        "b": np.arange(4, dtype=np.float64) * value,
+    }
+
+
+class TestRoundTrip:
+    def test_publish_then_load(self, store):
+        info = store.publish(_state(1.5), {"note": "first"})
+        assert info.version == 1
+        assert store.current_version() == 1
+        snapshot = store.load()
+        assert snapshot.version == 1
+        np.testing.assert_array_equal(snapshot.state["w"], _state(1.5)["w"])
+        np.testing.assert_array_equal(snapshot.state["b"], _state(1.5)["b"])
+        assert snapshot.metadata["note"] == "first"
+        assert snapshot.metadata["version"] == 1
+        assert snapshot.published_unix > 0
+
+    def test_empty_store_reads_as_none(self, store):
+        assert store.current() is None
+        assert store.current_version() == 0
+        with pytest.raises(SnapshotError, match="no snapshot published"):
+            store.load()
+
+    def test_missing_version_raises(self, store):
+        store.publish(_state(1.0))
+        with pytest.raises(SnapshotError, match="v7 not found"):
+            store.load(7)
+
+    def test_reserved_meta_key_rejected(self, store):
+        state = _state(1.0)
+        state["__snapshot_meta__"] = np.zeros(1)
+        with pytest.raises(ValueError, match="reserved"):
+            store.publish(state)
+
+    def test_mangled_pointer_is_a_typed_failure(self, store):
+        store.publish(_state(1.0))
+        (store.directory / "CURRENT").write_text("{half a poin")
+        with pytest.raises(SnapshotError, match="unreadable"):
+            store.current()
+
+
+class TestVersioning:
+    def test_versions_are_monotonic(self, store):
+        for i in range(3):
+            info = store.publish(_state(float(i)), keep_last=8)
+            assert info.version == i + 1
+        assert store.versions() == [1, 2, 3]
+        assert store.current_version() == 3
+
+    def test_flip_refuses_backwards(self, store):
+        store.publish(_state(1.0))
+        store.publish(_state(2.0))
+        with pytest.raises(SnapshotError, match="backwards"):
+            store._flip(1, "v00000001.npz", 0.0)
+
+    def test_orphan_version_never_reused(self, store):
+        store.publish(_state(1.0))
+        injector = FaultInjector(seed=0).add(
+            "online.publish.pre_flip", error_rate=1.0, max_faults=1
+        )
+        with use_fault_injector(injector):
+            with pytest.raises(InjectedFault):
+                store.publish(_state(2.0))
+        # v2 is durable but unreferenced; the pointer never moved.
+        assert store.current_version() == 1
+        assert store.versions() == [1, 2]
+        # The next publish must not rewrite the orphan's immutable name.
+        info = store.publish(_state(3.0))
+        assert info.version == 3
+        np.testing.assert_array_equal(
+            store.load(2).state["w"], _state(2.0)["w"]
+        )
+
+    def test_prune_keeps_last_and_current(self, store):
+        for i in range(5):
+            store.publish(_state(float(i)), keep_last=2)
+        assert store.current_version() == 5
+        assert store.versions() == [4, 5]
+        # The pointer's target always survives pruning.
+        store.load()
+
+
+class TestCrashConsistency:
+    @pytest.mark.parametrize("stage", PUBLISH_STAGES)
+    def test_reader_never_sees_a_torn_store(self, tmp_path, stage):
+        store = SnapshotStore(tmp_path / stage)
+        baseline = store.publish(_state(1.0))
+        injector = FaultInjector(seed=0).add(
+            f"online.publish.{stage}", error_rate=1.0, max_faults=1
+        )
+        with use_fault_injector(injector):
+            with pytest.raises(InjectedFault):
+                store.publish(_state(2.0))
+        info = store.current()
+        if stage == "post_flip":
+            # The flip already landed — indistinguishable from success.
+            assert info.version == baseline.version + 1
+            expected = _state(2.0)
+        else:
+            assert info.version == baseline.version
+            expected = _state(1.0)
+        # Whatever the pointer says must load cleanly and completely.
+        snapshot = store.load()
+        np.testing.assert_array_equal(snapshot.state["w"], expected["w"])
+        # Publishing still works after the crash.
+        after = store.publish(_state(3.0))
+        assert after.version > info.version
+        np.testing.assert_array_equal(store.load().state["w"], _state(3.0)["w"])
+
+    def test_tmp_files_swept_on_open(self, tmp_path):
+        directory = tmp_path / "s"
+        store = SnapshotStore(directory)
+        store.publish(_state(1.0))
+        stale = directory / "v00000009.abc.tmp"
+        stale.write_bytes(b"half a snapshot")
+        reopened = SnapshotStore(directory)
+        assert not stale.exists()
+        # The sweep only touches *.tmp: the published payload survives.
+        assert reopened.current_version() == 1
+        np.testing.assert_array_equal(
+            reopened.load().state["w"], _state(1.0)["w"]
+        )
+
+    def test_pointer_file_is_plain_json(self, store):
+        # Operational contract: the pointer stays a tiny inspectable file.
+        info = store.publish(_state(1.0))
+        payload = json.loads((store.directory / "CURRENT").read_text())
+        assert payload["version"] == info.version
+        assert payload["file"] == info.path.name

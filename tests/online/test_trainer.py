@@ -1,0 +1,243 @@
+"""IncrementalTrainer: holdout routing, scoped SGD, gated publishing."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.online import (
+    IncrementalTrainer,
+    OnlineTrainerConfig,
+    ShadowEvaluator,
+)
+
+from .conftest import booking_events
+
+_USER_PARAMS = (
+    "origin_hsgc.user_embedding.weight",
+    "dest_hsgc.user_embedding.weight",
+)
+
+
+def _trainer(model, od_dataset, features, store, margin=0.0, **overrides):
+    kwargs = dict(
+        lr=0.05, batch_events=4, negatives_per_event=3,
+        publish_every_steps=2, holdout_every=3, seed=0,
+    )
+    kwargs.update(overrides)
+    shadow = ShadowEvaluator(
+        od_dataset, features, window=16, min_window=3, margin=margin,
+        seed=0,
+    )
+    return IncrementalTrainer(
+        model, od_dataset, features, store,
+        OnlineTrainerConfig(**kwargs), shadow=shadow,
+    )
+
+
+@pytest.fixture()
+def trainer(online_model, od_dataset, features, store):
+    return _trainer(online_model, od_dataset, features, store)
+
+
+class TestConfig:
+    @pytest.mark.parametrize("kwargs", [
+        {"update_mode": "everything"}, {"batch_events": 0},
+        {"negatives_per_event": 0}, {"publish_every_steps": 0},
+        {"holdout_every": 1},
+    ])
+    def test_rejects_bad_knobs(self, kwargs):
+        with pytest.raises(ValueError):
+            OnlineTrainerConfig(**kwargs)
+
+
+class TestIngestion:
+    def test_every_nth_booking_is_held_out(self, trainer, od_dataset):
+        events = booking_events(od_dataset, 9)
+        buffered = trainer.consume(events)
+        assert trainer.events_seen == 9
+        assert trainer.events_held_out == 3     # holdout_every=3
+        assert buffered == trainer.backlog == 6
+        assert len(trainer.shadow) == 3
+
+    def test_clicks_are_ignored_as_labels(self, trainer, od_dataset):
+        from repro.data.schema import ClickEvent
+
+        trainer.consume([
+            ClickEvent(user_id=0, origin=0, destination=1, day=5)
+        ])
+        assert trainer.events_seen == 0
+        assert trainer.backlog == 0
+
+
+class TestStep:
+    def test_step_consumes_backlog_and_returns_loss(self, trainer,
+                                                    od_dataset):
+        trainer.consume(booking_events(od_dataset, 5))
+        backlog = trainer.backlog
+        loss = trainer.step()
+        assert loss is not None and np.isfinite(loss)
+        assert trainer.steps == 1
+        assert trainer.backlog == backlog - 4   # batch_events=4
+        assert trainer.last_loss == loss
+
+    def test_step_without_backlog_is_a_noop(self, trainer):
+        assert trainer.step() is None
+        assert trainer.steps == 0
+
+    def test_user_mode_touches_only_user_rows(self, online_model,
+                                              od_dataset, features, store):
+        trainer = _trainer(online_model, od_dataset, features, store)
+        before = online_model.state_dict()
+        events = booking_events(od_dataset, 4)
+        trainer.consume(events)
+        trained_events = [
+            e for i, e in enumerate(events, start=1) if i % 3 != 0
+        ][:4]
+        trainer.step()
+        after = online_model.state_dict()
+        touched = set(trainer.touched_users)
+        assert touched == {e.user_id for e in trained_events}
+        for name in before:
+            if name in _USER_PARAMS:
+                rows_moved = {
+                    int(row) for row in
+                    np.nonzero(
+                        np.abs(after[name] - before[name]).sum(axis=1)
+                    )[0]
+                }
+                # Algorithm 1: a user's row depends only on its own
+                # embedding — exactly the trained users moved.
+                assert rows_moved, f"{name} never moved"
+                assert rows_moved <= touched
+            else:
+                # Everything outside the two user tables is untouched,
+                # bit for bit.
+                np.testing.assert_array_equal(
+                    after[name], before[name], err_msg=name
+                )
+
+
+class TestPublishing:
+    def test_baseline_publish_is_ungated(self, trainer, store):
+        info = trainer.publish_baseline()
+        assert info.version == 1
+        assert store.current_version() == 1
+        snapshot = store.load()
+        assert snapshot.metadata["bootstrap"] is True
+        assert trainer.publishes == 1
+
+    def test_cadence_defers_until_enough_steps(self, trainer, od_dataset):
+        trainer.publish_baseline()
+        trainer.consume(booking_events(od_dataset, 5))
+        trainer.step()
+        info, decision = trainer.maybe_publish()   # 1 < publish_every=2
+        assert info is None and decision is None
+
+    def test_window_deferral_keeps_cadence_armed(self, trainer,
+                                                 od_dataset, store):
+        trainer.publish_baseline()
+        trainer.consume(booking_events(od_dataset, 5))  # 1 holdout only
+        trainer.step()
+        info, decision = trainer.maybe_publish(force=True)
+        assert info is None
+        assert decision.reason == "window"
+        # Deferred, not rejected: the very next attempt still decides.
+        info, decision = trainer.maybe_publish(force=True)
+        assert decision is not None and decision.reason == "window"
+        assert store.current_version() == 1
+
+    def test_rejection_resets_cadence(self, online_model, od_dataset,
+                                      features, store):
+        # An impossible margin: every candidate is rejected.
+        trainer = _trainer(
+            online_model, od_dataset, features, store, margin=10.0
+        )
+        trainer.publish_baseline()
+        trainer.consume(booking_events(od_dataset, 12))
+        while trainer.backlog:
+            trainer.step()
+        assert trainer.shadow.ready
+        info, decision = trainer.maybe_publish()
+        assert info is None
+        assert decision.reason == "rejected"
+        assert trainer.rejections == 1
+        assert store.current_version() == 1
+        # The cadence was reset — no immediate re-attempt.
+        info, decision = trainer.maybe_publish()
+        assert info is None and decision is None
+
+    def test_promotion_publishes_touched_users(self, online_model,
+                                               od_dataset, features, store):
+        trainer = _trainer(
+            online_model, od_dataset, features, store, margin=-1.0
+        )
+        trainer.publish_baseline()
+        trainer.consume(booking_events(od_dataset, 12))
+        while trainer.backlog:
+            trainer.step()
+        touched = trainer.touched_users
+        info, decision = trainer.maybe_publish()
+        assert info is not None and info.version == 2
+        assert decision.reason == "promoted"
+        snapshot = store.load()
+        assert snapshot.metadata["mode"] == "user"
+        assert sorted(snapshot.metadata["touched_users"]) == touched
+        assert snapshot.metadata["shadow"]["window"] == len(trainer.shadow)
+        # The reference (gate's serving side) moved to the new weights,
+        # and the exact touched set reset with momentum=0.
+        np.testing.assert_array_equal(
+            trainer.reference.state_dict()[_USER_PARAMS[0]],
+            snapshot.state[_USER_PARAMS[0]],
+        )
+        assert trainer.touched_users == []
+
+    def test_first_forced_publish_bootstraps(self, trainer, store):
+        info, decision = trainer.maybe_publish(force=True)
+        assert info is not None and info.version == 1
+        assert decision is None
+        assert store.load().metadata["bootstrap"] is True
+
+
+class TestRestart:
+    def test_restart_boots_from_published_snapshot(self, online_model,
+                                                   od_dataset, features,
+                                                   store):
+        trainer = _trainer(
+            online_model, od_dataset, features, store, margin=-1.0
+        )
+        trainer.publish_baseline()
+        trainer.consume(booking_events(od_dataset, 12))
+        while trainer.backlog:
+            trainer.step()
+        trainer.maybe_publish(force=True)
+        published = store.load().state
+        # Keep training past the publish, with a pending buffer.
+        trainer.consume(booking_events(od_dataset, 9))
+        trainer.step()
+        pending = trainer.backlog
+        assert pending > 0
+        for name in _USER_PARAMS:
+            assert not np.array_equal(
+                online_model.state_dict()[name], published[name]
+            )
+
+        trainer.restart()
+
+        # The replacement is exactly on the shadow-approved weights; the
+        # in-flight buffer died with the old process.
+        for name, value in online_model.state_dict().items():
+            np.testing.assert_array_equal(value, published[name],
+                                          err_msg=name)
+        assert trainer.events_lost == pending
+        assert trainer.backlog == 0
+        assert trainer.touched_users == []
+        assert trainer.restarts == 1
+
+    def test_restart_with_empty_store_keeps_weights(self, trainer,
+                                                    online_model):
+        before = online_model.state_dict()
+        trainer.restart()
+        for name, value in online_model.state_dict().items():
+            np.testing.assert_array_equal(value, before[name])
+        assert trainer.restarts == 1

@@ -96,7 +96,8 @@ class TestTrainingBench:
 class TestPhaseSelection:
     def test_registry_names_every_phase(self):
         assert sorted(BENCH_PHASES) == [
-            "chaos", "cluster", "overload", "scale", "serving", "training",
+            "chaos", "cluster", "online", "overload", "scale", "serving",
+            "training",
         ]
 
     def test_single_phase_writes_one_file(self, tmp_path):
@@ -353,4 +354,121 @@ class TestScaleValidator:
         # The hardware-independent gates still bite on one CPU.
         report["ann"]["recall_at_k"] = 0.5
         with pytest.raises(SystemExit, match="below the 0.95 gate"):
+            self._check(tmp_path, report)
+
+
+class TestOnlineValidator:
+    """check_bench's online rules against synthetic reports (the real
+    report is exercised by the CI online/bench smoke)."""
+
+    @staticmethod
+    def _stage(name, **overrides):
+        entry = {
+            "stage": name, "crashed": True, "old_version_preserved": True,
+            "recovered": True, "serving_errors": 0, "torn_reads": 0,
+            "version_at_crash": 3, "version_final": 5,
+            "trainer_restarts": 1,
+        }
+        entry.update(overrides)
+        return entry
+
+    @classmethod
+    def _online_report(cls, **overrides):
+        report = {
+            "benchmark": "online",
+            "schema_version": 1,
+            "config": {},
+            "available_cpus": 4,
+            "happy": {
+                "bookings": 96, "steps": 14, "publishes": 7, "swaps": 7,
+                "scored": 4000, "serving_errors": 0, "torn_reads": 0,
+                "store_version": 8,
+            },
+            "crash_matrix": [
+                cls._stage(s)
+                for s in ("pre_write", "mid_write", "pre_flip", "post_flip")
+            ],
+            "crash_loop": {
+                "crashes": 3, "trainer_restarts": 2, "abandoned": True,
+                "store_version": 1, "serving_errors": 0,
+            },
+            "torn_reads_total": 0,
+            "serving_errors_total": 0,
+            "versions_monotonic": True,
+            "update_lag_budget_ms": 5000.0,
+            "update_lag_ms": {"count": 20, "p50": 30.0, "p99": 90.0,
+                              "max": 120.0},
+            "swap_pause_ms": {"count": 20, "p50": 0.5, "p99": 2.0,
+                              "max": 3.0},
+        }
+        report.update(overrides)
+        return report
+
+    def _check(self, tmp_path, report):
+        check_bench = _load_check_bench()
+        path = tmp_path / "BENCH_online.json"
+        path.write_text(json.dumps(report))
+        return check_bench.check(str(path))
+
+    def test_accepts_healthy_report(self, tmp_path):
+        assert "ok" in self._check(tmp_path, self._online_report())
+
+    def test_rejects_torn_reads(self, tmp_path):
+        report = self._online_report(torn_reads_total=1)
+        with pytest.raises(SystemExit, match="torn read"):
+            self._check(tmp_path, report)
+
+    def test_rejects_serving_errors(self, tmp_path):
+        report = self._online_report(serving_errors_total=2)
+        with pytest.raises(SystemExit, match="serving"):
+            self._check(tmp_path, report)
+
+    def test_rejects_backwards_version(self, tmp_path):
+        report = self._online_report(versions_monotonic=False)
+        with pytest.raises(SystemExit, match="moved backwards"):
+            self._check(tmp_path, report)
+
+    def test_rejects_missing_crash_stage(self, tmp_path):
+        report = self._online_report()
+        report["crash_matrix"] = report["crash_matrix"][:3]
+        with pytest.raises(SystemExit, match="crash matrix covered"):
+            self._check(tmp_path, report)
+
+    def test_rejects_stage_that_never_crashed(self, tmp_path):
+        report = self._online_report()
+        report["crash_matrix"][1]["crashed"] = False
+        with pytest.raises(SystemExit, match="never crashed"):
+            self._check(tmp_path, report)
+
+    def test_rejects_lost_old_version(self, tmp_path):
+        report = self._online_report()
+        report["crash_matrix"][2]["old_version_preserved"] = False
+        with pytest.raises(SystemExit, match="unexpected version"):
+            self._check(tmp_path, report)
+
+    def test_rejects_unrecovered_stage(self, tmp_path):
+        report = self._online_report()
+        report["crash_matrix"][0]["recovered"] = False
+        with pytest.raises(SystemExit, match="did not recover"):
+            self._check(tmp_path, report)
+
+    def test_rejects_unabandoned_crash_loop(self, tmp_path):
+        report = self._online_report()
+        report["crash_loop"]["abandoned"] = False
+        with pytest.raises(SystemExit, match="not abandoned"):
+            self._check(tmp_path, report)
+
+    def test_rejects_lag_over_budget(self, tmp_path):
+        report = self._online_report()
+        report["update_lag_ms"]["p99"] = 9000.0
+        with pytest.raises(SystemExit, match="exceeds.*budget"):
+            self._check(tmp_path, report)
+
+    def test_single_cpu_skips_lag_gate_only(self, tmp_path):
+        report = self._online_report(available_cpus=1)
+        report["update_lag_ms"]["p99"] = 9000.0
+        assert "update-lag gate skipped" in self._check(tmp_path, report)
+        # Consistency contracts are hardware-independent.
+        report["torn_reads_total"] = 1
+        with pytest.raises(SystemExit, match="torn read"):
             self._check(tmp_path, report)

@@ -103,3 +103,76 @@ class TestStreaming:
 
     def test_known_users(self, service):
         assert service.known_users() == [0, 1]
+
+
+class TestBoundedHistories:
+    """Per-user timelines are capped: oldest evicted, counters exposed."""
+
+    def test_caps_must_be_positive(self):
+        with pytest.raises(ValueError, match="caps must be >= 1"):
+            RealTimeFeatureService({}, max_bookings_per_user=0)
+        with pytest.raises(ValueError, match="caps must be >= 1"):
+            RealTimeFeatureService({}, max_clicks_per_user=0)
+
+    def test_streaming_bookings_evict_oldest(self):
+        service = RealTimeFeatureService({0: []}, max_bookings_per_user=3)
+        for day in range(1, 6):
+            service.record_booking(
+                BookingEvent(0, 1, 2, day=day, price=10.0)
+            )
+        # Newest three retained, two oldest evicted and counted.
+        assert [b.day for b in service.bookings_before(0, 100)] == [3, 4, 5]
+        assert service.evicted_bookings == 2
+        assert service.evicted_clicks == 0
+
+    def test_streaming_clicks_evict_oldest(self):
+        service = RealTimeFeatureService({0: []}, max_clicks_per_user=2)
+        for day in (54, 55, 56, 57):
+            service.record_click(ClickEvent(0, 1, 4, day=day))
+        assert [c.day for c in service.clicks_before(0, 60)] == [56, 57]
+        assert service.evicted_clicks == 2
+
+    def test_seeded_histories_are_capped_too(self):
+        bookings = {
+            0: [
+                BookingEvent(0, 1, 2, day=day, price=10.0)
+                for day in range(10)
+            ],
+        }
+        service = RealTimeFeatureService(bookings, max_bookings_per_user=4)
+        assert [b.day for b in service.bookings_before(0, 100)] == [
+            6, 7, 8, 9,
+        ]
+        assert service.evicted_bookings == 6
+
+    def test_eviction_is_per_user(self):
+        service = RealTimeFeatureService(
+            {0: [], 1: []}, max_bookings_per_user=2
+        )
+        for day in range(1, 5):
+            service.record_booking(
+                BookingEvent(0, 1, 2, day=day, price=10.0)
+            )
+        service.record_booking(BookingEvent(1, 2, 1, day=1, price=10.0))
+        # User 1's single booking is untouched by user 0's overflow.
+        assert len(service.bookings_before(0, 100)) == 2
+        assert len(service.bookings_before(1, 100)) == 1
+
+    def test_queries_over_retained_window_unchanged(self):
+        events = [
+            BookingEvent(0, 1, 2, day=10, price=100.0),
+            BookingEvent(0, 2, 1, day=20, price=100.0),
+            BookingEvent(0, 2, 3, day=30, price=100.0),
+            BookingEvent(0, 3, 4, day=40, price=100.0),
+        ]
+        bounded = RealTimeFeatureService(
+            {0: events}, max_bookings_per_user=2
+        )
+        recent_only = RealTimeFeatureService({0: events[2:]})
+        # Point-in-time queries that only touch the retained window are
+        # bit-for-bit what an unbounded store over the same window gives.
+        assert bounded.current_city(0, 50) == recent_only.current_city(0, 50)
+        assert (
+            bounded.user_history(0, 50).bookings
+            == recent_only.user_history(0, 50).bookings
+        )

@@ -50,6 +50,16 @@ REQUIRED = {
                     "breaker_forced", "rejected"),
         "deaths": (),
     },
+    "online": {
+        "happy": ("bookings", "steps", "publishes", "swaps",
+                  "scored", "serving_errors", "torn_reads",
+                  "store_version"),
+        "crash_matrix": (),
+        "crash_loop": ("crashes", "trainer_restarts", "abandoned",
+                       "store_version", "serving_errors"),
+        "update_lag_ms": ("count", "p50", "p99", "max"),
+        "swap_pause_ms": ("count", "p50", "p99", "max"),
+    },
     "scale": {
         "generation": ("users", "bookings", "clicks", "train_samples",
                        "users_per_sec", "rss_before_mb", "rss_after_mb"),
@@ -234,6 +244,71 @@ def check(path: str) -> str:
             if p99 > budget:
                 _fail(path, f"scale retrieval p99 ({p99} ms) exceeds 2x "
                             f"the serving cached p99 ({budget} ms)")
+    elif kind == "online":
+        happy = report["happy"]
+        _positive(path, "happy.bookings", happy["bookings"])
+        _positive(path, "happy.scored", happy["scored"])
+        _positive(path, "happy.publishes", happy["publishes"])
+        _positive(path, "happy.swaps", happy["swaps"])
+        # The torn-read contract is exact and hardware-independent:
+        # every score any concurrent thread observed must be
+        # bit-identical to some *published* version's scores — a single
+        # mixed-version score fails the build.
+        if report.get("torn_reads_total", happy["torn_reads"]) != 0:
+            _fail(path, f"online drill observed "
+                        f"{report.get('torn_reads_total')} torn read(s) — "
+                        f"a scoring thread saw a half-swapped table")
+        if report.get("serving_errors_total", 0) != 0:
+            _fail(path, f"online drill saw "
+                        f"{report['serving_errors_total']} serving "
+                        f"error(s) under hot-swap traffic")
+        if report.get("versions_monotonic") is not True:
+            _fail(path, "served version moved backwards during the drill")
+        # The crash matrix: one entry per publish stage; each must have
+        # actually crashed, left serving on the old consistent version
+        # (post_flip legitimately lands on the new one — the entry's own
+        # flag encodes the stage-specific expectation), and recovered
+        # with a fresh shadow-approved publish after restart.
+        stages = {entry["stage"] for entry in report["crash_matrix"]}
+        expected = {"pre_write", "mid_write", "pre_flip", "post_flip"}
+        if stages != expected:
+            _fail(path, f"crash matrix covered {sorted(stages)}, "
+                        f"expected {sorted(expected)}")
+        for entry in report["crash_matrix"]:
+            stage = entry["stage"]
+            if not entry.get("crashed"):
+                _fail(path, f"crash stage {stage!r} never crashed — "
+                            f"nothing was drilled")
+            if not entry.get("old_version_preserved"):
+                _fail(path, f"crash at {stage!r} left the pointer on an "
+                            f"unexpected version "
+                            f"(v{entry.get('version_at_crash')})")
+            if not entry.get("recovered"):
+                _fail(path, f"trainer did not recover after the "
+                            f"{stage!r} crash (final "
+                            f"v{entry.get('version_final')}, restarts="
+                            f"{entry.get('trainer_restarts')})")
+            if entry.get("serving_errors", 0) != 0:
+                _fail(path, f"crash at {stage!r} caused "
+                            f"{entry['serving_errors']} serving error(s)")
+        loop = report["crash_loop"]
+        if loop["abandoned"] is not True:
+            _fail(path, "crash-looping trainer was not abandoned within "
+                        f"its restart budget (crashes={loop['crashes']})")
+        _positive(path, "crash_loop.crashes", loop["crashes"])
+        # Update lag p99 within the configured budget: the freshness
+        # claim the whole loop exists for.  Wall-clock, so held only
+        # where the host can time it meaningfully.
+        budget = report.get("update_lag_budget_ms")
+        if budget is None:
+            _fail(path, "missing 'update_lag_budget_ms'")
+        _positive(path, "update_lag_ms.count",
+                  report["update_lag_ms"]["count"])
+        cpus = report.get("available_cpus", 2)
+        if cpus >= 2 and report["update_lag_ms"]["p99"] > budget:
+            _fail(path, f"update lag p99 "
+                        f"({report['update_lag_ms']['p99']} ms) exceeds "
+                        f"the {budget} ms budget")
     elif kind == "overload":
         for key in OVERLOAD_SCALARS:
             if key not in report:
@@ -259,6 +334,8 @@ def check(path: str) -> str:
         note = "; single-CPU host, throughput gate skipped"
     elif kind == "scale" and report.get("available_cpus", 2) < 2:
         note = "; single-CPU host, p99 comparison skipped"
+    elif kind == "online" and report.get("available_cpus", 2) < 2:
+        note = "; single-CPU host, update-lag gate skipped"
     return (
         f"{path}: ok ({kind}, schema v{report['schema_version']}{note})"
     )
