@@ -115,12 +115,14 @@ class WorkerRuntime:
         if info is None or info.version <= self.snapshot_version:
             return None
         snapshot = store.load(info.version)
+        # Union the touched sets across every version skipped since the
+        # last load (each snapshot's touched_users is only the delta
+        # since the publish before it); degrades to a full refresh when
+        # any skipped delta is unavailable.  See SnapshotFollower.poll.
+        touched = store.touched_union(self.snapshot_version, snapshot)
         session = self.recommender.ranking.session
         if session is not None:
-            session.swap(
-                snapshot.state,
-                touched_users=snapshot.metadata.get("touched_users"),
-            )
+            session.swap(snapshot.state, touched_users=touched)
         else:
             self.recommender.ranking.model.load_state_dict(snapshot.state)
         self.snapshot_version = info.version

@@ -46,8 +46,10 @@ class SnapshotFollower:
 
     ``target`` may be an :class:`~repro.perf.InferenceSession` (uses
     :meth:`swap`), a :class:`~repro.perf.ShardedInferenceSession` (uses
-    :meth:`apply_snapshot` with the snapshot's ``touched_users`` for
-    per-shard invalidation), or any ``Module`` (plain
+    :meth:`apply_snapshot` with the touched-user union across every
+    version applied by the jump — see
+    :meth:`SnapshotStore.touched_union` — for per-shard
+    invalidation), or any ``Module`` (plain
     ``load_state_dict``).  The pointer is forward-only, so ``poll()``
     applies a version at most once and never moves backwards.
     """
@@ -82,8 +84,7 @@ class SnapshotFollower:
             return None
         return max(0.0, self.time_source() - self._published_unix)
 
-    def _apply(self, snapshot) -> float:
-        touched = snapshot.metadata.get("touched_users")
+    def _apply(self, snapshot, touched) -> float:
         if hasattr(self.target, "apply_snapshot"):
             return self.target.apply_snapshot(
                 snapshot.state, touched_users=touched
@@ -105,7 +106,14 @@ class SnapshotFollower:
                 ).set(self.staleness_s)
             return None
         snapshot = self.store.load(info.version)
-        self.last_pause_ms = self._apply(snapshot)
+        # A snapshot's touched_users is the delta since the publish
+        # *before it* — on a multi-version jump (trainer published more
+        # than once between polls) the skipped deltas must be invalidated
+        # too, or rows touched only in a skipped version keep serving the
+        # old weights: a cross-version blend.  touched_union degrades to
+        # a full refresh whenever a skipped delta is unavailable.
+        touched = self.store.touched_union(self.version, snapshot)
+        self.last_pause_ms = self._apply(snapshot, touched)
         self.version = info.version
         self.swaps += 1
         self._published_unix = snapshot.published_unix

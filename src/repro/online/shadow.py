@@ -138,7 +138,12 @@ class ShadowEvaluator:
         point = DecisionPoint(history=history, target=target, day=event.day)
         seen = {target}
         candidates = [target]
-        while len(candidates) < self.num_candidates:
+        # Bounded draws: a world with fewer distinct OD pairs than
+        # num_candidates would loop forever on rejections — rank over
+        # however many distinct distractors the draws yielded.
+        for _ in range(8 * self.num_candidates):
+            if len(candidates) >= self.num_candidates:
+                break
             pair = self.dataset._sample_distractor(target, self._rng)
             if pair not in seen:
                 seen.add(pair)

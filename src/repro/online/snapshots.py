@@ -10,7 +10,9 @@ publisher crashes.  The protocol is the classic two-phase publish:
    ``os.replace``d to its immutable versioned name
    (``v00000042.npz``).  A crash anywhere in this phase leaves a stale
    ``*.tmp`` file that no pointer references — invisible to readers,
-   swept on the next store open.
+   swept by the publisher on its next publish (readers never mutate
+   the store directory, so opening a store for reading can never race
+   a live publish).
 2. **Flip phase** — the ``CURRENT`` pointer (a tiny JSON file) is
    rewritten through the same tmp+fsync+replace dance, then the
    directory entry itself is fsync'd.  ``os.replace`` is atomic on a
@@ -88,9 +90,18 @@ class SnapshotStore:
     def __init__(self, directory: str | pathlib.Path):
         self.directory = pathlib.Path(directory)
         self.directory.mkdir(parents=True, exist_ok=True)
-        # Crash recovery: a publisher that died mid-write left a *.tmp
-        # the pointer never referenced.  Sweeping is safe exactly
-        # because phase 1 only ever writes tmp names.
+
+    def recover(self) -> int:
+        """Sweep orphaned ``*.tmp`` files; returns how many were removed.
+
+        Crash recovery: a publisher that died mid-write left a tmp file
+        the pointer never referenced.  Sweeping is safe exactly because
+        phase 1 only ever writes tmp names — but it is a **publisher**
+        action: there is a single publisher, so no tmp file it sees is
+        live, whereas a reader sweeping on open could delete another
+        process's in-flight phase-1 write and crash that publish.
+        :meth:`publish` calls this itself; readers must not.
+        """
         swept = 0
         for stale in self.directory.glob("*.tmp"):
             try:
@@ -102,6 +113,7 @@ class SnapshotStore:
             registry = get_registry()
             if registry.enabled:
                 registry.counter("online.publish_swept_tmp").inc(swept)
+        return swept
 
     # ------------------------------------------------------------------
     # Reading
@@ -168,6 +180,65 @@ class SnapshotStore:
             metadata=metadata, published_unix=published,
         )
 
+    def load_metadata(self, version: int) -> dict:
+        """One snapshot's publisher metadata, without loading the weights.
+
+        ``np.load`` reads archive members lazily, so this pulls only the
+        tiny metadata entry — cheap enough to call for every version a
+        slow follower skipped.
+        """
+        path = self.directory / self._file_name(version)
+        try:
+            with np.load(path) as archive:
+                if _META_KEY not in archive.files:
+                    return {}
+                meta_bytes = archive[_META_KEY]
+        except FileNotFoundError:
+            raise SnapshotError(f"snapshot v{version} not found at {path}")
+        except (OSError, ValueError, KeyError, EOFError) as exc:
+            raise SnapshotError(
+                f"snapshot {path} is truncated or corrupt: {exc}"
+            ) from exc
+        try:
+            return json.loads(bytes(meta_bytes.tobytes()).decode())
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            raise SnapshotError(
+                f"snapshot {path} has corrupt metadata: {exc}"
+            ) from exc
+
+    def touched_union(
+        self, from_version: int, snapshot: Snapshot
+    ) -> list[int] | None:
+        """Users touched by *any* version in ``(from_version, snapshot.version]``.
+
+        A follower whose poll cadence lost a race with the trainer can
+        jump several versions at once, but each snapshot's
+        ``touched_users`` is only the delta since the publish before it.
+        Applying just the newest delta would leave rows touched only in
+        a skipped version serving stale weights — a silent cross-version
+        blend.  So partial invalidation across a jump needs the union of
+        every skipped delta; returns ``None`` (= full refresh) when the
+        newest snapshot is itself a full refresh or any skipped
+        version's touched set is unavailable (pruned, missing, corrupt,
+        or a full refresh).  Skipped versions include
+        pre-flip orphans that never served — their rows were retrained
+        into the promoted snapshot, so the union is a safe superset.
+        """
+        touched = snapshot.metadata.get("touched_users")
+        if touched is None:
+            return None
+        union = {int(user) for user in touched}
+        for version in range(from_version + 1, snapshot.version):
+            try:
+                metadata = self.load_metadata(version)
+            except SnapshotError:
+                return None
+            skipped = metadata.get("touched_users")
+            if skipped is None:
+                return None
+            union.update(int(user) for user in skipped)
+        return sorted(union)
+
     def versions(self) -> list[int]:
         """Every durable snapshot version on disk, ascending."""
         found = []
@@ -206,6 +277,7 @@ class SnapshotStore:
         an ``exit_code`` fault kills the process outright — both leave
         the store consistent (the crash-matrix contract).
         """
+        self.recover()
         inject("online.publish.pre_write")
         version = self._next_version()
         published_unix = time.time()

@@ -155,6 +155,15 @@ class IncrementalTrainer:
         reference.load_state_dict(model.state_dict())
         reference.eval()
         self.reference = reference
+        # Attaching to a store that already has published snapshots:
+        # serving is on that snapshot, not on the constructor's seed
+        # weights, so both the training replica and the gate's
+        # "serving" reference must start from it — otherwise the shadow
+        # gate compares candidates against weights nobody serves.
+        if store.current() is not None:
+            published = store.load().state
+            self.model.load_state_dict(published)
+            self.reference.load_state_dict(published)
 
         named = dict(model.named_parameters())
         if self.config.update_mode == "user":
@@ -257,7 +266,13 @@ class IncrementalTrainer:
             target = ODPair(event.origin, event.destination)
             seen = {target}
             candidates = [target]
-            while len(candidates) < 1 + self.config.negatives_per_event:
+            # Bounded draws: a world with fewer distinct OD pairs than
+            # the requested width would loop forever on rejections —
+            # proceed with however many distractors the draws yielded.
+            want = 1 + self.config.negatives_per_event
+            for _ in range(8 * want):
+                if len(candidates) >= want:
+                    break
                 pair = self.dataset._sample_distractor(target, self._rng)
                 if pair not in seen:
                     seen.add(pair)

@@ -204,6 +204,29 @@ class TestSnapshotFollower:
         follower.poll()
         assert target.swaps == [("apply_snapshot", [7])]
 
+    def test_jump_unions_touched_users_across_skipped_versions(self, store):
+        target = RecordingShardedTarget()
+        follower = SnapshotFollower(store, target)
+        store.publish({"w": np.ones(3)}, {"touched_users": [1]})
+        assert follower.poll() == 1
+        # Two publishes land between polls: applying only the newest
+        # delta would leave user 2's rows on v1 while the rest serve v3
+        # — the cross-version blend the store contract forbids.
+        store.publish({"w": np.full(3, 2.0)}, {"touched_users": [2]})
+        store.publish({"w": np.full(3, 3.0)}, {"touched_users": [3]})
+        assert follower.poll() == 3
+        assert target.swaps[-1] == ("apply_snapshot", [2, 3])
+
+    def test_jump_over_full_refresh_refreshes_fully(self, store):
+        target = RecordingShardedTarget()
+        follower = SnapshotFollower(store, target)
+        store.publish({"w": np.ones(3)}, {"touched_users": [1]})
+        follower.poll()
+        store.publish({"w": np.full(3, 2.0)}, {"touched_users": None})
+        store.publish({"w": np.full(3, 3.0)}, {"touched_users": [3]})
+        follower.poll()
+        assert target.swaps[-1] == ("apply_snapshot", None)
+
     def test_loop_polls_followers_every_tick(self, store, clock):
         target = RecordingTarget()
         follower = SnapshotFollower(store, target)

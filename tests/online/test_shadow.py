@@ -43,6 +43,28 @@ class TestWindow:
         assert shadow.skipped == 1
         assert len(shadow) == 0
 
+    def test_observe_terminates_when_world_has_few_pairs(
+            self, od_dataset, features, monkeypatch):
+        from itertools import cycle
+
+        from repro.data.schema import ODPair
+
+        shadow = ShadowEvaluator(
+            od_dataset, features, window=8, min_window=3,
+            num_candidates=6, seed=0,
+        )
+        # A degenerate sampler with only two distinct pairs can never
+        # fill num_candidates=6 — pre-bound this spun forever.
+        pairs = cycle([ODPair(0, 1), ODPair(1, 0)])
+        monkeypatch.setattr(
+            od_dataset, "_sample_distractor", lambda target, rng: next(pairs)
+        )
+        event = booking_events(od_dataset, 1)[0]
+        assert shadow.observe(event)
+        _, candidates = shadow._tasks[0]
+        assert 2 <= len(candidates) < 6
+        assert ODPair(event.origin, event.destination) in candidates
+
     def test_rejects_degenerate_config(self, od_dataset, features):
         with pytest.raises(ValueError, match="min_window"):
             ShadowEvaluator(od_dataset, features, min_window=0)

@@ -98,6 +98,42 @@ class TestVersioning:
         store.load()
 
 
+class TestTouchedUnion:
+    def test_single_step_is_the_snapshot_delta(self, store):
+        store.publish(_state(1.0), {"touched_users": [1, 2]})
+        snapshot = store.load()
+        assert store.touched_union(0, snapshot) == [1, 2]
+
+    def test_jump_unions_skipped_deltas(self, store):
+        store.publish(_state(1.0), {"touched_users": [1, 2]})
+        store.publish(_state(2.0), {"touched_users": [3]})
+        store.publish(_state(3.0), {"touched_users": [2, 4]})
+        snapshot = store.load()
+        assert store.touched_union(1, snapshot) == [2, 3, 4]
+        assert store.touched_union(0, snapshot) == [1, 2, 3, 4]
+
+    def test_full_refresh_anywhere_in_the_gap_voids_the_set(self, store):
+        store.publish(_state(1.0), {"touched_users": [1]})
+        store.publish(_state(2.0), {"touched_users": None})
+        store.publish(_state(3.0), {"touched_users": [2]})
+        snapshot = store.load()
+        assert store.touched_union(0, snapshot) is None
+        # No gap: the newest delta alone is exact.
+        assert store.touched_union(2, snapshot) == [2]
+
+    def test_pruned_gap_falls_back_to_full_refresh(self, store):
+        for i in range(5):
+            store.publish(
+                _state(float(i)), {"touched_users": [i]}, keep_last=2
+            )
+        snapshot = store.load()
+        assert store.versions() == [4, 5]
+        # Versions 1-3 were pruned: their deltas are gone, so a
+        # follower jumping over them must refresh every row.
+        assert store.touched_union(0, snapshot) is None
+        assert store.touched_union(4, snapshot) == [4]
+
+
 class TestCrashConsistency:
     @pytest.mark.parametrize("stage", PUBLISH_STAGES)
     def test_reader_never_sees_a_torn_store(self, tmp_path, stage):
@@ -125,19 +161,33 @@ class TestCrashConsistency:
         assert after.version > info.version
         np.testing.assert_array_equal(store.load().state["w"], _state(3.0)["w"])
 
-    def test_tmp_files_swept_on_open(self, tmp_path):
+    def test_tmp_files_swept_on_publish_not_on_open(self, tmp_path):
         directory = tmp_path / "s"
         store = SnapshotStore(directory)
         store.publish(_state(1.0))
         stale = directory / "v00000009.abc.tmp"
         stale.write_bytes(b"half a snapshot")
+        # Readers never mutate the store: opening one (a worker reload,
+        # a follower) must not delete what could be another process's
+        # in-flight phase-1 write.
         reopened = SnapshotStore(directory)
-        assert not stale.exists()
-        # The sweep only touches *.tmp: the published payload survives.
+        assert stale.exists()
         assert reopened.current_version() == 1
+        # The single publisher sweeps orphans on its next publish; the
+        # published payload survives (sweep only touches *.tmp).
+        store.publish(_state(2.0))
+        assert not stale.exists()
         np.testing.assert_array_equal(
-            reopened.load().state["w"], _state(1.0)["w"]
+            reopened.load().state["w"], _state(2.0)["w"]
         )
+
+    def test_recover_reports_swept_count(self, tmp_path):
+        directory = tmp_path / "s"
+        store = SnapshotStore(directory)
+        (directory / "a.tmp").write_bytes(b"x")
+        (directory / "b.tmp").write_bytes(b"y")
+        assert store.recover() == 2
+        assert store.recover() == 0
 
     def test_pointer_file_is_plain_json(self, store):
         # Operational contract: the pointer stays a tiny inspectable file.

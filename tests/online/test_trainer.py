@@ -5,13 +5,17 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
+from itertools import cycle
+
+from repro.core import build_odnet
+from repro.data.schema import ODPair
 from repro.online import (
     IncrementalTrainer,
     OnlineTrainerConfig,
     ShadowEvaluator,
 )
 
-from .conftest import booking_events
+from .conftest import ONLINE_MODEL_CONFIG, booking_events
 
 _USER_PARAMS = (
     "origin_hsgc.user_embedding.weight",
@@ -197,6 +201,54 @@ class TestPublishing:
         assert info is not None and info.version == 1
         assert decision is None
         assert store.load().metadata["bootstrap"] is True
+
+
+class TestStepBounds:
+    def test_step_terminates_when_world_has_few_pairs(
+            self, online_model, od_dataset, features, store, monkeypatch):
+        trainer = _trainer(online_model, od_dataset, features, store)
+        events = booking_events(od_dataset, 2)
+        # A degenerate sampler with only two distinct pairs can never
+        # satisfy negatives_per_event=3 — pre-bound this spun forever.
+        pairs = cycle([ODPair(0, 1), ODPair(1, 0)])
+        monkeypatch.setattr(
+            od_dataset, "_sample_distractor", lambda target, rng: next(pairs)
+        )
+        trainer.consume(events)
+        loss = trainer.step()
+        assert loss is not None and np.isfinite(loss)
+        assert trainer.steps == 1
+
+
+class TestAttach:
+    def test_attach_to_non_empty_store_boots_from_published(
+            self, online_model, od_dataset, features, store):
+        trainer = _trainer(
+            online_model, od_dataset, features, store, margin=-1.0
+        )
+        trainer.publish_baseline()
+        trainer.consume(booking_events(od_dataset, 12))
+        while trainer.backlog:
+            trainer.step()
+        info, _ = trainer.maybe_publish(force=True)
+        assert info is not None
+        published = store.load().state
+
+        # A brand-new trainer attached to the same store (a redeployed
+        # trainer process) must train and gate from the *serving*
+        # snapshot, not from its constructor's seed weights.
+        fresh = _trainer(
+            build_odnet(od_dataset, ONLINE_MODEL_CONFIG),
+            od_dataset, features, store,
+        )
+        for name, value in fresh.model.state_dict().items():
+            np.testing.assert_array_equal(
+                value, published[name], err_msg=name
+            )
+        for name, value in fresh.reference.state_dict().items():
+            np.testing.assert_array_equal(
+                value, published[name], err_msg=name
+            )
 
 
 class TestRestart:
